@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the analytic machinery: the two-receiver Markov
+//! chain (build + stationary solve), the Appendix B closed form, and the
+//! fixed-layer enumerator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlf_layering::randomjoin;
+use mlf_protocols::{markov, ProtocolKind};
+use std::hint::black_box;
+
+fn bench_markov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/two_receiver");
+    for &layers in &[4usize, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("build", layers), &layers, |b, &m| {
+            b.iter(|| {
+                black_box(markov::two_receiver_chain(
+                    ProtocolKind::Coordinated,
+                    m,
+                    0.001,
+                    0.03,
+                    0.03,
+                ))
+            })
+        });
+        let model =
+            markov::two_receiver_chain(ProtocolKind::Coordinated, layers, 0.001, 0.03, 0.03);
+        group.bench_with_input(BenchmarkId::new("solve", layers), &model, |b, model| {
+            b.iter(|| black_box(model.stationary_redundancy()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_appendix_b(c: &mut Criterion) {
+    let rates = vec![0.1; 100];
+    c.bench_function("randomjoin/analytic_100_receivers", |b| {
+        b.iter(|| black_box(randomjoin::analytic_redundancy(&rates, 1.0)))
+    });
+    c.bench_function("randomjoin/figure5_full_series", |b| {
+        let xs: Vec<usize> = (1..=100).collect();
+        b.iter(|| black_box(randomjoin::figure5_series(&xs)))
+    });
+}
+
+fn bench_fixed_layers(c: &mut Criterion) {
+    c.bench_function("fixed_layers/section3_enumeration", |b| {
+        b.iter(|| black_box(mlf_layering::fixed::section3_example(6.0)))
+    });
+}
+
+criterion_group!(benches, bench_markov, bench_appendix_b, bench_fixed_layers);
+criterion_main!(benches);

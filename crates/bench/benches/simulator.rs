@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the packet-level simulator: slot throughput per
+//! protocol and scaling in receiver count — the knobs that set the cost of
+//! regenerating Figure 8 at full fidelity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mlf_protocols::{experiment, ExperimentParams, ProtocolKind};
+use std::hint::black_box;
+
+fn bench_protocol_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/one_trial_20k_packets");
+    let base = ExperimentParams {
+        receivers: 50,
+        packets: 20_000,
+        trials: 1,
+        ..ExperimentParams::quick(0.0001, 0.03)
+    };
+    group.throughput(Throughput::Elements(base.packets));
+    for kind in ProtocolKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(experiment::run_trial(kind, &base, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_receiver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/receiver_scaling");
+    for &receivers in &[10usize, 50, 100, 200] {
+        let params = ExperimentParams {
+            receivers,
+            packets: 10_000,
+            trials: 1,
+            ..ExperimentParams::quick(0.0001, 0.03)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(receivers),
+            &params,
+            |b, params| {
+                b.iter(|| black_box(experiment::run_trial(ProtocolKind::Deterministic, params, 0)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rng_and_loss(c: &mut Criterion) {
+    use mlf_sim::{LossProcess, SimRng};
+    c.bench_function("sim/rng_unit_1k", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.unit();
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("sim/gilbert_elliott_1k", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut lp = LossProcess::bursty_with_average(0.03, 8.0);
+        b.iter(|| {
+            let mut lost = 0u32;
+            for _ in 0..1000 {
+                lost += lp.sample(&mut rng) as u32;
+            }
+            black_box(lost)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_protocol_throughput,
+    bench_receiver_scaling,
+    bench_rng_and_loss
+);
+criterion_main!(benches);

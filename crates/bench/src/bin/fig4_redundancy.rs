@@ -1,0 +1,64 @@
+//! Figure 4 regenerator: redundancy 2 on the shared link breaks the
+//! session-perspective fairness properties while the receiver-perspective
+//! ones survive.
+//!
+//! `cargo run -p mlf-bench --bin fig4_redundancy`
+
+use mlf_bench::{write_csv, Table};
+use mlf_core::{
+    max_min_allocation, max_min_allocation_with, properties, redundancy, LinkRateConfig,
+    LinkRateModel,
+};
+use mlf_net::{paper, LinkId, SessionId};
+
+fn main() {
+    let ex = paper::figure4();
+    let net = &ex.network;
+    let redundant = LinkRateConfig::efficient(2).with_session(0, LinkRateModel::Scaled(2.0));
+    let efficient = LinkRateConfig::efficient(2);
+
+    let a_red = max_min_allocation_with(net, &redundant);
+    let a_eff = max_min_allocation(net);
+
+    println!("Figure 4: S1 with redundancy 2 on shared links\n");
+    let mut t = Table::new(["receiver", "redundant v=2", "efficient v=1"]);
+    for (r, a) in a_red.iter() {
+        t.row([
+            format!("{r}"),
+            format!("{a:.2}"),
+            format!("{:.2}", a_eff.rate(r)),
+        ]);
+    }
+    print!("{t}");
+
+    println!("\nShared link l4 under v=2:");
+    println!(
+        "  u_1,4 = {:.0}, u_2,4 = {:.0}, capacity {:.0}, redundancy of S1 = {:.1}",
+        a_red.session_link_rate(net, &redundant, LinkId(3), SessionId(0)),
+        a_red.session_link_rate(net, &redundant, LinkId(3), SessionId(1)),
+        net.graph().capacity(LinkId(3)),
+        redundancy(net, &redundant, &a_red, LinkId(3), SessionId(0)).unwrap(),
+    );
+
+    let rep = properties::check_all(net, &redundant, &a_red);
+    println!("\nProperties under redundancy 2:");
+    println!(
+        "  receiver-perspective (1, 2): {} {}   <- survive, as the paper notes",
+        rep.fully_utilized_receiver_fair(),
+        rep.same_path_receiver_fair()
+    );
+    println!(
+        "  session-perspective (3, 4):  {} {}   <- fail for S2 (paper: fail)",
+        rep.per_receiver_link_fair(),
+        rep.per_session_link_fair()
+    );
+
+    let rep_eff = properties::check_all(net, &efficient, &a_eff);
+    println!(
+        "\nEfficient counterfactual holds all four properties: {}",
+        rep_eff.all_hold()
+    );
+
+    let path = write_csv(".", "fig4_redundancy", &t.records()).expect("csv");
+    println!("series written to {}", path.display());
+}

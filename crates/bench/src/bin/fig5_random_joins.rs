@@ -1,0 +1,65 @@
+//! Figure 5 regenerator: redundancy of a single layer with random joins,
+//! for the paper's five receiver-rate configurations, 1 to 100 receivers
+//! (analytic closed form + Monte-Carlo confirmation at selected points).
+//!
+//! `cargo run --release -p mlf-bench --bin fig5_random_joins
+//!    [--max-receivers 100] [--mc-quanta 200] [--mc-sigma 100]`
+
+use mlf_bench::{write_csv, Args, Table};
+use mlf_layering::randomjoin::{self, Figure5Config};
+
+fn main() {
+    let args = Args::from_env();
+    let max_receivers: usize = args.get("max-receivers", 100);
+    let mc_quanta: usize = args.get("mc-quanta", 200);
+    let mc_sigma: usize = args.get("mc-sigma", 100);
+    args.finish();
+
+    // Log-spaced x-axis like the paper's log plot.
+    let mut xs = vec![1usize, 2, 3, 4, 5, 7, 10, 14, 20, 30, 50, 70];
+    xs.push(max_receivers);
+    xs.retain(|&x| x <= max_receivers);
+    xs.dedup();
+
+    let mut t = Table::new([
+        "receivers",
+        "All 0.1",
+        "All 0.5",
+        "1st .5 rest .1",
+        "All 0.9",
+        "1st .9 rest .1",
+    ]);
+    for point in randomjoin::figure5_series(&xs) {
+        t.numeric_row(point.receivers.to_string(), &point.redundancy, 3);
+    }
+    println!("Figure 5 (analytic): redundancy of a single layer, random joins\n");
+    print!("{t}");
+    println!(
+        "\nasymptotes (σ / max rate): {:?}",
+        Figure5Config::ALL.map(|c| c.asymptote())
+    );
+
+    println!("\nMonte-Carlo confirmation ({mc_sigma} packets/quantum, {mc_quanta} quanta):\n");
+    let mut mc = Table::new(["config", "receivers", "analytic", "simulated"]);
+    for (cfg, r) in [
+        (Figure5Config::All01, 10usize),
+        (Figure5Config::All05, 10),
+        (Figure5Config::All09, 10),
+        (Figure5Config::First05Rest01, 10),
+        (Figure5Config::First09Rest01, 10),
+        (Figure5Config::All01, 50),
+    ] {
+        let analytic = randomjoin::analytic_redundancy(&cfg.rates(r), 1.0);
+        let sim = randomjoin::monte_carlo_redundancy(cfg, r, mc_sigma, mc_quanta, 0x515);
+        mc.row([
+            cfg.label().to_string(),
+            r.to_string(),
+            format!("{analytic:.3}"),
+            format!("{sim:.3}"),
+        ]);
+    }
+    print!("{mc}");
+
+    let path = write_csv(".", "fig5_random_joins", &t.records()).expect("csv");
+    println!("\nseries written to {}", path.display());
+}

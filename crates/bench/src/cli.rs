@@ -1,0 +1,106 @@
+//! A tiny `--key value` argument parser for the figure binaries.
+//!
+//! The binaries take a handful of numeric knobs (`--trials 30`,
+//! `--packets 100000`, `--shared 0.05`); pulling in a full CLI crate for
+//! that would violate the workspace's dependency policy, so this ~60-line
+//! parser does the job. Unknown keys abort with a message listing the
+//! knobs that were read, which doubles as `--help`.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit token stream (used by tests).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut values = BTreeMap::new();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --key, got {tok:?}"));
+            let val = it
+                .next()
+                .unwrap_or_else(|| panic!("missing value for --{key}"));
+            values.insert(key.to_string(), val);
+        }
+        Args {
+            values,
+            consumed: Default::default(),
+        }
+    }
+
+    /// Read a typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        self.consumed.borrow_mut().push(key.to_string());
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad value for --{key}: {v:?} ({e:?})")),
+            None => default,
+        }
+    }
+
+    /// Abort if any provided key was never consumed (typo protection).
+    /// Call after all `get`s.
+    pub fn finish(&self) {
+        let consumed = self.consumed.borrow();
+        for key in self.values.keys() {
+            if !consumed.contains(key) {
+                eprintln!("unknown option --{key}");
+                eprintln!("known options: {}", consumed.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_typed_values_with_defaults() {
+        let args = Args::parse(
+            ["--trials", "7", "--shared", "0.05"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get("trials", 30usize), 7);
+        assert_eq!(args.get("shared", 0.0001f64), 0.05);
+        assert_eq!(args.get("packets", 100_000u64), 100_000);
+        args.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn missing_value_panics() {
+        let _ = Args::parse(["--trials".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --key")]
+    fn positional_tokens_panic() {
+        let _ = Args::parse(["trials".to_string(), "7".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value")]
+    fn unparseable_value_panics() {
+        let args = Args::parse(["--trials", "many"].iter().map(|s| s.to_string()));
+        let _: usize = args.get("trials", 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! CSV output for the figure regenerators.
+//!
+//! Every figure binary mirrors its terminal table into
+//! `results/<name>.csv` so the series can be re-plotted (gnuplot,
+//! matplotlib, …) without re-running the simulations.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Write records (header included) to `results/<name>.csv` under `root`,
+/// creating the directory if needed. Returns the written path.
+///
+/// Cells containing commas, quotes or newlines are quoted per RFC 4180.
+pub fn write_csv(
+    root: impl AsRef<Path>,
+    name: &str,
+    records: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    let dir = root.as_ref().join("results");
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = fs::File::create(&path)?;
+    for rec in records {
+        let line: Vec<String> = rec.iter().map(|c| escape(c)).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    Ok(path)
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_escapes() {
+        let dir = std::env::temp_dir().join(format!("mlfbench-{}", std::process::id()));
+        let records = vec![
+            vec!["a".to_string(), "b,c".to_string()],
+            vec!["1".to_string(), "say \"hi\"".to_string()],
+        ];
+        let path = write_csv(&dir, "test", &records).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,\"b,c\"\n1,\"say \"\"hi\"\"\"\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plain_cells_unquoted() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("1.5"), "1.5");
+    }
+}

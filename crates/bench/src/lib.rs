@@ -1,0 +1,17 @@
+//! # mlf-bench — figure regeneration and benchmarks
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus Criterion
+//! benchmarks (see `benches/`). This library holds the shared scaffolding:
+//! a plain-text table renderer, a CSV writer for plotting, and a tiny
+//! `--key value` argument parser so the binaries stay dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod csvout;
+pub mod table;
+
+pub use cli::Args;
+pub use csvout::write_csv;
+pub use table::Table;

@@ -1,0 +1,65 @@
+//! # mlf-core — multi-rate multicast max-min fairness
+//!
+//! The primary contribution of *"The Impact of Multicast Layering on Network
+//! Fairness"* (Rubenstein, Kurose, Towsley, SIGCOMM 1999), as a library:
+//!
+//! * [`maxmin`] — the progressive-filling allocator (the paper's Appendix A
+//!   algorithm) computing the unique max-min fair allocation for any mix of
+//!   single-rate and multi-rate sessions, generalized to arbitrary monotone
+//!   session link-rate models;
+//! * [`linkrate`] — the session link-rate ("redundancy") functions `v_i` of
+//!   Section 3: efficient (`max`), scaled, sum, and the Appendix B
+//!   random-join closed form;
+//! * [`allocation`] — rate allocations, induced link rates, feasibility;
+//! * [`properties`] — the four desirable fairness properties of Section 2.1
+//!   as executable checkers;
+//! * [`ordering`] — the min-unfavorable relation `≤ₘ` (Definition 2) and
+//!   Lemma 2's threshold characterization;
+//! * [`mod@redundancy`] — Definition 3's redundancy measure and the Figure 6
+//!   fair-rate impact model;
+//! * [`theory`] — Theorems 1–2 and Lemmas 1, 3, 4 as executable checks;
+//! * [`unicast`] — the textbook Bertsekas–Gallager unicast water-filling,
+//!   kept implementation-independent as a differential baseline;
+//! * [`weighted`] — weighted (TCP-fairness-style) multi-rate max-min, the
+//!   Section 5 future-work item, implemented.
+//!
+//! ## Example: Figure 2 in five lines
+//!
+//! ```
+//! use mlf_core::{maxmin, properties, linkrate::LinkRateConfig};
+//!
+//! let example = mlf_net::paper::figure2();
+//! let alloc = maxmin::max_min_allocation(&example.network);
+//! let cfg = LinkRateConfig::efficient(2);
+//! let report = properties::check_all(&example.network, &cfg, &alloc);
+//! // Single-rate S1 costs three of the four properties…
+//! assert_eq!(report.count_holding(), 1);
+//! // …and the multi-rate replacement recovers all four (Theorem 1).
+//! assert!(mlf_core::theory::check_theorem1(&example.network).all_hold());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod linkrate;
+pub mod maxmin;
+pub mod metrics;
+pub mod ordering;
+pub mod properties;
+pub mod redundancy;
+pub mod theory;
+pub mod unicast;
+pub mod weighted;
+
+pub use allocation::{Allocation, FeasibilityViolation, RATE_EPS};
+pub use linkrate::{LinkRateConfig, LinkRateModel};
+pub use maxmin::{
+    max_min_allocation, max_min_allocation_with, multi_rate_max_min, single_rate_max_min, solve,
+    FreezeReason, MaxMinSolution,
+};
+pub use ordering::{is_min_unfavorable, is_strictly_min_unfavorable, min_unfavorable_cmp, ordered};
+pub use properties::{check_all, FairnessReport};
+pub use redundancy::{bottleneck_fair_rate, normalized_fair_rate, redundancy};
+pub use weighted::{weighted_max_min, Weights};
+pub use metrics::{jain_index, min_max_spread, satisfaction};

@@ -1,0 +1,799 @@
+//! The max-min fair allocator: progressive filling for arbitrary mixes of
+//! single-rate and multi-rate sessions (Appendix A of the paper),
+//! generalized to arbitrary monotone session link-rate models (Section 3).
+//!
+//! # Algorithm
+//!
+//! All receivers start active at rate 0. A global *water level* rises; every
+//! active receiver's rate equals the level. A receiver freezes when
+//!
+//! 1. its session's maximum desired rate `κ_i` is reached, or
+//! 2. a link on its data-path is fully utilized **and** raising this
+//!    receiver's rate would raise the link's load, or
+//! 3. (single-rate sessions only) any other receiver of its session froze —
+//!    all receivers of a single-rate session must hold the same rate
+//!    (step 7 of the paper's algorithm).
+//!
+//! Condition 2's "would raise the load" clause matters for multi-rate
+//! sessions under the efficient model `u_{i,j} = max{a_{i,k}}`: a receiver
+//! whose session-mates already pushed the session's link rate above the
+//! current level can keep riding the saturated link *for free* until the
+//! level reaches the session's frozen maximum on that link. (The algorithm
+//! as printed in the paper's appendix elides this case; without it the
+//! produced allocation would violate Definition 1 — a free rider's rate
+//! could be raised without decreasing anyone — and would break Theorem 1 on
+//! networks like Figure 3(b), where `r_{3,1}` must ride `l_1` past
+//! `r_{1,1}`'s frozen rate.)
+//!
+//! Between freezing events the level advances in closed form: for the
+//! piecewise-linear models (`Efficient`, `Scaled`, `Sum`) each link's load is
+//! `K + Σ_i w_i · max(b_i, ℓ)` in the level `ℓ`, whose saturation point is
+//! found exactly by scanning breakpoints; the nonlinear `RandomJoin` model
+//! falls back to bisection. Every iteration freezes at least one receiver,
+//! so the loop runs at most `#receivers` times.
+
+use crate::allocation::{Allocation, RATE_EPS};
+use crate::linkrate::{LinkRateConfig, LinkRateModel};
+use mlf_net::{LinkId, Network, ReceiverId, SessionId};
+
+/// Why a receiver's rate froze at its final value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreezeReason {
+    /// The session's maximum desired rate `κ_i` (or the layer rate `σ` for
+    /// `RandomJoin` sessions) was reached.
+    MaxRate,
+    /// This link on the receiver's data-path saturated while the receiver
+    /// was marginal on it.
+    Link(LinkId),
+    /// A session-mate froze and the session is single-rate (step 7).
+    SessionClosure,
+}
+
+/// The allocator's output: the unique max-min fair allocation plus
+/// per-receiver diagnostics.
+#[derive(Debug, Clone)]
+pub struct MaxMinSolution {
+    /// The max-min fair allocation.
+    pub allocation: Allocation,
+    /// Why each receiver froze, shaped `[session][receiver]`.
+    pub reasons: Vec<Vec<FreezeReason>>,
+    /// Number of water-filling iterations performed.
+    pub iterations: usize,
+}
+
+impl MaxMinSolution {
+    /// The freeze reason for a receiver.
+    pub fn reason(&self, r: ReceiverId) -> FreezeReason {
+        self.reasons[r.session.0][r.index]
+    }
+
+    /// The bottleneck link of a receiver, if it froze on a link.
+    pub fn bottleneck(&self, r: ReceiverId) -> Option<LinkId> {
+        match self.reason(r) {
+            FreezeReason::Link(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+/// Compute the max-min fair allocation under the efficient link-rate model
+/// (`u_{i,j} = max` — the Section 2 setting) for the network's session-type
+/// mapping as given.
+pub fn max_min_allocation(net: &Network) -> Allocation {
+    solve(net, &LinkRateConfig::efficient(net.session_count())).allocation
+}
+
+/// Compute the max-min fair allocation under explicit per-session link-rate
+/// models (the Section 3 setting).
+pub fn max_min_allocation_with(net: &Network, cfg: &LinkRateConfig) -> Allocation {
+    solve(net, cfg).allocation
+}
+
+/// The multi-rate max-min fair allocation: every session treated as
+/// multi-rate (Theorem 1's setting), efficient link rates.
+pub fn multi_rate_max_min(net: &Network) -> Allocation {
+    max_min_allocation(&net.with_uniform_kind(mlf_net::SessionType::MultiRate))
+}
+
+/// The single-rate max-min fair allocation: every session treated as
+/// single-rate (the Tzeng–Siu setting), efficient link rates.
+pub fn single_rate_max_min(net: &Network) -> Allocation {
+    max_min_allocation(&net.with_uniform_kind(mlf_net::SessionType::SingleRate))
+}
+
+/// Full progressive-filling solve with diagnostics.
+pub fn solve(net: &Network, cfg: &LinkRateConfig) -> MaxMinSolution {
+    assert_eq!(
+        cfg.len(),
+        net.session_count(),
+        "link-rate config must cover every session"
+    );
+    let mut state = State::new(net, cfg);
+    let mut iterations = 0;
+    while state.any_active() {
+        iterations += 1;
+        assert!(
+            iterations <= net.receiver_count() + 1,
+            "progressive filling failed to converge (tolerance breakdown?)"
+        );
+        state.step();
+    }
+    MaxMinSolution {
+        allocation: Allocation::from_rates(state.rates),
+        reasons: state
+            .reasons
+            .into_iter()
+            .map(|rs| rs.into_iter().map(|r| r.expect("all frozen")).collect())
+            .collect(),
+        iterations,
+    }
+}
+
+/// Mutable water-filling state.
+struct State<'a> {
+    net: &'a Network,
+    cfg: &'a LinkRateConfig,
+    rates: Vec<Vec<f64>>,
+    active: Vec<Vec<bool>>,
+    reasons: Vec<Vec<Option<FreezeReason>>>,
+    level: f64,
+}
+
+impl<'a> State<'a> {
+    fn new(net: &'a Network, cfg: &'a LinkRateConfig) -> Self {
+        let shape: Vec<usize> = net.sessions().iter().map(|s| s.receivers.len()).collect();
+        State {
+            net,
+            cfg,
+            rates: shape.iter().map(|&k| vec![0.0; k]).collect(),
+            active: shape.iter().map(|&k| vec![true; k]).collect(),
+            reasons: shape.iter().map(|&k| vec![None; k]).collect(),
+            level: 0.0,
+        }
+    }
+
+    fn any_active(&self) -> bool {
+        self.active.iter().any(|s| s.iter().any(|&a| a))
+    }
+
+    fn session_has_active(&self, i: usize) -> bool {
+        self.active[i].iter().any(|&a| a)
+    }
+
+    /// The effective rate cap of session `i`: `κ_i`, additionally clamped to
+    /// the layer rate `σ` for `RandomJoin` sessions (a receiver cannot take
+    /// more than the layer carries).
+    fn effective_kappa(&self, i: usize) -> f64 {
+        let kappa = self.net.sessions()[i].max_rate;
+        match *self.cfg.model(i) {
+            LinkRateModel::RandomJoin { sigma } => kappa.min(sigma),
+            _ => kappa,
+        }
+    }
+
+    /// One progressive-filling event: advance the level to the next freezing
+    /// point and freeze every receiver that binds there.
+    fn step(&mut self) {
+        let upper = (0..self.net.session_count())
+            .filter(|&i| self.session_has_active(i))
+            .map(|i| self.effective_kappa(i))
+            .fold(f64::INFINITY, f64::min);
+        debug_assert!(upper.is_finite(), "session max rates are finite");
+
+        // The next level is the smallest saturation level over all links
+        // (clamped to `upper`).
+        let mut next = upper;
+        for j in 0..self.net.link_count() {
+            if !self.link_has_active(j) {
+                continue;
+            }
+            let lj = self.link_saturation_level(j, upper);
+            next = next.min(lj);
+        }
+        debug_assert!(
+            next >= self.level - RATE_EPS,
+            "water level must not decrease"
+        );
+        self.level = next.max(self.level);
+
+        // Raise every active receiver to the new level.
+        for i in 0..self.rates.len() {
+            for k in 0..self.rates[i].len() {
+                if self.active[i][k] {
+                    self.rates[i][k] = self.level;
+                }
+            }
+        }
+
+        let mut froze_any = false;
+
+        // κ freezes.
+        for i in 0..self.net.session_count() {
+            if self.session_has_active(i) && self.effective_kappa(i) <= self.level + RATE_EPS {
+                let kappa = self.effective_kappa(i);
+                for k in 0..self.rates[i].len() {
+                    if self.active[i][k] {
+                        self.active[i][k] = false;
+                        self.rates[i][k] = kappa;
+                        self.reasons[i][k] = Some(FreezeReason::MaxRate);
+                        froze_any = true;
+                    }
+                }
+            }
+        }
+
+        // Link freezes: saturated links freeze their marginal active receivers.
+        for j in 0..self.net.link_count() {
+            let link = LinkId(j);
+            if !self.link_has_active(j) {
+                continue;
+            }
+            let load = self.link_load_at(j, self.level);
+            if load < self.net.graph().capacity(link) - RATE_EPS {
+                continue;
+            }
+            for i in 0..self.net.session_count() {
+                let on = self.net.receivers_of_session_on_link(link, SessionId(i));
+                if on.is_empty() || !on.iter().any(|&k| self.active[i][k]) {
+                    continue;
+                }
+                if !self.session_marginal_on(j, i) {
+                    continue; // free rider: keeps rising under the frozen max
+                }
+                if self.net.sessions()[i].kind.is_single_rate() {
+                    // Freeze the whole session (step 7).
+                    for k in 0..self.rates[i].len() {
+                        if self.active[i][k] {
+                            self.active[i][k] = false;
+                            self.reasons[i][k] = Some(if on.contains(&k) {
+                                FreezeReason::Link(link)
+                            } else {
+                                FreezeReason::SessionClosure
+                            });
+                            froze_any = true;
+                        }
+                    }
+                } else {
+                    for &k in on {
+                        if self.active[i][k] {
+                            self.active[i][k] = false;
+                            self.reasons[i][k] = Some(FreezeReason::Link(link));
+                            froze_any = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        assert!(
+            froze_any,
+            "progressive filling made no progress at level {}",
+            self.level
+        );
+    }
+
+    /// Whether any active receiver's data-path crosses link `j`.
+    fn link_has_active(&self, j: usize) -> bool {
+        let link = LinkId(j);
+        (0..self.net.session_count()).any(|i| {
+            self.net
+                .receivers_of_session_on_link(link, SessionId(i))
+                .iter()
+                .any(|&k| self.active[i][k])
+        })
+    }
+
+    /// Session `i`'s rates on link `j` if the level were `ℓ` (frozen rates
+    /// stay fixed, active ones take `ℓ`).
+    fn session_rates_at(&self, j: usize, i: usize, level: f64) -> Vec<f64> {
+        self.net
+            .receivers_of_session_on_link(LinkId(j), SessionId(i))
+            .iter()
+            .map(|&k| {
+                if self.active[i][k] {
+                    level
+                } else {
+                    self.rates[i][k]
+                }
+            })
+            .collect()
+    }
+
+    /// The load `u_j(ℓ)` of link `j` at hypothetical level `ℓ`.
+    fn link_load_at(&self, j: usize, level: f64) -> f64 {
+        (0..self.net.session_count())
+            .map(|i| {
+                let rates = self.session_rates_at(j, i, level);
+                self.cfg.model(i).link_rate(&rates)
+            })
+            .sum()
+    }
+
+    /// Whether raising the level marginally above the current value would
+    /// raise session `i`'s rate on link `j` (the free-rider test).
+    fn session_marginal_on(&self, j: usize, i: usize) -> bool {
+        let link = LinkId(j);
+        let on = self.net.receivers_of_session_on_link(link, SessionId(i));
+        if !on.iter().any(|&k| self.active[i][k]) {
+            return false;
+        }
+        match *self.cfg.model(i) {
+            LinkRateModel::Efficient | LinkRateModel::Scaled(_) => {
+                // Marginal iff no frozen session-mate on this link holds a
+                // higher rate than the level.
+                let frozen_max = on
+                    .iter()
+                    .filter(|&&k| !self.active[i][k])
+                    .map(|&k| self.rates[i][k])
+                    .fold(0.0_f64, f64::max);
+                self.level >= frozen_max - RATE_EPS
+            }
+            LinkRateModel::Sum => true,
+            LinkRateModel::RandomJoin { .. } => {
+                let delta = (self.level.abs() + 1.0) * 1e-7;
+                let now = self
+                    .cfg
+                    .model(i)
+                    .link_rate(&self.session_rates_at(j, i, self.level));
+                let bumped = self
+                    .cfg
+                    .model(i)
+                    .link_rate(&self.session_rates_at(j, i, self.level + delta));
+                bumped > now + RATE_EPS * delta
+            }
+        }
+    }
+
+    /// The largest level `ℓ ∈ [self.level, upper]` with `u_j(ℓ) ≤ c_j`.
+    fn link_saturation_level(&self, j: usize, upper: f64) -> f64 {
+        let cap = self.net.graph().capacity(LinkId(j));
+        // Sessions crossing j: are they all piecewise-linear?
+        let linear = (0..self.net.session_count()).all(|i| {
+            self.net
+                .receivers_of_session_on_link(LinkId(j), SessionId(i))
+                .is_empty()
+                || self.cfg.model(i).is_piecewise_linear()
+        });
+        if linear {
+            self.saturation_level_linear(j, upper, cap)
+        } else {
+            self.saturation_level_bisect(j, upper, cap)
+        }
+    }
+
+    /// Exact solve for piecewise-linear loads `u_j(ℓ) = K + Σ w_t·max(b_t, ℓ)`.
+    fn saturation_level_linear(&self, j: usize, upper: f64, cap: f64) -> f64 {
+        let link = LinkId(j);
+        let mut constant = 0.0; // K: contributions independent of ℓ
+        let mut terms: Vec<(f64, f64)> = Vec::new(); // (b_t, w_t)
+        for i in 0..self.net.session_count() {
+            let on = self.net.receivers_of_session_on_link(link, SessionId(i));
+            if on.is_empty() {
+                continue;
+            }
+            let active_count = on.iter().filter(|&&k| self.active[i][k]).count();
+            let frozen: Vec<f64> = on
+                .iter()
+                .filter(|&&k| !self.active[i][k])
+                .map(|&k| self.rates[i][k])
+                .collect();
+            let frozen_max = frozen.iter().copied().fold(0.0_f64, f64::max);
+            match *self.cfg.model(i) {
+                LinkRateModel::Efficient => {
+                    if active_count > 0 {
+                        terms.push((frozen_max, 1.0));
+                    } else {
+                        constant += frozen_max;
+                    }
+                }
+                LinkRateModel::Scaled(v) => {
+                    let w = if on.len() >= 2 { v } else { 1.0 };
+                    if active_count > 0 {
+                        terms.push((frozen_max, w));
+                    } else {
+                        constant += w * frozen_max;
+                    }
+                }
+                LinkRateModel::Sum => {
+                    constant += frozen.iter().sum::<f64>();
+                    if active_count > 0 {
+                        terms.push((0.0, active_count as f64));
+                    }
+                }
+                LinkRateModel::RandomJoin { .. } => {
+                    unreachable!("nonlinear sessions route to bisection")
+                }
+            }
+        }
+        if terms.is_empty() {
+            return upper; // load independent of the level
+        }
+        // Scan segments between sorted breakpoints.
+        let mut breakpoints: Vec<f64> = terms.iter().map(|&(b, _)| b).collect();
+        breakpoints.push(self.level);
+        breakpoints.push(upper);
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        breakpoints.dedup();
+        let load_at = |l: f64| -> f64 {
+            constant
+                + terms
+                    .iter()
+                    .map(|&(b, w)| w * b.max(l))
+                    .sum::<f64>()
+        };
+        let mut lo = self.level;
+        for &bp in breakpoints.iter().filter(|&&b| b > self.level && b <= upper) {
+            // Segment [lo, bp]: slope = Σ w over terms with b ≤ lo.
+            if load_at(bp) > cap + RATE_EPS {
+                // Saturation inside (lo, bp]: solve linearly.
+                let slope: f64 = terms
+                    .iter()
+                    .filter(|&&(b, _)| b <= lo + RATE_EPS)
+                    .map(|&(_, w)| w)
+                    .sum();
+                let base = load_at(lo);
+                if slope <= 0.0 {
+                    // Load jumped due to a breakpoint exactly at `lo` being
+                    // excluded by tolerance; saturate at lo.
+                    return lo;
+                }
+                let l = lo + (cap - base) / slope;
+                return l.clamp(lo, bp);
+            }
+            lo = bp;
+        }
+        upper // never saturates before the cap
+    }
+
+    /// Monotone bisection fallback for nonlinear (RandomJoin) loads.
+    fn saturation_level_bisect(&self, j: usize, upper: f64, cap: f64) -> f64 {
+        let mut lo = self.level;
+        if self.link_load_at(j, upper) <= cap + RATE_EPS {
+            return upper;
+        }
+        if self.link_load_at(j, lo) >= cap - RATE_EPS {
+            // Already saturated: the level can only advance past this link's
+            // constraint if no marginal session remains; conservatively stop
+            // here and let the freezing pass sort it out. (For RandomJoin
+            // loads there are no flat segments while any session is
+            // marginal, so no free-rider ride-through exists to find.)
+            return lo;
+        }
+        let mut hi = upper;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.link_load_at(j, mid) <= cap {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-13 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlf_net::{Graph, Session, SessionType};
+
+    fn assert_rates(alloc: &Allocation, expected: &[Vec<f64>], tol: f64) {
+        for (i, exp) in expected.iter().enumerate() {
+            for (k, &e) in exp.iter().enumerate() {
+                let got = alloc.rate(ReceiverId::new(i, k));
+                assert!(
+                    (got - e).abs() <= tol,
+                    "r{},{} expected {e}, got {got}",
+                    i + 1,
+                    k + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_unicast_flow_takes_the_bottleneck() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_link(n[0], n[1], 5.0).unwrap();
+        g.add_link(n[1], n[2], 3.0).unwrap();
+        let net = Network::new(g, vec![Session::unicast(n[0], n[2])]).unwrap();
+        let sol = solve(&net, &LinkRateConfig::efficient(1));
+        assert_rates(&sol.allocation, &[vec![3.0]], 1e-9);
+        assert_eq!(sol.reason(ReceiverId::new(0, 0)), FreezeReason::Link(LinkId(1)));
+    }
+
+    #[test]
+    fn two_unicasts_split_a_shared_link_evenly() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_link(n[0], n[1], 8.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![Session::unicast(n[0], n[1]), Session::unicast(n[0], n[1])],
+        )
+        .unwrap();
+        let alloc = max_min_allocation(&net);
+        assert_rates(&alloc, &[vec![4.0], vec![4.0]], 1e-9);
+    }
+
+    #[test]
+    fn kappa_caps_a_flow_and_releases_bandwidth() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_link(n[0], n[1], 8.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![
+                Session::unicast(n[0], n[1]).with_max_rate(1.0),
+                Session::unicast(n[0], n[1]),
+            ],
+        )
+        .unwrap();
+        let sol = solve(&net, &LinkRateConfig::efficient(2));
+        assert_rates(&sol.allocation, &[vec![1.0], vec![7.0]], 1e-9);
+        assert_eq!(sol.reason(ReceiverId::new(0, 0)), FreezeReason::MaxRate);
+    }
+
+    #[test]
+    fn multi_rate_session_lets_receivers_diverge() {
+        // sender --10-- hub --4/2-- two receivers: a multi-rate session's
+        // receivers take their own bottlenecks.
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 10.0).unwrap();
+        g.add_link(n[1], n[2], 4.0).unwrap();
+        g.add_link(n[1], n[3], 2.0).unwrap();
+        let net = Network::new(g, vec![Session::multi_rate(n[0], vec![n[2], n[3]])]).unwrap();
+        let alloc = max_min_allocation(&net);
+        assert_rates(&alloc, &[vec![4.0, 2.0]], 1e-9);
+        // The single-rate twin drags everyone to the slowest branch.
+        let single = single_rate_max_min(&net);
+        assert_rates(&single, &[vec![2.0, 2.0]], 1e-9);
+    }
+
+    #[test]
+    fn free_rider_rides_a_saturated_link() {
+        // Session A: unicast r_A crossing L (cap 4) alone -> would take 4.
+        // Session B: multi-rate, r_B1 crosses L with r_A... build:
+        //   X_B -> r_B1 via L2 (cap 10), r_B2 via L2 then L3 (cap 6)?
+        // Simpler canonical case: shared link L (cap 6) carries unicast S1
+        // and multi-rate S2 = {r21 (via L only), r22 (via L + cap-1 tail)}.
+        // Fill: tail freezes r22 at 1. L: u = a1 + max(a21, 1) saturates at
+        // a1 = a21 = 3. Without the free-rider rule r21 would wrongly freeze
+        // at 1 when... actually exercise the opposite: r22 frozen LOW never
+        // blocks r21. Now make the tail generous for r21 and tight for r22:
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 6.0).unwrap(); // L shared
+        g.add_link(n[1], n[2], 1.0).unwrap(); // tail to r22
+        g.add_link(n[1], n[3], 100.0).unwrap(); // tail to r21
+        let net = Network::new(
+            g,
+            vec![
+                Session::unicast(n[0], n[3]),
+                Session::multi_rate(n[0], vec![n[3], n[2]]),
+            ],
+        )
+        .unwrap();
+        // r22 freezes at 1 (its tail). L: u = a1 + max(a21, 1): saturates
+        // when a1 + a21 = 6 -> both 3.
+        let alloc = max_min_allocation(&net);
+        assert_rates(&alloc, &[vec![3.0], vec![3.0, 1.0]], 1e-9);
+    }
+
+    #[test]
+    fn free_rider_past_frozen_session_max() {
+        // The case that breaks the paper's printed algorithm: a receiver
+        // rides a saturated link because its session-mate already pays for
+        // a higher session link rate there.
+        //   L1 (cap 4): r11 (S1 unicast) + r21 (S2)
+        //   L2 (cap 10): r21 + r22 (both S2, multi-rate)
+        //   L3 (cap 9): r22 alone
+        // Fill: L1 saturates at level 2 freezing r11 and r21? No: r21 and
+        // r11 split L1 -> 2 each. r22 rides L2 (u = max(a21, a22) = level,
+        // capacity 10 never binds before L3): freezes at 9 on L3.
+        let mut g = Graph::new();
+        let n = g.add_nodes(5);
+        let l2 = g.add_link(n[0], n[1], 10.0).unwrap(); // L2 shared by S2
+        g.add_link(n[1], n[2], 4.0).unwrap(); // L1: r21 tail shared with r11
+        g.add_link(n[1], n[3], 9.0).unwrap(); // L3: r22 tail
+        g.add_link(n[0], n[4], 100.0).unwrap();
+        let _ = l2;
+        // S1: unicast from n4-side into the L1 link? Simplify: S1 sender at
+        // n1 is illegal only if colliding with own members; use n1.
+        let net = Network::new(
+            g,
+            vec![
+                Session::unicast(n[1], n[2]),
+                Session::multi_rate(n[0], vec![n[2], n[3]]),
+            ],
+        )
+        .unwrap();
+        // L1 (cap 4) carries r11 and r21: saturates at level 2 -> both 2.
+        // r22 continues: L2 u = max(2, level) rides to 9 via L3 (cap 9).
+        let alloc = max_min_allocation(&net);
+        assert_rates(&alloc, &[vec![2.0]], 1e-9);
+        assert_rates(&alloc, &[vec![2.0], vec![2.0, 9.0]], 1e-9);
+        // Check L2's load is the session max, not the sum.
+        let cfg = LinkRateConfig::efficient(2);
+        assert!((alloc.link_rate(&net, &cfg, LinkId(0)) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rate_closure_freezes_whole_session() {
+        // Star: S single-rate with branches of caps 2 and 8, plus a unicast
+        // sharing the fat branch. S freezes at 2 everywhere; the unicast
+        // takes 6.
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 100.0).unwrap();
+        g.add_link(n[1], n[2], 2.0).unwrap();
+        g.add_link(n[1], n[3], 8.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![
+                Session::single_rate(n[0], vec![n[2], n[3]]),
+                Session::unicast(n[0], n[3]),
+            ],
+        )
+        .unwrap();
+        let sol = solve(&net, &LinkRateConfig::efficient(2));
+        assert_rates(&sol.allocation, &[vec![2.0, 2.0], vec![6.0]], 1e-9);
+        assert_eq!(
+            sol.reason(ReceiverId::new(0, 0)),
+            FreezeReason::Link(LinkId(1))
+        );
+        assert_eq!(
+            sol.reason(ReceiverId::new(0, 1)),
+            FreezeReason::SessionClosure
+        );
+    }
+
+    #[test]
+    fn scaled_model_shrinks_fair_rates() {
+        // Figure 6's single-bottleneck model: n sessions on one link, m of
+        // them redundancy v. Rates must equal c / ((n-m) + m v).
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let hub = g.add_node();
+        g.add_link(a, hub, 12.0).unwrap();
+        // Redundant multi-rate session needs >= 2 receivers crossing the
+        // shared link for Scaled to bite: give it two receivers behind hub.
+        let r1 = g.add_node();
+        let r2 = g.add_node();
+        g.add_link(hub, r1, 100.0).unwrap();
+        g.add_link(hub, r2, 100.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![
+                Session::multi_rate(a, vec![r1, r2]),
+                Session::unicast(a, r1),
+            ],
+        )
+        .unwrap();
+        // v = 2 for session 0: link load = 2·L + L = 3L = 12 -> L = 4.
+        let cfg = LinkRateConfig::efficient(2).with_session(0, LinkRateModel::Scaled(2.0));
+        let alloc = max_min_allocation_with(&net, &cfg);
+        assert_rates(&alloc, &[vec![4.0, 4.0], vec![4.0]], 1e-9);
+        // Efficient: 2L = 12 -> 6 each.
+        let eff = max_min_allocation(&net);
+        assert_rates(&eff, &[vec![6.0, 6.0], vec![6.0]], 1e-9);
+    }
+
+    #[test]
+    fn sum_model_behaves_like_unicasts() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 9.0).unwrap();
+        g.add_link(n[1], n[2], 100.0).unwrap();
+        g.add_link(n[1], n[3], 100.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![
+                Session::multi_rate(n[0], vec![n[2], n[3]]),
+                Session::unicast(n[0], n[2]),
+            ],
+        )
+        .unwrap();
+        let cfg = LinkRateConfig::efficient(2).with_session(0, LinkRateModel::Sum);
+        let alloc = max_min_allocation_with(&net, &cfg);
+        // Load on the first hop: a11 + a12 + a2 = 3L = 9.
+        assert_rates(&alloc, &[vec![3.0, 3.0], vec![3.0]], 1e-9);
+    }
+
+    #[test]
+    fn random_join_model_solves_by_bisection() {
+        // Two receivers of one session share a link of capacity 1.5 under
+        // RandomJoin with σ = 1: u(L) = 1 - (1-L)^2 caps at 1 < 1.5, so both
+        // receivers climb to the σ clamp.
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 1.5).unwrap();
+        g.add_link(n[1], n[2], 100.0).unwrap();
+        g.add_link(n[1], n[3], 100.0).unwrap();
+        let net = Network::new(g, vec![Session::multi_rate(n[0], vec![n[2], n[3]])]).unwrap();
+        let cfg = LinkRateConfig::uniform(1, LinkRateModel::RandomJoin { sigma: 1.0 });
+        let sol = solve(&net, &cfg);
+        assert_rates(&sol.allocation, &[vec![1.0, 1.0]], 1e-6);
+        assert_eq!(sol.reason(ReceiverId::new(0, 0)), FreezeReason::MaxRate);
+
+        // Tighter link: u(L) = 1 - (1-L)^2 = 0.75 -> L = 0.5.
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 0.75).unwrap();
+        g.add_link(n[1], n[2], 100.0).unwrap();
+        g.add_link(n[1], n[3], 100.0).unwrap();
+        let net = Network::new(g, vec![Session::multi_rate(n[0], vec![n[2], n[3]])]).unwrap();
+        let sol = solve(&net, &cfg);
+        assert_rates(&sol.allocation, &[vec![0.5, 0.5]], 1e-6);
+    }
+
+    #[test]
+    fn allocation_is_invariant_to_session_order() {
+        // Permuting sessions permutes the allocation accordingly (uniqueness
+        // sanity check on a small asymmetric network).
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 5.0).unwrap();
+        g.add_link(n[1], n[2], 2.0).unwrap();
+        g.add_link(n[1], n[3], 9.0).unwrap();
+        let s_a = Session::multi_rate(n[0], vec![n[2], n[3]]);
+        let s_b = Session::unicast(n[0], n[3]);
+        let net1 = Network::new(g.clone(), vec![s_a.clone(), s_b.clone()]).unwrap();
+        let net2 = Network::new(g, vec![s_b, s_a]).unwrap();
+        let a1 = max_min_allocation(&net1);
+        let a2 = max_min_allocation(&net2);
+        assert_eq!(a1.rates()[0], a2.rates()[1]);
+        assert_eq!(a1.rates()[1], a2.rates()[0]);
+    }
+
+    #[test]
+    fn result_is_always_feasible_and_saturating() {
+        for seed in 0..30u64 {
+            let net = mlf_net::topology::random_network(seed, 12, 4, 4);
+            let cfg = LinkRateConfig::efficient(net.session_count());
+            let sol = solve(&net, &cfg);
+            assert!(
+                sol.allocation.is_feasible(&net, &cfg),
+                "seed {seed}: infeasible: {:?}",
+                sol.allocation.feasibility_violation(&net, &cfg)
+            );
+            // Every receiver is blocked: κ or a saturated link on its path.
+            for r in net.receivers() {
+                match sol.reason(r) {
+                    FreezeReason::MaxRate => {}
+                    FreezeReason::Link(l) => {
+                        assert!(net.crosses(r, l), "seed {seed}: bottleneck not on path");
+                        assert!(
+                            sol.allocation.is_fully_utilized(&net, &cfg, l),
+                            "seed {seed}: bottleneck link not full"
+                        );
+                    }
+                    FreezeReason::SessionClosure => {
+                        assert!(net.session(r.session).kind.is_single_rate());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_session_types_respect_single_rate_constraint() {
+        for seed in 100..120u64 {
+            let mut net = mlf_net::topology::random_network(seed, 10, 3, 4);
+            // Flip session 0 single-rate.
+            net = net.with_session_kind(SessionId(0), SessionType::SingleRate);
+            let cfg = LinkRateConfig::efficient(net.session_count());
+            let alloc = max_min_allocation_with(&net, &cfg);
+            assert!(alloc.is_feasible(&net, &cfg), "seed {seed}");
+            let rs = &alloc.rates()[0];
+            for &a in rs {
+                assert!((a - rs[0]).abs() < 1e-9, "seed {seed}: single-rate uniform");
+            }
+        }
+    }
+}

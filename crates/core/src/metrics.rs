@@ -1,0 +1,155 @@
+//! Scalar fairness metrics for comparing allocations.
+//!
+//! The paper's comparisons are structural (the four properties, the
+//! `≤ₘ` ordering). Its related-work discussion, however, contrasts that
+//! with scalar metrics used by contemporaries: *receiver satisfaction*
+//! (Legout–Nonnenmacher–Biersack argue bandwidth should scale with receiver
+//! count because it raises average satisfaction) and *inter-receiver
+//! fairness* (Jiang–Ammar–Zegura). This module provides those scalars so
+//! the examples and ablations can report them next to the paper's
+//! structural verdicts:
+//!
+//! * [`jain_index`] — Jain's classic fairness index `((Σx)² / (n·Σx²))`,
+//!   1 for perfectly equal rates;
+//! * [`satisfaction`] — mean over receivers of `a_{i,k} / isolated_{i,k}`,
+//!   where the *isolated rate* is what the receiver would get if its
+//!   session were alone in the network (its path bottleneck capped by κ);
+//! * [`min_max_spread`] — the min/max rate ratio, a quick dispersion check.
+
+use crate::allocation::Allocation;
+use mlf_net::Network;
+
+/// Jain's fairness index of the receiver-rate vector. Returns 1.0 for the
+/// empty or all-zero allocation (vacuously fair).
+pub fn jain_index(alloc: &Allocation) -> f64 {
+    let rates: Vec<f64> = alloc.rates().iter().flatten().copied().collect();
+    let n = rates.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sum_sq: f64 = rates.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sum_sq)
+}
+
+/// The isolated rate of each receiver: the minimum capacity along its
+/// data-path, capped by its session's κ — what it would receive were its
+/// session alone in the network (shaped `[session][receiver]`).
+pub fn isolated_rates(net: &Network) -> Vec<Vec<f64>> {
+    net.sessions()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (0..s.receivers.len())
+                .map(|k| {
+                    let r = mlf_net::ReceiverId::new(i, k);
+                    let bottleneck = net
+                        .route(r)
+                        .iter()
+                        .map(|&l| net.graph().capacity(l))
+                        .fold(f64::INFINITY, f64::min);
+                    bottleneck.min(s.max_rate)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean receiver satisfaction: `mean(a_{i,k} / isolated_{i,k})` over all
+/// receivers. 1.0 means every receiver does as well as it would alone.
+pub fn satisfaction(net: &Network, alloc: &Allocation) -> f64 {
+    let iso = isolated_rates(net);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (r, a) in alloc.iter() {
+        let denom = iso[r.session.0][r.index];
+        if denom > 0.0 && denom.is_finite() {
+            total += a / denom;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// The ratio of the smallest to the largest receiver rate (1.0 when all
+/// equal; 0 when someone is starved). Returns 1.0 for empty allocations.
+pub fn min_max_spread(alloc: &Allocation) -> f64 {
+    let rates: Vec<f64> = alloc.rates().iter().flatten().copied().collect();
+    let max = rates.iter().copied().fold(0.0_f64, f64::max);
+    if rates.is_empty() || max == 0.0 {
+        return 1.0;
+    }
+    let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+    min / max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxmin::{multi_rate_max_min, single_rate_max_min};
+    use mlf_net::{Graph, Session};
+
+    #[test]
+    fn jain_index_extremes() {
+        assert_eq!(jain_index(&Allocation::from_rates(vec![vec![2.0, 2.0, 2.0]])), 1.0);
+        let skew = jain_index(&Allocation::from_rates(vec![vec![1.0, 0.0, 0.0]]));
+        assert!((skew - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jain_index(&Allocation::from_rates(vec![vec![]])), 1.0);
+        assert_eq!(jain_index(&Allocation::from_rates(vec![vec![0.0]])), 1.0);
+    }
+
+    /// Heterogeneous star: multi-rate beats single-rate on both scalar
+    /// metrics, matching the paper's structural verdict.
+    #[test]
+    fn multi_rate_raises_satisfaction_and_jain() {
+        let mut g = Graph::new();
+        let (src, hub) = (g.add_node(), g.add_node());
+        g.add_link(src, hub, 100.0).unwrap();
+        let mut leaves = Vec::new();
+        for cap in [1.0, 4.0, 16.0] {
+            let v = g.add_node();
+            g.add_link(hub, v, cap).unwrap();
+            leaves.push(v);
+        }
+        let net = Graph::clone(&g); // keep g for reuse clarity
+        let net = mlf_net::Network::new(net, vec![Session::multi_rate(src, leaves)]).unwrap();
+
+        let multi = multi_rate_max_min(&net);
+        let single = single_rate_max_min(&net);
+        assert!(satisfaction(&net, &multi) > satisfaction(&net, &single));
+        // Single-rate pins everyone to 1 -> Jain 1.0 (equal but starved);
+        // satisfaction tells the truth where Jain cannot.
+        assert_eq!(jain_index(&single), 1.0);
+        assert!((satisfaction(&net, &multi) - 1.0).abs() < 1e-9,
+            "alone in the network, multi-rate receivers reach their bottlenecks");
+        assert!(satisfaction(&net, &single) < 0.5);
+        assert!(min_max_spread(&multi) < 1.0);
+        assert_eq!(min_max_spread(&single), 1.0);
+    }
+
+    #[test]
+    fn isolated_rates_respect_kappa_and_bottlenecks() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_link(n[0], n[1], 5.0).unwrap();
+        g.add_link(n[1], n[2], 3.0).unwrap();
+        let net = mlf_net::Network::new(
+            g,
+            vec![
+                Session::unicast(n[0], n[2]).with_max_rate(2.0),
+                Session::unicast(n[0], n[2]),
+            ],
+        )
+        .unwrap();
+        let iso = isolated_rates(&net);
+        assert_eq!(iso[0], vec![2.0], "kappa caps");
+        assert_eq!(iso[1], vec![3.0], "path bottleneck");
+    }
+}

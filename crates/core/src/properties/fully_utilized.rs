@@ -1,0 +1,108 @@
+//! Fairness Property 1: *fully-utilized-receiver-fairness*.
+//!
+//! A receiver's rate `a_{i,k}` is fully-utilized-receiver-fair if either
+//! `a_{i,k} = κ_i`, or there is at least one fully utilized link `l_j` with
+//! `r_{i,k} ∈ R_{i,j}` and `a_{i',k'} ≤ a_{i,k}` for all receivers
+//! `r_{i',k'} ∈ R_j`. This is the multicast extension of the unicast
+//! max-min property's "no stealing": the receiver's rate cannot be raised
+//! without using a saturated link on which it is already a maximal receiver.
+
+use crate::allocation::{Allocation, RATE_EPS};
+use crate::linkrate::LinkRateConfig;
+use mlf_net::{LinkId, Network, ReceiverId};
+
+/// Return the receivers whose rates are *not* fully-utilized-receiver-fair.
+/// An empty result means the allocation has Property 1 network-wide.
+pub fn check_fully_utilized_receiver_fair(
+    net: &Network,
+    cfg: &LinkRateConfig,
+    alloc: &Allocation,
+) -> Vec<ReceiverId> {
+    // Precompute full-utilization per link once.
+    let full: Vec<bool> = (0..net.link_count())
+        .map(|j| alloc.is_fully_utilized(net, cfg, LinkId(j)))
+        .collect();
+    let mut violations = Vec::new();
+    for r in net.receivers() {
+        if !receiver_is_fair(net, alloc, &full, r) {
+            violations.push(r);
+        }
+    }
+    violations
+}
+
+fn receiver_is_fair(net: &Network, alloc: &Allocation, full: &[bool], r: ReceiverId) -> bool {
+    let a = alloc.rate(r);
+    let kappa = net.session(r.session).max_rate;
+    if a >= kappa - RATE_EPS {
+        return true;
+    }
+    net.route(r).iter().any(|&l| {
+        full[l.0]
+            && net
+                .receivers_on_link(l)
+                .all(|other| alloc.rate(other) <= a + RATE_EPS)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkrate::LinkRateConfig;
+    use mlf_net::{Graph, Session};
+
+    /// Two unicasts over one shared link of capacity 4.
+    fn shared_link_net() -> Network {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_link(n[0], n[1], 4.0).unwrap();
+        Network::new(
+            g,
+            vec![Session::unicast(n[0], n[1]), Session::unicast(n[0], n[1])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_split_is_fair() {
+        let net = shared_link_net();
+        let cfg = LinkRateConfig::efficient(2);
+        let alloc = Allocation::from_rates(vec![vec![2.0], vec![2.0]]);
+        assert!(check_fully_utilized_receiver_fair(&net, &cfg, &alloc).is_empty());
+    }
+
+    #[test]
+    fn starved_receiver_is_flagged() {
+        let net = shared_link_net();
+        let cfg = LinkRateConfig::efficient(2);
+        // Link full but receiver 0 is below receiver 1: receiver 0 has no
+        // full link where it is maximal.
+        let alloc = Allocation::from_rates(vec![vec![1.0], vec![3.0]]);
+        let v = check_fully_utilized_receiver_fair(&net, &cfg, &alloc);
+        assert_eq!(v, vec![ReceiverId::new(0, 0)]);
+    }
+
+    #[test]
+    fn underutilized_link_is_flagged_for_everyone() {
+        let net = shared_link_net();
+        let cfg = LinkRateConfig::efficient(2);
+        let alloc = Allocation::from_rates(vec![vec![1.0], vec![1.0]]);
+        let v = check_fully_utilized_receiver_fair(&net, &cfg, &alloc);
+        assert_eq!(v.len(), 2, "nobody has a saturated bottleneck");
+    }
+
+    #[test]
+    fn kappa_capped_receiver_is_fair_without_a_full_link() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_link(n[0], n[1], 4.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![Session::unicast(n[0], n[1]).with_max_rate(1.0)],
+        )
+        .unwrap();
+        let cfg = LinkRateConfig::efficient(1);
+        let alloc = Allocation::from_rates(vec![vec![1.0]]);
+        assert!(check_fully_utilized_receiver_fair(&net, &cfg, &alloc).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Fairness Property 3: *per-receiver-link-fairness*.
+//!
+//! A session `S_i`'s allocation is per-receiver-link-fair if for each of its
+//! receivers `r_{i,k}` either (1) `a_{i,k} = κ_i`, or (2) some link `l_j` on
+//! the receiver's data-path is fully utilized and `u_{i',j} ≤ u_{i,j}` for
+//! all other sessions `S_{i'}`. The session must get a "fair share" of link
+//! rate along *every* sender-to-receiver path — the session-perspective
+//! strengthening of Property 1.
+//!
+//! Figure 2 violates it twice for `S1`: no link on `r_{1,3}`'s path is full,
+//! and on `r_{1,1}`'s path only `l_1` is full where `u_{1,1} = 2 < u_{2,1} =
+//! 3`. Figure 4 shows redundancy (not just single-rate coupling) breaking it.
+
+use crate::allocation::{Allocation, RATE_EPS};
+use crate::linkrate::LinkRateConfig;
+use mlf_net::{LinkId, Network, ReceiverId, SessionId};
+
+/// Return the receivers witnessing per-receiver-link-fairness violations
+/// (the property is per-session; a session violates it iff any of its
+/// receivers is returned). Empty result ⇒ Property 3 holds network-wide.
+pub fn check_per_receiver_link_fair(
+    net: &Network,
+    cfg: &LinkRateConfig,
+    alloc: &Allocation,
+) -> Vec<ReceiverId> {
+    let full: Vec<bool> = (0..net.link_count())
+        .map(|j| alloc.is_fully_utilized(net, cfg, LinkId(j)))
+        .collect();
+    // Session link rates are reused across receivers; precompute lazily per
+    // (link, session) pair.
+    let u = SessionLinkRates::new(net, cfg, alloc);
+    let mut violations = Vec::new();
+    for r in net.receivers() {
+        if !receiver_ok(net, alloc, &full, &u, r) {
+            violations.push(r);
+        }
+    }
+    violations
+}
+
+fn receiver_ok(
+    net: &Network,
+    alloc: &Allocation,
+    full: &[bool],
+    u: &SessionLinkRates,
+    r: ReceiverId,
+) -> bool {
+    if alloc.rate(r) >= net.session(r.session).max_rate - RATE_EPS {
+        return true;
+    }
+    net.route(r).iter().any(|&l| {
+        full[l.0] && {
+            let mine = u.get(l, r.session);
+            (0..net.session_count())
+                .filter(|&i| SessionId(i) != r.session)
+                .all(|i| u.get(l, SessionId(i)) <= mine + RATE_EPS)
+        }
+    })
+}
+
+/// Cached `u_{i,j}` table.
+pub(crate) struct SessionLinkRates {
+    table: Vec<Vec<f64>>, // [link][session]
+}
+
+impl SessionLinkRates {
+    pub(crate) fn new(net: &Network, cfg: &LinkRateConfig, alloc: &Allocation) -> Self {
+        let table = (0..net.link_count())
+            .map(|j| {
+                (0..net.session_count())
+                    .map(|i| alloc.session_link_rate(net, cfg, LinkId(j), SessionId(i)))
+                    .collect()
+            })
+            .collect();
+        SessionLinkRates { table }
+    }
+
+    pub(crate) fn get(&self, link: LinkId, session: SessionId) -> f64 {
+        self.table[link.0][session.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlf_net::{Graph, Session};
+
+    /// Shared link (cap 5) carrying a 2-receiver multicast and a unicast,
+    /// plus private tails.
+    fn net() -> Network {
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 5.0).unwrap(); // shared
+        g.add_link(n[1], n[2], 100.0).unwrap();
+        g.add_link(n[1], n[3], 100.0).unwrap();
+        Network::new(
+            g,
+            vec![
+                Session::multi_rate(n[0], vec![n[2], n[3]]),
+                Session::unicast(n[0], n[2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fair_split_passes() {
+        let net = net();
+        let cfg = LinkRateConfig::efficient(2);
+        // u_1 = max(2.5, 2.5) = 2.5, u_2 = 2.5, shared link full.
+        let alloc = Allocation::from_rates(vec![vec![2.5, 2.5], vec![2.5]]);
+        assert!(check_per_receiver_link_fair(&net, &cfg, &alloc).is_empty());
+    }
+
+    #[test]
+    fn session_with_smaller_share_on_its_only_full_link_fails() {
+        let net = net();
+        let cfg = LinkRateConfig::efficient(2);
+        // Session 0 squeezed to 1 while the unicast takes 4.
+        let alloc = Allocation::from_rates(vec![vec![1.0, 1.0], vec![4.0]]);
+        let v = check_per_receiver_link_fair(&net, &cfg, &alloc);
+        assert_eq!(v, vec![ReceiverId::new(0, 0), ReceiverId::new(0, 1)]);
+    }
+
+    #[test]
+    fn no_full_link_on_path_fails() {
+        let net = net();
+        let cfg = LinkRateConfig::efficient(2);
+        let alloc = Allocation::from_rates(vec![vec![1.0, 1.0], vec![1.0]]);
+        assert_eq!(check_per_receiver_link_fair(&net, &cfg, &alloc).len(), 3);
+    }
+
+    #[test]
+    fn kappa_capped_receivers_pass_without_full_links() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_link(n[0], n[1], 10.0).unwrap();
+        let netk = Network::new(
+            g,
+            vec![Session::unicast(n[0], n[1]).with_max_rate(2.0)],
+        )
+        .unwrap();
+        let cfg = LinkRateConfig::efficient(1);
+        let alloc = Allocation::from_rates(vec![vec![2.0]]);
+        assert!(check_per_receiver_link_fair(&netk, &cfg, &alloc).is_empty());
+    }
+}

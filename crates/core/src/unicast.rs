@@ -1,0 +1,199 @@
+//! Classic unicast max-min fairness (Bertsekas & Gallager, *Data Networks*):
+//! an independent implementation used to cross-check the general allocator.
+//!
+//! The textbook algorithm treats every receiver as an independent flow along
+//! its route and repeats: compute each unsaturated link's equal share of its
+//! remaining capacity among its unfrozen flows; the minimum such share (or a
+//! flow's remaining `κ` headroom) sets the next increment; flows on the
+//! binding links (or at `κ`) freeze. This is exactly progressive filling
+//! specialised to unicast, implemented here from the textbook description
+//! with none of the general allocator's machinery, so agreement between the
+//! two on all-unicast networks is a meaningful differential test.
+
+use crate::allocation::Allocation;
+use mlf_net::{LinkId, Network};
+
+/// Compute the unicast max-min fair allocation of a network in which every
+/// session is unicast.
+///
+/// # Panics
+///
+/// Panics if any session has more than one receiver — this baseline is
+/// deliberately unicast-only.
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by flow id
+pub fn unicast_max_min(net: &Network) -> Allocation {
+    assert!(
+        net.sessions().iter().all(|s| s.is_unicast()),
+        "unicast_max_min requires an all-unicast network"
+    );
+    let m = net.session_count();
+    // Flow i follows route of receiver (i, 0) with cap κ_i.
+    let routes: Vec<&[LinkId]> = (0..m)
+        .map(|i| net.route(mlf_net::ReceiverId::new(i, 0)))
+        .collect();
+    let kappa: Vec<f64> = net.sessions().iter().map(|s| s.max_rate).collect();
+
+    let mut rate = vec![0.0_f64; m];
+    let mut frozen = vec![false; m];
+    let mut used = vec![0.0_f64; net.link_count()]; // bandwidth used by frozen flows
+    loop {
+        let active: Vec<usize> = (0..m).filter(|&i| !frozen[i]).collect();
+        if active.is_empty() {
+            break;
+        }
+        // Common increment level: all active flows currently share one rate
+        // (they all started at zero and have risen together), so the binding
+        // link share is (c_j - used_j) / #active flows on j, offset by the
+        // current common rate.
+        let current = rate[active[0]];
+        debug_assert!(active.iter().all(|&i| (rate[i] - current).abs() < 1e-12));
+
+        let mut next = f64::INFINITY;
+        // κ events.
+        for &i in &active {
+            next = next.min(kappa[i]);
+        }
+        // Link saturation events.
+        for j in 0..net.link_count() {
+            let link = LinkId(j);
+            let n_active = active
+                .iter()
+                .filter(|&&i| routes[i].contains(&link))
+                .count();
+            if n_active == 0 {
+                continue;
+            }
+            let share = (net.graph().capacity(link) - used[j]) / n_active as f64;
+            next = next.min(share);
+        }
+        debug_assert!(next.is_finite() && next >= current - 1e-12);
+
+        // Raise everyone, then determine the binding links *before* any
+        // bookkeeping mutation (freezing one flow must not shift the share
+        // seen by the next flow in the same round).
+        let mut froze = false;
+        for &i in &active {
+            rate[i] = next.min(kappa[i]);
+        }
+        let binding: Vec<bool> = (0..net.link_count())
+            .map(|j| {
+                let link = LinkId(j);
+                let n_active = active
+                    .iter()
+                    .filter(|&&x| routes[x].contains(&link))
+                    .count();
+                if n_active == 0 {
+                    return false;
+                }
+                let share = (net.graph().capacity(link) - used[j]) / n_active as f64;
+                share <= next + 1e-12
+            })
+            .collect();
+        for &i in &active {
+            let at_kappa = rate[i] >= kappa[i] - 1e-12;
+            let at_link = routes[i].iter().any(|&l| binding[l.0]);
+            if at_kappa || at_link {
+                frozen[i] = true;
+                froze = true;
+                for &l in routes[i] {
+                    used[l.0] += rate[i];
+                }
+            }
+        }
+        assert!(froze, "unicast water-filling must freeze a flow per round");
+    }
+    Allocation::from_rates(rate.into_iter().map(|a| vec![a]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkrate::LinkRateConfig;
+    use crate::maxmin::max_min_allocation;
+    use mlf_net::topology::{random_tree, SplitMix64};
+    use mlf_net::{Graph, NodeId, Session};
+
+    #[test]
+    fn textbook_example_three_flows() {
+        // Classic: flows A->C (via both links), A->B, B->C on a 2-link
+        // chain with capacities 10 and 6: long flow and short flows split.
+        //   l0: A-B cap 10, l1: B-C cap 6.
+        // Flows: f1 A->C, f2 A->B, f3 B->C.
+        // Water-fill: l1 share = 6/2 = 3 freezes f1, f3 at 3.
+        // l0: remaining 10-3=7 for f2 -> 7.
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_link(n[0], n[1], 10.0).unwrap();
+        g.add_link(n[1], n[2], 6.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![
+                Session::unicast(n[0], n[2]),
+                Session::unicast(n[0], n[1]),
+                Session::unicast(n[1], n[2]),
+            ],
+        )
+        .unwrap();
+        let alloc = unicast_max_min(&net);
+        assert_eq!(alloc.rates(), &[vec![3.0], vec![7.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn respects_kappa() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_link(n[0], n[1], 10.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![
+                Session::unicast(n[0], n[1]).with_max_rate(2.0),
+                Session::unicast(n[0], n[1]),
+            ],
+        )
+        .unwrap();
+        let alloc = unicast_max_min(&net);
+        assert_eq!(alloc.rates(), &[vec![2.0], vec![8.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-unicast")]
+    fn rejects_multicast_sessions() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_link(n[0], n[1], 1.0).unwrap();
+        g.add_link(n[0], n[2], 1.0).unwrap();
+        let net = Network::new(g, vec![Session::multi_rate(n[0], vec![n[1], n[2]])]).unwrap();
+        let _ = unicast_max_min(&net);
+    }
+
+    #[test]
+    fn agrees_with_general_allocator_on_random_unicast_networks() {
+        // Differential test: textbook unicast water-filling vs the general
+        // progressive-filling allocator on all-unicast random trees.
+        let mut rng = SplitMix64(0xC0FFEE);
+        for seed in 0..40u64 {
+            let g = random_tree(seed, 10, 1.0, 8.0);
+            let nodes = g.node_count();
+            let mut sessions = Vec::new();
+            for s in 0..4 {
+                let from = NodeId((seed as usize + s) % nodes);
+                let mut to = NodeId(rng.below(nodes));
+                if to == from {
+                    to = NodeId((to.0 + 1) % nodes);
+                }
+                sessions.push(Session::unicast(from, to));
+            }
+            let net = Network::new(g, sessions).unwrap();
+            let a = unicast_max_min(&net);
+            let b = max_min_allocation(&net);
+            for (ra, rb) in a.rates().iter().zip(b.rates()) {
+                for (x, y) in ra.iter().zip(rb) {
+                    assert!((x - y).abs() < 1e-9, "seed {seed}: {x} vs {y}");
+                }
+            }
+            // And the result is feasible under the efficient model.
+            let cfg = LinkRateConfig::efficient(net.session_count());
+            assert!(a.is_feasible(&net, &cfg));
+        }
+    }
+}

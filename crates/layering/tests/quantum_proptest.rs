@@ -1,0 +1,99 @@
+//! Property tests of the quantum join/leave machinery — the §3 invariants
+//! that make "average rates equal fair rates" work.
+
+use mlf_layering::quantum::{
+    long_term_redundancy, measured_redundancy, prefix_subsets, random_subsets,
+    rate_quota_schedule, schedule_average, union_size, SelectionMode,
+};
+use mlf_layering::randomjoin::analytic_redundancy;
+use mlf_layering::LayerSchedule;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Prefix subsets always nest: the union equals the largest quota, so
+    /// redundancy is exactly 1 whenever any quota is positive.
+    #[test]
+    fn prefix_subsets_are_exactly_efficient(
+        quotas in proptest::collection::vec(0usize..50, 1..10),
+        extra in 0usize..20,
+    ) {
+        let sigma = quotas.iter().copied().max().unwrap_or(0) + extra + 1;
+        let subsets = prefix_subsets(&quotas, sigma);
+        prop_assert_eq!(union_size(&subsets), *quotas.iter().max().unwrap());
+        if quotas.iter().any(|&q| q > 0) {
+            prop_assert_eq!(measured_redundancy(&subsets), Some(1.0));
+        }
+    }
+
+    /// Random subsets have exactly the requested sizes, and the union is
+    /// bounded between the max quota (can't do better) and the sum / sigma
+    /// (can't do worse).
+    #[test]
+    fn random_subsets_respect_bounds(
+        quotas in proptest::collection::vec(1usize..30, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let sigma = 64usize;
+        let subsets = random_subsets(&quotas, sigma, seed);
+        for (s, &q) in subsets.iter().zip(&quotas) {
+            prop_assert_eq!(s.iter().filter(|&&b| b).count(), q);
+        }
+        let u = union_size(&subsets);
+        let max = *quotas.iter().max().unwrap();
+        let sum: usize = quotas.iter().sum();
+        prop_assert!(u >= max);
+        prop_assert!(u <= sum.min(sigma));
+    }
+
+    /// The Bresenham quota schedule is exact over its horizon: total
+    /// packets = floor(quanta * rate), every quantum gets floor or ceil.
+    #[test]
+    fn quota_schedule_is_balanced(rate in 0.0f64..20.0, quanta in 1usize..500) {
+        let quotas = rate_quota_schedule(rate, quanta);
+        let total: usize = quotas.iter().sum();
+        prop_assert_eq!(total as f64, (quanta as f64 * rate).floor());
+        let (f, c) = (rate.floor() as usize, rate.ceil() as usize);
+        prop_assert!(quotas.iter().all(|&q| q == f || q == c));
+        // Long-run average within one packet of the target.
+        prop_assert!((schedule_average(&quotas) - rate).abs() <= 1.0 / quanta as f64 + 1e-12);
+    }
+
+    /// Long-term random-join redundancy converges to the Appendix B closed
+    /// form (loose statistical bound; the tight check lives in unit tests).
+    #[test]
+    fn long_term_redundancy_tracks_appendix_b(
+        n_receivers in 2usize..6,
+        tenth in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let sigma = 40usize;
+        let quota = sigma * tenth / 10;
+        let quotas = vec![quota; n_receivers];
+        let measured = long_term_redundancy(&quotas, sigma, 150, SelectionMode::Random, seed)
+            .expect("positive quotas");
+        let rates = vec![quota as f64 / sigma as f64; n_receivers];
+        let predicted = analytic_redundancy(&rates, 1.0);
+        prop_assert!((measured - predicted).abs() / predicted < 0.15,
+            "measured {measured}, predicted {predicted}");
+    }
+
+    /// Layer schedules: cumulative rates are strictly increasing and
+    /// `level_for_rate` is the floor inverse of `cumulative_rate`.
+    #[test]
+    fn schedule_inverse_roundtrip(
+        rates in proptest::collection::vec(0.1f64..10.0, 1..10),
+        probe in 0.0f64..100.0,
+    ) {
+        let s = LayerSchedule::from_rates(rates);
+        for w in s.cumulative_rates().windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        let level = s.level_for_rate(probe);
+        prop_assert!(s.cumulative_rate(level) <= probe + 1e-9);
+        if level < s.layer_count() {
+            prop_assert!(s.cumulative_rate(level + 1) > probe);
+        }
+    }
+}

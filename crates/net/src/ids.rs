@@ -1,0 +1,120 @@
+//! Strongly-typed identifiers for network entities.
+//!
+//! The paper's model (Table 1) indexes links as `l_j`, sessions as `S_i` and
+//! receivers as `r_{i,k}`. Using newtypes instead of bare `usize` prevents the
+//! classic simulator bug of indexing a link table with a node id. All ids are
+//! dense indices into the owning container, assigned in insertion order.
+
+use std::fmt;
+
+/// Identifier of a node in the network graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifier of a link `l_j` in the network graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Identifier of a session `S_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub usize);
+
+/// Identifier of a receiver `r_{i,k}`: the `k`-th receiver of session `S_i`.
+///
+/// A receiver is always owned by exactly one session (the paper assumes a
+/// receiver belonging to two sessions is modelled as two distinct receivers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReceiverId {
+    /// The owning session `S_i`.
+    pub session: SessionId,
+    /// Index `k` of the receiver within the session (0-based).
+    pub index: usize,
+}
+
+impl NodeId {
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl LinkId {
+    /// The dense index of this link.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl SessionId {
+    /// The dense index of this session.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ReceiverId {
+    /// Construct a receiver id from a session index and receiver index.
+    #[inline]
+    pub fn new(session: usize, index: usize) -> Self {
+        ReceiverId {
+            session: SessionId(session),
+            index,
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper numbers links from 1 (`l_1`, ..., `l_n`); we keep 0-based
+        // indices internally but display 1-based to match the figures.
+        write!(f, "l{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for ReceiverId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{},{}", self.session.0 + 1, self.index + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(NodeId(0).to_string(), "n0");
+        assert_eq!(LinkId(0).to_string(), "l1");
+        assert_eq!(SessionId(2).to_string(), "S3");
+        assert_eq!(ReceiverId::new(1, 0).to_string(), "r2,1");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(LinkId(0) < LinkId(1));
+        assert!(NodeId(3) > NodeId(2));
+        assert!(ReceiverId::new(0, 1) < ReceiverId::new(1, 0));
+    }
+
+    #[test]
+    fn receiver_id_accessors() {
+        let r = ReceiverId::new(4, 7);
+        assert_eq!(r.session.index(), 4);
+        assert_eq!(r.index, 7);
+    }
+}

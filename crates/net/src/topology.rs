@@ -1,0 +1,400 @@
+//! Topology builders for the experiment harnesses and property tests.
+//!
+//! The paper's quantitative experiments all run on "modified star" networks
+//! (Figure 7): a sender behind one shared link feeding a hub that fans out to
+//! the receivers over independent links. The theory sections use small
+//! hand-built trees. Property tests additionally need randomized tree
+//! topologies; [`random_tree`] produces those deterministically from a seed
+//! (its own tiny SplitMix64 generator keeps this crate dependency-free).
+
+use crate::graph::Graph;
+use crate::ids::{LinkId, NodeId};
+use crate::network::Network;
+use crate::session::Session;
+
+/// A star (Figure 7): `sender --shared--> hub --fanout_k--> receiver_k`.
+#[derive(Debug, Clone)]
+pub struct Star {
+    /// The assembled graph.
+    pub graph: Graph,
+    /// Node hosting the sender.
+    pub sender: NodeId,
+    /// The hub node behind the shared link.
+    pub hub: NodeId,
+    /// Receiver nodes, one per fanout link.
+    pub receivers: Vec<NodeId>,
+    /// The shared link abutting the sender.
+    pub shared_link: LinkId,
+    /// Fanout links, `fanout[k]` reaching `receivers[k]`.
+    pub fanout_links: Vec<LinkId>,
+}
+
+/// Build the modified-star topology of Figure 7 with per-receiver fanout
+/// capacities. The shared link abuts the sender; each receiver hangs off the
+/// hub on its own link.
+pub fn star(shared_capacity: f64, fanout_capacities: &[f64]) -> Star {
+    let mut graph = Graph::new();
+    let sender = graph.add_node();
+    let hub = graph.add_node();
+    let shared_link = graph
+        .add_link(sender, hub, shared_capacity)
+        .expect("star shared link");
+    let mut receivers = Vec::with_capacity(fanout_capacities.len());
+    let mut fanout_links = Vec::with_capacity(fanout_capacities.len());
+    for &c in fanout_capacities {
+        let r = graph.add_node();
+        let l = graph.add_link(hub, r, c).expect("star fanout link");
+        receivers.push(r);
+        fanout_links.push(l);
+    }
+    Star {
+        graph,
+        sender,
+        hub,
+        receivers,
+        shared_link,
+        fanout_links,
+    }
+}
+
+/// Build a uniform modified star (`n` receivers, all fanout links with the
+/// same capacity) wrapped into a single multi-rate session network — the
+/// exact substrate of the Figure 8 simulations.
+pub fn star_network(n_receivers: usize, shared_capacity: f64, fanout_capacity: f64) -> Network {
+    let caps = vec![fanout_capacity; n_receivers];
+    let s = star(shared_capacity, &caps);
+    Network::new(
+        s.graph,
+        vec![Session::multi_rate(s.sender, s.receivers)],
+    )
+    .expect("star network is routable by construction")
+}
+
+/// A chain `n0 --l0-- n1 --l1-- ... -- n_k` with the given per-hop
+/// capacities. Returns the graph, the node list, and the link list.
+pub fn chain(capacities: &[f64]) -> (Graph, Vec<NodeId>, Vec<LinkId>) {
+    let mut g = Graph::new();
+    let nodes = g.add_nodes(capacities.len() + 1);
+    let links = capacities
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| g.add_link(nodes[i], nodes[i + 1], c).expect("chain link"))
+        .collect();
+    (g, nodes, links)
+}
+
+/// A dumbbell: `left_count` sender nodes and `right_count` receiver nodes on
+/// opposite sides of a single bottleneck link.
+///
+/// ```text
+/// s_1 --access--\                    /--access-- r_1
+///  ...           hubL --bottleneck-- hubR        ...
+/// s_a --access--/                    \--access-- r_b
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dumbbell {
+    /// The assembled graph.
+    pub graph: Graph,
+    /// Sender-side leaf nodes.
+    pub senders: Vec<NodeId>,
+    /// Receiver-side leaf nodes.
+    pub receivers: Vec<NodeId>,
+    /// The central bottleneck link.
+    pub bottleneck: LinkId,
+    /// Access links from each sender to the left hub.
+    pub sender_access: Vec<LinkId>,
+    /// Access links from the right hub to each receiver.
+    pub receiver_access: Vec<LinkId>,
+}
+
+/// Build a dumbbell topology.
+pub fn dumbbell(
+    left_count: usize,
+    right_count: usize,
+    bottleneck_capacity: f64,
+    access_capacity: f64,
+) -> Dumbbell {
+    let mut g = Graph::new();
+    let hub_l = g.add_node();
+    let hub_r = g.add_node();
+    let bottleneck = g
+        .add_link(hub_l, hub_r, bottleneck_capacity)
+        .expect("dumbbell bottleneck");
+    let mut senders = Vec::new();
+    let mut sender_access = Vec::new();
+    for _ in 0..left_count {
+        let n = g.add_node();
+        sender_access.push(g.add_link(n, hub_l, access_capacity).expect("access"));
+        senders.push(n);
+    }
+    let mut receivers = Vec::new();
+    let mut receiver_access = Vec::new();
+    for _ in 0..right_count {
+        let n = g.add_node();
+        receiver_access.push(g.add_link(hub_r, n, access_capacity).expect("access"));
+        receivers.push(n);
+    }
+    Dumbbell {
+        graph: g,
+        senders,
+        receivers,
+        bottleneck,
+        sender_access,
+        receiver_access,
+    }
+}
+
+/// A complete `arity`-ary tree of the given depth. Returns the graph, the
+/// root, and the nodes grouped by level (`levels[0] = [root]`). Capacities
+/// are assigned per level by `capacity_at(level_of_child)`.
+pub fn kary_tree(
+    depth: usize,
+    arity: usize,
+    mut capacity_at: impl FnMut(usize) -> f64,
+) -> (Graph, NodeId, Vec<Vec<NodeId>>) {
+    assert!(arity >= 1, "arity must be at least 1");
+    let mut g = Graph::new();
+    let root = g.add_node();
+    let mut levels = vec![vec![root]];
+    for level in 1..=depth {
+        let mut this_level = Vec::new();
+        let parents = levels[level - 1].clone();
+        for p in parents {
+            for _ in 0..arity {
+                let c = g.add_node();
+                g.add_link(p, c, capacity_at(level)).expect("tree link");
+                this_level.push(c);
+            }
+        }
+        levels.push(this_level);
+    }
+    (g, root, levels)
+}
+
+/// Minimal deterministic generator (SplitMix64) used only for randomized
+/// topology construction. Not a statistical-quality RNG; sufficient for
+/// structural variety in property tests.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.unit() * (hi - lo)
+    }
+}
+
+/// A uniformly random labelled tree on `node_count` nodes (random attachment:
+/// node `k` links to a uniformly chosen earlier node), with capacities drawn
+/// uniformly from `[cap_lo, cap_hi)`. Deterministic in `seed`.
+pub fn random_tree(seed: u64, node_count: usize, cap_lo: f64, cap_hi: f64) -> Graph {
+    assert!(node_count >= 1);
+    assert!(cap_lo > 0.0 && cap_hi > cap_lo);
+    let mut rng = SplitMix64(seed);
+    let mut g = Graph::new();
+    let nodes = g.add_nodes(node_count);
+    for k in 1..node_count {
+        let parent = nodes[rng.below(k)];
+        let cap = rng.range_f64(cap_lo, cap_hi);
+        g.add_link(parent, nodes[k], cap).expect("tree link");
+    }
+    g
+}
+
+/// Attach `session_count` randomly-placed multicast sessions (each with
+/// `1..=max_receivers` receivers on distinct nodes) to a graph. Sessions with
+/// one receiver are unicast. Deterministic in `seed`. Session types are
+/// multi-rate; callers flip types as needed for their experiment.
+pub fn random_sessions(
+    graph: &Graph,
+    seed: u64,
+    session_count: usize,
+    max_receivers: usize,
+) -> Vec<Session> {
+    assert!(graph.node_count() >= 2, "need at least two nodes");
+    assert!(max_receivers >= 1);
+    let mut rng = SplitMix64(seed ^ 0xA5A5_A5A5_DEAD_BEEF);
+    let n = graph.node_count();
+    let mut sessions = Vec::with_capacity(session_count);
+    for _ in 0..session_count {
+        let sender = NodeId(rng.below(n));
+        let want = 1 + rng.below(max_receivers.min(n - 1));
+        let mut receivers = Vec::with_capacity(want);
+        let mut guard = 0;
+        while receivers.len() < want && guard < 16 * n {
+            guard += 1;
+            let cand = NodeId(rng.below(n));
+            if cand != sender && !receivers.contains(&cand) {
+                receivers.push(cand);
+            }
+        }
+        if receivers.is_empty() {
+            // Degenerate tiny graph: fall back to the single non-sender node.
+            let fallback = if sender == NodeId(0) { NodeId(1) } else { NodeId(0) };
+            receivers.push(fallback);
+        }
+        sessions.push(Session::multi_rate(sender, receivers));
+    }
+    sessions
+}
+
+/// A fully-assembled random multicast network on a random tree. This is the
+/// canonical generator used by the cross-crate property tests: trees make
+/// routes unique, so the allocator's behaviour depends only on the fairness
+/// logic under test and not on routing tie-breaks.
+pub fn random_network(
+    seed: u64,
+    node_count: usize,
+    session_count: usize,
+    max_receivers: usize,
+) -> Network {
+    let node_count = node_count.max(2);
+    let graph = random_tree(seed, node_count, 1.0, 10.0);
+    let sessions = random_sessions(&graph, seed, session_count.max(1), max_receivers);
+    Network::new(graph, sessions).expect("tree networks are always routable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ReceiverId;
+
+    #[test]
+    fn star_shape_is_correct() {
+        let s = star(10.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(s.graph.node_count(), 5); // sender + hub + 3 receivers
+        assert_eq!(s.graph.link_count(), 4);
+        assert_eq!(s.graph.capacity(s.shared_link), 10.0);
+        assert_eq!(s.graph.capacity(s.fanout_links[2]), 3.0);
+        assert_eq!(s.receivers.len(), 3);
+    }
+
+    #[test]
+    fn star_network_routes_through_shared_link() {
+        let net = star_network(4, 10.0, 1.0);
+        assert_eq!(net.receiver_count(), 4);
+        for r in net.receivers() {
+            let route = net.route(r);
+            assert_eq!(route.len(), 2, "shared + fanout");
+            assert_eq!(route[0], LinkId(0), "shared link first");
+        }
+    }
+
+    #[test]
+    fn chain_shape() {
+        let (g, nodes, links) = chain(&[1.0, 2.0, 3.0]);
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(links.len(), 3);
+        assert_eq!(g.capacity(links[1]), 2.0);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let d = dumbbell(2, 3, 5.0, 100.0);
+        assert_eq!(d.senders.len(), 2);
+        assert_eq!(d.receivers.len(), 3);
+        assert_eq!(d.graph.link_count(), 1 + 2 + 3);
+        assert_eq!(d.graph.capacity(d.bottleneck), 5.0);
+    }
+
+    #[test]
+    fn kary_tree_shape() {
+        let (g, _root, levels) = kary_tree(3, 2, |_| 1.0);
+        assert_eq!(levels.len(), 4);
+        assert_eq!(levels[3].len(), 8);
+        assert_eq!(g.node_count(), 1 + 2 + 4 + 8);
+        assert_eq!(g.link_count(), g.node_count() - 1);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree_and_deterministic() {
+        let g1 = random_tree(7, 20, 1.0, 5.0);
+        let g2 = random_tree(7, 20, 1.0, 5.0);
+        assert_eq!(g1, g2, "same seed, same graph");
+        assert_eq!(g1.link_count(), 19);
+        // Connected: every node reachable from node 0.
+        for k in 0..20 {
+            assert!(
+                crate::routing::shortest_path(&g1, NodeId(0), NodeId(k)).is_some(),
+                "node {k} reachable"
+            );
+        }
+        let g3 = random_tree(8, 20, 1.0, 5.0);
+        assert_ne!(g1, g3, "different seed, different graph (overwhelmingly)");
+    }
+
+    #[test]
+    fn random_network_is_valid_and_deterministic() {
+        let n1 = random_network(42, 15, 4, 5);
+        let n2 = random_network(42, 15, 4, 5);
+        assert_eq!(n1.routes(), n2.routes());
+        assert_eq!(n1.session_count(), 4);
+        for r in n1.receivers() {
+            // Route is the unique tree path; spot-check it is consistent.
+            let route = n1.route(r);
+            for &l in route {
+                assert!(n1.crosses(r, l));
+            }
+        }
+    }
+
+    #[test]
+    fn random_sessions_respect_member_distinctness() {
+        let g = random_tree(3, 12, 1.0, 2.0);
+        for seed in 0..20 {
+            let sessions = random_sessions(&g, seed, 5, 6);
+            for s in &sessions {
+                assert!(!s.receivers.is_empty());
+                for (i, a) in s.receivers.iter().enumerate() {
+                    assert_ne!(*a, s.sender);
+                    for b in &s.receivers[i + 1..] {
+                        assert_ne!(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_unit_is_in_range() {
+        let mut rng = SplitMix64(1);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn two_receiver_star_matches_figure7a_shape() {
+        // Figure 7(a): sender, shared link, two fanout links.
+        let s = star(100.0, &[50.0, 50.0]);
+        let net = Network::new(
+            s.graph,
+            vec![Session::multi_rate(s.sender, s.receivers.clone())],
+        )
+        .unwrap();
+        assert_eq!(net.receiver_count(), 2);
+        assert!(net.crosses(ReceiverId::new(0, 0), s.shared_link));
+        assert!(net.crosses(ReceiverId::new(0, 1), s.shared_link));
+        assert!(!net.same_data_path(ReceiverId::new(0, 0), ReceiverId::new(0, 1)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests of the routing and network-assembly substrate.
+
+use mlf_net::topology::{random_network, random_tree};
+use mlf_net::{shortest_path, validate_route, NodeId, ReceiverId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On trees, BFS finds the unique path; it validates, and reversing the
+    /// endpoints reverses the route.
+    #[test]
+    fn tree_paths_validate_and_reverse(
+        seed in any::<u64>(),
+        nodes in 2usize..30,
+        a in 0usize..30,
+        b in 0usize..30,
+    ) {
+        let g = random_tree(seed, nodes, 1.0, 5.0);
+        let from = NodeId(a % nodes);
+        let to = NodeId(b % nodes);
+        let route = shortest_path(&g, from, to).expect("trees are connected");
+        validate_route(&g, from, to, &route, ReceiverId::new(0, 0)).expect("valid");
+        let mut back = shortest_path(&g, to, from).expect("connected");
+        back.reverse();
+        prop_assert_eq!(route, back, "tree path is unique up to reversal");
+    }
+
+    /// BFS paths never repeat a node (simple paths), hence their length is
+    /// bounded by the node count.
+    #[test]
+    fn bfs_paths_are_simple(seed in any::<u64>(), nodes in 2usize..25) {
+        let g = random_tree(seed, nodes, 1.0, 5.0);
+        for t in 1..nodes {
+            let route = shortest_path(&g, NodeId(0), NodeId(t)).unwrap();
+            prop_assert!(route.len() < nodes);
+            // Walk the route and collect visited nodes.
+            let mut cur = NodeId(0);
+            let mut visited = vec![cur];
+            for &l in &route {
+                cur = g.link(l).opposite(cur).expect("connected walk");
+                prop_assert!(!visited.contains(&cur), "node revisited");
+                visited.push(cur);
+            }
+            prop_assert_eq!(cur, NodeId(t));
+        }
+    }
+
+    /// Network assembly is internally consistent: `crosses` agrees with
+    /// `route`, `R_{i,j}` agrees with both, and `R_j` is the union.
+    #[test]
+    fn network_index_tables_are_consistent(
+        seed in any::<u64>(),
+        nodes in 3usize..20,
+        sessions in 1usize..5,
+    ) {
+        let net = random_network(seed, nodes, sessions, 4);
+        for r in net.receivers() {
+            for &l in net.route(r) {
+                prop_assert!(net.crosses(r, l));
+                prop_assert!(net
+                    .receivers_of_session_on_link(l, r.session)
+                    .contains(&r.index));
+            }
+        }
+        for j in 0..net.link_count() {
+            let link = mlf_net::LinkId(j);
+            let from_union: Vec<ReceiverId> = net.receivers_on_link(link).collect();
+            for r in &from_union {
+                prop_assert!(net.crosses(*r, link));
+            }
+            let direct: usize = net
+                .receivers()
+                .filter(|&r| net.crosses(r, link))
+                .count();
+            prop_assert_eq!(from_union.len(), direct);
+        }
+    }
+
+    /// Removing a receiver preserves every other receiver's route verbatim
+    /// (the Figure 3 experiments depend on this).
+    #[test]
+    fn removal_preserves_other_routes(seed in any::<u64>()) {
+        let net = random_network(seed, 12, 3, 4);
+        // Find a session with >= 2 receivers.
+        let Some((sid, s)) = net
+            .sessions_iter()
+            .find(|(_, s)| s.receivers.len() >= 2)
+        else {
+            return Ok(()); // all-unicast draw; nothing to remove
+        };
+        let victim = ReceiverId::new(sid.0, s.receivers.len() - 1);
+        let smaller = net.without_receiver(victim).expect("removable");
+        for r in smaller.receivers() {
+            // Map back to the original id (indices shift only above victim
+            // in the same session; we removed the last, so ids are stable).
+            prop_assert_eq!(smaller.route(r), net.route(r));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The Figure 8 experiment harness: redundancy of the three protocols on
+//! the 100-receiver modified star (Figure 7(b)).
+//!
+//! For each `(shared loss, independent loss, protocol)` point the paper runs
+//! 30 trials of 100,000 transmitted packets with 8 layers and 100 receivers
+//! sharing identical end-to-end loss rates, and plots the mean shared-link
+//! redundancy. [`run_point`] reproduces one such point; [`figure8_series`]
+//! sweeps the independent-loss axis for all three protocols.
+
+use crate::config::ProtocolKind;
+use crate::receiver::make_receiver;
+use crate::sender::CoordinatedSender;
+use mlf_sim::{
+    run_star, MarkerSource, NoMarkers, ReceiverController, RunningStats, SimRng, StarConfig,
+    StarReport, Tick,
+};
+
+/// Parameters of one Figure 8 experiment point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentParams {
+    /// Number of layers `M` (paper: 8).
+    pub layers: usize,
+    /// Number of receivers (paper: 100).
+    pub receivers: usize,
+    /// Bernoulli loss rate of the shared link (paper: 1e-4 or 0.05).
+    pub shared_loss: f64,
+    /// Bernoulli loss rate of each fanout link (paper: x-axis, 0..0.1).
+    pub independent_loss: f64,
+    /// Packets transmitted per trial (paper: 100,000).
+    pub packets: u64,
+    /// Trials per point (paper: 30).
+    pub trials: usize,
+    /// Base seed; trial `t` uses `seed + t`.
+    pub seed: u64,
+    /// Join (graft) latency in slots — 0 reproduces the paper's idealized
+    /// model; nonzero values drive the Section 5 latency ablation.
+    pub join_latency: Tick,
+    /// Leave (prune) latency in slots.
+    pub leave_latency: Tick,
+}
+
+impl ExperimentParams {
+    /// The paper's Figure 8 configuration at one `(shared, independent)`
+    /// loss point.
+    pub fn paper(shared_loss: f64, independent_loss: f64) -> Self {
+        ExperimentParams {
+            layers: 8,
+            receivers: 100,
+            shared_loss,
+            independent_loss,
+            packets: 100_000,
+            trials: 30,
+            seed: 0x51_66_C0_99,
+            join_latency: 0,
+            leave_latency: 0,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests/benches: same shapes,
+    /// fewer receivers, packets and trials.
+    pub fn quick(shared_loss: f64, independent_loss: f64) -> Self {
+        ExperimentParams {
+            layers: 8,
+            receivers: 20,
+            shared_loss,
+            independent_loss,
+            packets: 20_000,
+            trials: 5,
+            seed: 0x51_66_C0_99,
+            join_latency: 0,
+            leave_latency: 0,
+        }
+    }
+}
+
+/// Aggregated outcome of one experiment point.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// Which protocol ran.
+    pub kind: ProtocolKind,
+    /// Shared-link redundancy across trials (the Figure 8 y-value is
+    /// `redundancy.mean()`).
+    pub redundancy: RunningStats,
+    /// Mean receiver subscription level across trials (diagnostic).
+    pub mean_level: RunningStats,
+    /// Mean receiver goodput in packets/slot across trials (diagnostic).
+    pub goodput: RunningStats,
+}
+
+enum Markers {
+    None(NoMarkers),
+    Coordinated(CoordinatedSender),
+}
+
+impl MarkerSource for Markers {
+    fn marker(&mut self, slot: Tick, layer: usize) -> Option<usize> {
+        match self {
+            Markers::None(m) => m.marker(slot, layer),
+            Markers::Coordinated(m) => m.marker(slot, layer),
+        }
+    }
+}
+
+/// Run one trial and return the raw engine report.
+pub fn run_trial(kind: ProtocolKind, params: &ExperimentParams, trial: usize) -> StarReport {
+    let mut cfg = StarConfig::figure8(
+        params.layers,
+        params.receivers,
+        params.shared_loss,
+        params.independent_loss,
+    );
+    cfg.join_latency = params.join_latency;
+    cfg.leave_latency = params.leave_latency;
+    let seed = params.seed.wrapping_add(trial as u64);
+    let base = SimRng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
+    let mut controllers: Vec<Box<dyn ReceiverController>> = (0..params.receivers)
+        .map(|r| make_receiver(kind, base.split(1_000_000 + r as u64)))
+        .collect();
+    let mut markers = match kind {
+        ProtocolKind::Coordinated => Markers::Coordinated(CoordinatedSender::new(params.layers)),
+        _ => Markers::None(NoMarkers),
+    };
+    run_star(&cfg, &mut controllers, &mut markers, params.packets, seed)
+}
+
+/// Run all trials of one `(protocol, loss point)` and aggregate.
+pub fn run_point(kind: ProtocolKind, params: &ExperimentParams) -> PointOutcome {
+    let mut redundancy = RunningStats::new();
+    let mut mean_level = RunningStats::new();
+    let mut goodput = RunningStats::new();
+    for t in 0..params.trials {
+        let report = run_trial(kind, params, t);
+        if let Some(r) = report.shared_redundancy() {
+            redundancy.push(r);
+        }
+        let n = params.receivers as f64;
+        mean_level.push((0..params.receivers).map(|r| report.mean_level(r)).sum::<f64>() / n);
+        goodput.push((0..params.receivers).map(|r| report.goodput(r)).sum::<f64>() / n);
+    }
+    PointOutcome {
+        kind,
+        redundancy,
+        mean_level,
+        goodput,
+    }
+}
+
+/// One x-axis point of Figure 8: all three protocols at one independent-loss
+/// value.
+#[derive(Debug, Clone)]
+pub struct Figure8Point {
+    /// The fanout-link loss rate (x-axis).
+    pub independent_loss: f64,
+    /// Outcomes ordered as [`ProtocolKind::ALL`].
+    pub outcomes: Vec<PointOutcome>,
+}
+
+/// Sweep the independent-loss axis for all three protocols at a fixed
+/// shared loss — one full Figure 8 panel. `template` supplies everything
+/// except the independent loss.
+pub fn figure8_series(template: &ExperimentParams, independent_losses: &[f64]) -> Vec<Figure8Point> {
+    independent_losses
+        .iter()
+        .map(|&p| {
+            let params = ExperimentParams {
+                independent_loss: p,
+                ..*template
+            };
+            Figure8Point {
+                independent_loss: p,
+                outcomes: ProtocolKind::ALL
+                    .iter()
+                    .map(|&kind| run_point(kind, &params))
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundancy_is_at_least_one_and_bounded() {
+        for kind in ProtocolKind::ALL {
+            let params = ExperimentParams {
+                trials: 3,
+                packets: 20_000,
+                receivers: 10,
+                ..ExperimentParams::quick(0.0001, 0.02)
+            };
+            let out = run_point(kind, &params);
+            let r = out.redundancy.mean();
+            assert!(r >= 1.0, "{}: redundancy {r} < 1", kind.label());
+            assert!(r < 10.0, "{}: redundancy {r} implausibly high", kind.label());
+        }
+    }
+
+    #[test]
+    fn coordinated_beats_uncoordinated_at_moderate_independent_loss() {
+        // The paper's headline: sender coordination keeps redundancy lowest
+        // when receivers' losses are independent and equal.
+        let params = ExperimentParams {
+            trials: 4,
+            packets: 30_000,
+            receivers: 24,
+            ..ExperimentParams::quick(0.0001, 0.05)
+        };
+        let coord = run_point(ProtocolKind::Coordinated, &params);
+        let uncoord = run_point(ProtocolKind::Uncoordinated, &params);
+        assert!(
+            coord.redundancy.mean() < uncoord.redundancy.mean(),
+            "coordinated {} !< uncoordinated {}",
+            coord.redundancy.mean(),
+            uncoord.redundancy.mean()
+        );
+    }
+
+    #[test]
+    fn redundancy_grows_with_independent_loss_for_uncoordinated() {
+        let lo = run_point(
+            ProtocolKind::Uncoordinated,
+            &ExperimentParams {
+                trials: 3,
+                packets: 30_000,
+                receivers: 16,
+                ..ExperimentParams::quick(0.0001, 0.01)
+            },
+        );
+        let hi = run_point(
+            ProtocolKind::Uncoordinated,
+            &ExperimentParams {
+                trials: 3,
+                packets: 30_000,
+                receivers: 16,
+                ..ExperimentParams::quick(0.0001, 0.08)
+            },
+        );
+        assert!(
+            hi.redundancy.mean() > lo.redundancy.mean(),
+            "lo {} hi {}",
+            lo.redundancy.mean(),
+            hi.redundancy.mean()
+        );
+    }
+
+    #[test]
+    fn pure_shared_loss_keeps_receivers_synchronized() {
+        // With only shared loss, all receivers see identical loss patterns.
+        // Deterministic receivers then move in lockstep: redundancy ≈ 1.
+        let params = ExperimentParams {
+            trials: 3,
+            ..ExperimentParams::quick(0.02, 0.0)
+        };
+        let out = run_point(ProtocolKind::Deterministic, &params);
+        let r = out.redundancy.mean();
+        assert!(r < 1.05, "lockstep redundancy should be ~1, got {r}");
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let params = ExperimentParams::quick(0.001, 0.03);
+        let a = run_trial(ProtocolKind::Deterministic, &params, 0);
+        let b = run_trial(ProtocolKind::Deterministic, &params, 0);
+        assert_eq!(a.shared_carried, b.shared_carried);
+        assert_eq!(a.offered, b.offered);
+        let c = run_trial(ProtocolKind::Deterministic, &params, 1);
+        assert_ne!(a.offered, c.offered);
+    }
+
+    #[test]
+    fn series_covers_all_protocols() {
+        let template = ExperimentParams {
+            trials: 2,
+            packets: 10_000,
+            receivers: 8,
+            ..ExperimentParams::quick(0.0001, 0.0)
+        };
+        let series = figure8_series(&template, &[0.01, 0.05]);
+        assert_eq!(series.len(), 2);
+        for point in &series {
+            assert_eq!(point.outcomes.len(), 3);
+            for out in &point.outcomes {
+                assert_eq!(out.redundancy.count(), 2);
+            }
+        }
+    }
+}

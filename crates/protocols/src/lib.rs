@@ -1,0 +1,52 @@
+//! # mlf-protocols — layered congestion-control protocols (Section 4)
+//!
+//! The three protocols of *"The Impact of Multicast Layering on Network
+//! Fairness"* (SIGCOMM '99), which differ only in how layer *joins* are
+//! coordinated within a session (everyone leaves the top layer on a
+//! congestion event):
+//!
+//! * **Uncoordinated** — each received packet triggers a join with
+//!   probability `2^{−2(i−1)}`;
+//! * **Deterministic** — a join fires after exactly `2^{2(i−1)}` packets
+//!   received without loss since the last join/leave event;
+//! * **Coordinated** — the sender stamps base-layer packets with dyadic
+//!   join markers; a marker for level `i` implies one for every `j < i`.
+//!
+//! [`experiment`] drives the Figure 8 measurements on the 100-receiver
+//! modified star (via `mlf-sim`); [`markov`] solves the two-receiver
+//! Figure 7(a) model exactly and reproduces the paper's analytic finding
+//! that redundancy peaks when receivers share identical end-to-end loss
+//! rates.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlf_protocols::{experiment, ProtocolKind};
+//!
+//! // One scaled-down Figure 8 point.
+//! let params = experiment::ExperimentParams {
+//!     trials: 2, packets: 10_000, receivers: 8,
+//!     ..experiment::ExperimentParams::quick(0.0001, 0.05)
+//! };
+//! let out = experiment::run_point(ProtocolKind::Coordinated, &params);
+//! assert!(out.redundancy.mean() >= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod config;
+pub mod experiment;
+pub mod markov;
+pub mod receiver;
+pub mod sender;
+
+pub use config::{join_probability, join_threshold, ProtocolConfig, ProtocolKind};
+pub use experiment::{figure8_series, run_point, run_trial, ExperimentParams, PointOutcome};
+pub use markov::{two_receiver_chain, DenseChain, TwoReceiverModel};
+pub use receiver::{
+    make_receiver, CoordinatedReceiver, DeterministicReceiver, UncoordinatedReceiver,
+};
+pub use active::{active_node_controllers, run_trial_active, ActiveNodeReceiver};
+pub use sender::CoordinatedSender;

@@ -1,0 +1,209 @@
+//! The three receiver state machines of Section 4.
+//!
+//! Common behaviour: "a receiver leaves the highest layer joined (unless
+//! only joined to one layer) whenever it observes a congestion event", and
+//! probes for bandwidth by joining layers. The protocols differ only in
+//! *when* they join:
+//!
+//! * [`UncoordinatedReceiver`] — upon receiving a packet, joins with
+//!   probability `2^{−2(i−1)}` (a memoryless coin flip);
+//! * [`DeterministicReceiver`] — joins after a fixed `2^{2(i−1)}` packets
+//!   received without loss since its last join or leave event;
+//! * [`CoordinatedReceiver`] — joins exactly when a sender marker tells
+//!   receivers at its level to (markers for level `i` imply markers for all
+//!   `j < i`, so one threshold field suffices).
+
+use crate::config::{join_probability, join_threshold, ProtocolKind};
+use mlf_sim::{Action, PacketEvent, ReceiverController, SimRng};
+
+/// Uncoordinated: per-packet probabilistic joins.
+#[derive(Debug, Clone)]
+pub struct UncoordinatedReceiver {
+    rng: SimRng,
+}
+
+impl UncoordinatedReceiver {
+    /// Create with a dedicated RNG substream (each receiver must get its
+    /// own so runs stay reproducible as receivers are added).
+    pub fn new(rng: SimRng) -> Self {
+        UncoordinatedReceiver { rng }
+    }
+}
+
+impl ReceiverController for UncoordinatedReceiver {
+    fn on_packet(&mut self, ev: &PacketEvent) -> Action {
+        if ev.lost {
+            return Action::LeaveDown; // engine clamps at level 1
+        }
+        if ev.level < ev.layer_count && self.rng.bernoulli(join_probability(ev.level)) {
+            Action::JoinUp
+        } else {
+            Action::Stay
+        }
+    }
+}
+
+/// Deterministic: joins after a fixed run of clean packets.
+#[derive(Debug, Clone, Default)]
+pub struct DeterministicReceiver {
+    /// Clean packets received since the last join/leave event.
+    clean_run: u64,
+}
+
+impl DeterministicReceiver {
+    /// Fresh receiver (counter zeroed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReceiverController for DeterministicReceiver {
+    fn on_packet(&mut self, ev: &PacketEvent) -> Action {
+        if ev.lost {
+            // A congestion event: leave and restart the run. Leaving *is*
+            // a join/leave event, so the counter resets either way.
+            self.clean_run = 0;
+            return Action::LeaveDown;
+        }
+        self.clean_run += 1;
+        if ev.level < ev.layer_count && self.clean_run >= join_threshold(ev.level) {
+            self.clean_run = 0;
+            Action::JoinUp
+        } else {
+            Action::Stay
+        }
+    }
+}
+
+/// Coordinated: joins only on sender markers.
+#[derive(Debug, Clone, Default)]
+pub struct CoordinatedReceiver;
+
+impl CoordinatedReceiver {
+    /// Fresh receiver.
+    pub fn new() -> Self {
+        CoordinatedReceiver
+    }
+}
+
+impl ReceiverController for CoordinatedReceiver {
+    fn on_packet(&mut self, ev: &PacketEvent) -> Action {
+        if ev.lost {
+            return Action::LeaveDown;
+        }
+        match ev.marker {
+            Some(threshold) if ev.level <= threshold && ev.level < ev.layer_count => {
+                Action::JoinUp
+            }
+            _ => Action::Stay,
+        }
+    }
+}
+
+/// A boxed controller for any of the three protocols, wired to its own RNG
+/// substream where needed.
+pub fn make_receiver(kind: ProtocolKind, rng: SimRng) -> Box<dyn ReceiverController> {
+    match kind {
+        ProtocolKind::Uncoordinated => Box::new(UncoordinatedReceiver::new(rng)),
+        ProtocolKind::Deterministic => Box::new(DeterministicReceiver::new()),
+        ProtocolKind::Coordinated => Box::new(CoordinatedReceiver::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(level: usize, lost: bool, marker: Option<usize>) -> PacketEvent {
+        PacketEvent {
+            slot: 0,
+            layer: 1,
+            lost,
+            marker,
+            level,
+            layer_count: 8,
+        }
+    }
+
+    #[test]
+    fn all_protocols_leave_on_loss() {
+        let rng = SimRng::seed_from_u64(1);
+        let mut u = UncoordinatedReceiver::new(rng);
+        let mut d = DeterministicReceiver::new();
+        let mut c = CoordinatedReceiver::new();
+        assert_eq!(u.on_packet(&ev(3, true, None)), Action::LeaveDown);
+        assert_eq!(d.on_packet(&ev(3, true, None)), Action::LeaveDown);
+        assert_eq!(c.on_packet(&ev(3, true, None)), Action::LeaveDown);
+    }
+
+    #[test]
+    fn deterministic_joins_after_exact_threshold() {
+        let mut d = DeterministicReceiver::new();
+        // Level 2: threshold 4 clean packets.
+        for _ in 0..3 {
+            assert_eq!(d.on_packet(&ev(2, false, None)), Action::Stay);
+        }
+        assert_eq!(d.on_packet(&ev(2, false, None)), Action::JoinUp);
+        // Counter reset after the join.
+        assert_eq!(d.on_packet(&ev(3, false, None)), Action::Stay);
+    }
+
+    #[test]
+    fn deterministic_resets_on_loss() {
+        let mut d = DeterministicReceiver::new();
+        for _ in 0..3 {
+            let _ = d.on_packet(&ev(2, false, None));
+        }
+        let _ = d.on_packet(&ev(2, true, None)); // loss wipes the run
+        for _ in 0..3 {
+            assert_eq!(d.on_packet(&ev(2, false, None)), Action::Stay);
+        }
+        assert_eq!(d.on_packet(&ev(2, false, None)), Action::JoinUp);
+    }
+
+    #[test]
+    fn deterministic_never_joins_past_top_layer() {
+        let mut d = DeterministicReceiver::new();
+        for _ in 0..100_000 {
+            assert_eq!(d.on_packet(&ev(8, false, None)), Action::Stay);
+        }
+    }
+
+    #[test]
+    fn uncoordinated_join_frequency_matches_probability() {
+        let mut u = UncoordinatedReceiver::new(SimRng::seed_from_u64(2));
+        let n = 200_000;
+        let joins = (0..n)
+            .filter(|_| u.on_packet(&ev(3, false, None)) == Action::JoinUp)
+            .count();
+        // Level 3: p = 1/16, expect n/16 = 12500 ± noise.
+        let freq = joins as f64 / n as f64;
+        assert!((freq - 1.0 / 16.0).abs() < 0.003, "freq {freq}");
+    }
+
+    #[test]
+    fn uncoordinated_at_level1_joins_every_clean_packet() {
+        // Threshold at level 1 is 1 packet -> probability 1.
+        let mut u = UncoordinatedReceiver::new(SimRng::seed_from_u64(3));
+        for _ in 0..10 {
+            assert_eq!(u.on_packet(&ev(1, false, None)), Action::JoinUp);
+        }
+    }
+
+    #[test]
+    fn coordinated_only_acts_on_markers_at_or_above_level() {
+        let mut c = CoordinatedReceiver::new();
+        assert_eq!(c.on_packet(&ev(3, false, None)), Action::Stay);
+        assert_eq!(c.on_packet(&ev(3, false, Some(2))), Action::Stay);
+        assert_eq!(c.on_packet(&ev(3, false, Some(3))), Action::JoinUp);
+        assert_eq!(c.on_packet(&ev(2, false, Some(3))), Action::JoinUp);
+        // At the top layer it cannot join further.
+        assert_eq!(c.on_packet(&ev(8, false, Some(8))), Action::Stay);
+    }
+
+    #[test]
+    fn boxed_dispatch_works() {
+        let mut r = make_receiver(ProtocolKind::Deterministic, SimRng::seed_from_u64(4));
+        assert_eq!(r.on_packet(&ev(1, false, None)), Action::JoinUp);
+    }
+}

@@ -1,0 +1,494 @@
+//! The packet-level engine for the Figure 7/8 experiments: a layered sender
+//! behind one shared link, fanning out to receivers over independent links.
+//!
+//! Time is slotted: each slot carries exactly one packet of the aggregate
+//! stream, with layers interleaved by smooth weighted round-robin in
+//! proportion to their rates (deterministic — no RNG in the schedule). For
+//! each packet:
+//!
+//! 1. The packet belongs to a layer `L`. It traverses the **shared link**
+//!    iff some receiver is effectively subscribed to `L` (multicast
+//!    pruning: "a packet traverses a link only if it is received by some
+//!    receiver downstream"); the engine counts this as the session's shared-
+//!    link usage `u`.
+//! 2. One loss draw on the shared link decides the packet's fate for *all*
+//!    receivers at once (this is what makes shared loss *correlated*).
+//! 3. Each subscribed receiver additionally draws loss on its own fanout
+//!    link, sees the packet (or a congestion event), and its
+//!    [`ReceiverController`] reacts by staying, joining one layer up, or
+//!    leaving one layer down — the Section 4 state machines.
+//!
+//! The engine measures the long-term redundancy of the shared link:
+//! `carried / max_r offered_r`, where `offered_r` counts the packets on
+//! layers the receiver had requested at emission time (the receiver's
+//! transmission rate `a_{i,k}`, which "equals the rate received, barring
+//! loss").
+
+use crate::events::Tick;
+use crate::loss::LossProcess;
+use crate::multicast::MembershipTable;
+use crate::rng::SimRng;
+
+/// What a receiver's protocol sees for one packet on a layer it requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketEvent {
+    /// The packet's slot (one packet per slot).
+    pub slot: Tick,
+    /// The packet's layer (1-based).
+    pub layer: usize,
+    /// Whether the packet was lost on this receiver's path (shared or
+    /// fanout link) — a *congestion event* in the protocols' terms.
+    pub lost: bool,
+    /// Sender join-marker carried by this packet, if any: receivers at
+    /// level ≤ the marker value should join one layer (Coordinated
+    /// protocol). Markers implied for lower levels per the paper.
+    pub marker: Option<usize>,
+    /// The receiver's current requested subscription level.
+    pub level: usize,
+    /// Total number of layers `M`.
+    pub layer_count: usize,
+}
+
+/// A receiver's reaction to a packet event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep the current subscription.
+    Stay,
+    /// Join one more layer (no-op at level `M`).
+    JoinUp,
+    /// Leave the top layer (no-op at level 1 — receivers never leave the
+    /// base layer in the Section 4 protocols).
+    LeaveDown,
+}
+
+/// A layered congestion-control receiver: reacts to each packet event.
+pub trait ReceiverController {
+    /// Handle one packet event and decide the subscription action.
+    fn on_packet(&mut self, ev: &PacketEvent) -> Action;
+}
+
+impl ReceiverController for Box<dyn ReceiverController> {
+    fn on_packet(&mut self, ev: &PacketEvent) -> Action {
+        (**self).on_packet(ev)
+    }
+}
+
+/// The sender side of join coordination: may attach a marker to each slot's
+/// packet. Uncoordinated senders return `None` forever.
+pub trait MarkerSource {
+    /// The marker (if any) to attach to the packet at `slot` on `layer`.
+    fn marker(&mut self, slot: Tick, layer: usize) -> Option<usize>;
+}
+
+/// A sender that never emits markers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMarkers;
+
+impl MarkerSource for NoMarkers {
+    fn marker(&mut self, _slot: Tick, _layer: usize) -> Option<usize> {
+        None
+    }
+}
+
+/// Configuration of one star run.
+#[derive(Debug, Clone)]
+pub struct StarConfig {
+    /// Per-layer packet rates (relative weights; the Section 4 exponential
+    /// schedule is `[1, 1, 2, 4, ...]`).
+    pub layer_rates: Vec<f64>,
+    /// Loss process of the shared link abutting the sender.
+    pub shared_loss: LossProcess,
+    /// Loss process of each receiver's fanout link (length = #receivers).
+    pub fanout_loss: Vec<LossProcess>,
+    /// Graft latency in slots (0 = the paper's idealized instant join).
+    pub join_latency: Tick,
+    /// Prune latency in slots (0 = idealized instant leave).
+    pub leave_latency: Tick,
+}
+
+impl StarConfig {
+    /// The Figure 8 setting: `layers` exponential layers, `receivers`
+    /// receivers with identical independent loss `p_independent`, shared
+    /// loss `p_shared`, idealized latencies.
+    pub fn figure8(
+        layers: usize,
+        receivers: usize,
+        p_shared: f64,
+        p_independent: f64,
+    ) -> StarConfig {
+        let schedule = mlf_layering::LayerSchedule::exponential(layers);
+        StarConfig {
+            layer_rates: (1..=layers).map(|i| schedule.layer_rate(i)).collect(),
+            shared_loss: LossProcess::bernoulli(p_shared),
+            fanout_loss: vec![LossProcess::bernoulli(p_independent); receivers],
+            join_latency: 0,
+            leave_latency: 0,
+        }
+    }
+
+    /// Number of receivers.
+    pub fn receiver_count(&self) -> usize {
+        self.fanout_loss.len()
+    }
+
+    /// Number of layers `M`.
+    pub fn layer_count(&self) -> usize {
+        self.layer_rates.len()
+    }
+}
+
+/// Measurements from one star run.
+#[derive(Debug, Clone)]
+pub struct StarReport {
+    /// Total slots simulated (= packets emitted by the sender).
+    pub slots: u64,
+    /// Packets that traversed the shared link (some receiver subscribed).
+    pub shared_carried: u64,
+    /// Per receiver: packets on layers it had *requested* at emission (its
+    /// nominal rate `a_{i,k}`, loss notwithstanding).
+    pub offered: Vec<u64>,
+    /// Per receiver: packets actually delivered (requested, subscribed and
+    /// not lost).
+    pub delivered: Vec<u64>,
+    /// Per receiver: congestion events observed (lost packets on requested
+    /// layers).
+    pub congestion_events: Vec<u64>,
+    /// Per receiver: sum of requested level over slots (for mean level).
+    pub level_slot_sum: Vec<u64>,
+    /// Final requested levels.
+    pub final_levels: Vec<usize>,
+}
+
+impl StarReport {
+    /// The shared link's long-term redundancy (Definition 3):
+    /// `carried / max_r offered_r`. `None` if no receiver was offered
+    /// anything (degenerate).
+    pub fn shared_redundancy(&self) -> Option<f64> {
+        let max = *self.offered.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        Some(self.shared_carried as f64 / max as f64)
+    }
+
+    /// Mean requested subscription level of a receiver over the run.
+    pub fn mean_level(&self, r: usize) -> f64 {
+        self.level_slot_sum[r] as f64 / self.slots as f64
+    }
+
+    /// A receiver's goodput in packets per slot.
+    pub fn goodput(&self, r: usize) -> f64 {
+        self.delivered[r] as f64 / self.slots as f64
+    }
+
+    /// A receiver's observed loss rate among requested packets.
+    pub fn loss_rate(&self, r: usize) -> f64 {
+        if self.offered[r] == 0 {
+            0.0
+        } else {
+            self.congestion_events[r] as f64 / self.offered[r] as f64
+        }
+    }
+}
+
+/// Smooth weighted round-robin interleaver: deterministic layer schedule
+/// proportional to the per-layer rates.
+#[derive(Debug, Clone)]
+pub struct LayerInterleaver {
+    weights: Vec<f64>,
+    credit: Vec<f64>,
+    total: f64,
+}
+
+impl LayerInterleaver {
+    /// Build an interleaver for the given per-layer rates.
+    pub fn new(rates: &[f64]) -> Self {
+        assert!(!rates.is_empty() && rates.iter().all(|&r| r > 0.0));
+        LayerInterleaver {
+            weights: rates.to_vec(),
+            credit: vec![0.0; rates.len()],
+            total: rates.iter().sum(),
+        }
+    }
+
+    /// The layer (1-based) of the next slot's packet.
+    pub fn next_layer(&mut self) -> usize {
+        let mut best = 0;
+        for i in 0..self.weights.len() {
+            self.credit[i] += self.weights[i];
+            if self.credit[i] > self.credit[best] {
+                best = i;
+            }
+        }
+        self.credit[best] -= self.total;
+        best + 1
+    }
+}
+
+/// Run one star simulation for `slots` packets.
+///
+/// `controllers[r]` drives receiver `r`; all receivers start at level 1
+/// (every receiver always holds the base layer). The run is deterministic
+/// in (`cfg`, controllers' behaviour, `marker`, `slots`, `seed`).
+pub fn run_star<C: ReceiverController, M: MarkerSource>(
+    cfg: &StarConfig,
+    controllers: &mut [C],
+    marker: &mut M,
+    slots: u64,
+    seed: u64,
+) -> StarReport {
+    let n = cfg.receiver_count();
+    assert_eq!(controllers.len(), n, "one controller per receiver");
+    let m = cfg.layer_count();
+    assert!(m >= 1);
+
+    let base = SimRng::seed_from_u64(seed);
+    let mut shared_rng = base.split(u64::MAX);
+    let mut fanout_rng: Vec<SimRng> = (0..n).map(|r| base.split(r as u64)).collect();
+    let mut shared_loss = cfg.shared_loss.clone();
+    let mut fanout_loss = cfg.fanout_loss.clone();
+
+    let mut membership = MembershipTable::new(n, m, 1)
+        .with_latencies(cfg.join_latency, cfg.leave_latency);
+    let mut interleaver = LayerInterleaver::new(&cfg.layer_rates);
+
+    let mut report = StarReport {
+        slots,
+        shared_carried: 0,
+        offered: vec![0; n],
+        delivered: vec![0; n],
+        congestion_events: vec![0; n],
+        level_slot_sum: vec![0; n],
+        final_levels: vec![1; n],
+    };
+
+    for slot in 0..slots {
+        membership.advance_to(slot);
+        let layer = interleaver.next_layer();
+        let mk = marker.marker(slot, layer);
+
+        // Account the requested levels (receiver nominal rates).
+        for r in 0..n {
+            let lvl = membership.requested_level(r);
+            report.level_slot_sum[r] += lvl as u64;
+            if layer <= lvl {
+                report.offered[r] += 1;
+            }
+        }
+
+        // Shared link: carried iff any receiver is effectively subscribed.
+        let carried = layer <= membership.max_effective_level();
+        let lost_shared = if carried {
+            report.shared_carried += 1;
+            shared_loss.sample(&mut shared_rng)
+        } else {
+            false
+        };
+
+        // Deliver to each receiver that requested and effectively holds the
+        // layer.
+        for r in 0..n {
+            let wants = membership.wants(r, layer);
+            let has = membership.subscribed(r, layer);
+            if !(wants && has) {
+                continue;
+            }
+            let lost = lost_shared || fanout_loss[r].sample(&mut fanout_rng[r]);
+            if lost {
+                report.congestion_events[r] += 1;
+            } else {
+                report.delivered[r] += 1;
+            }
+            let level = membership.requested_level(r);
+            let ev = PacketEvent {
+                slot,
+                layer,
+                lost,
+                marker: if lost { None } else { mk },
+                level,
+                layer_count: m,
+            };
+            match controllers[r].on_packet(&ev) {
+                Action::Stay => {}
+                Action::JoinUp => {
+                    if level < m {
+                        membership.request_level(slot, r, level + 1);
+                    }
+                }
+                Action::LeaveDown => {
+                    if level > 1 {
+                        membership.request_level(slot, r, level - 1);
+                    }
+                }
+            }
+        }
+    }
+    for r in 0..n {
+        report.final_levels[r] = membership.requested_level(r);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A controller that never moves.
+    struct Inert;
+    impl ReceiverController for Inert {
+        fn on_packet(&mut self, _ev: &PacketEvent) -> Action {
+            Action::Stay
+        }
+    }
+
+    /// A controller pinned at a fixed target level, reached immediately.
+    struct Pinned(usize);
+    impl ReceiverController for Pinned {
+        fn on_packet(&mut self, ev: &PacketEvent) -> Action {
+            use std::cmp::Ordering::*;
+            match ev.level.cmp(&self.0) {
+                Less => Action::JoinUp,
+                Equal => Action::Stay,
+                Greater => Action::LeaveDown,
+            }
+        }
+    }
+
+    #[test]
+    fn interleaver_respects_rates() {
+        let mut il = LayerInterleaver::new(&[1.0, 1.0, 2.0, 4.0]);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[il.next_layer() - 1] += 1;
+        }
+        assert_eq!(counts, [1000, 1000, 2000, 4000]);
+    }
+
+    #[test]
+    fn inert_receivers_at_level1_get_base_layer_only() {
+        let cfg = StarConfig::figure8(4, 3, 0.0, 0.0);
+        let mut ctls = vec![Inert, Inert, Inert];
+        let report = run_star(&cfg, &mut ctls, &mut NoMarkers, 8000, 1);
+        // Exponential 4 layers: total rate 8, layer 1 rate 1 -> 1000
+        // packets offered per receiver, all delivered (no loss).
+        for r in 0..3 {
+            assert_eq!(report.offered[r], 1000);
+            assert_eq!(report.delivered[r], 1000);
+            assert_eq!(report.congestion_events[r], 0);
+            assert_eq!(report.mean_level(r), 1.0);
+        }
+        // Shared link carries exactly the base layer.
+        assert_eq!(report.shared_carried, 1000);
+        assert_eq!(report.shared_redundancy(), Some(1.0));
+    }
+
+    #[test]
+    fn shared_link_carries_the_union_of_subscriptions() {
+        // One receiver pinned at level 3, one at level 1: the shared link
+        // carries layers 1..=3 (rate 4 of 8) while the max receiver is
+        // offered the same 4 -> redundancy 1 when aligned.
+        let cfg = StarConfig::figure8(4, 2, 0.0, 0.0);
+        let mut ctls = vec![Pinned(3), Pinned(1)];
+        let report = run_star(&cfg, &mut ctls, &mut NoMarkers, 80_000, 2);
+        let red = report.shared_redundancy().unwrap();
+        assert!((red - 1.0).abs() < 0.01, "redundancy {red}");
+        assert!(report.offered[0] > report.offered[1]);
+    }
+
+    #[test]
+    fn loss_generates_congestion_events_at_the_configured_rate() {
+        let cfg = StarConfig::figure8(4, 2, 0.0, 0.05);
+        let mut ctls = vec![Inert, Inert];
+        let report = run_star(&cfg, &mut ctls, &mut NoMarkers, 80_000, 3);
+        for r in 0..2 {
+            let rate = report.loss_rate(r);
+            assert!((rate - 0.05).abs() < 0.01, "loss rate {rate}");
+        }
+    }
+
+    #[test]
+    fn shared_loss_is_correlated_across_receivers() {
+        // With pure shared loss, both receivers (at equal levels) lose the
+        // exact same packets: congestion counts match exactly.
+        let cfg = StarConfig::figure8(4, 2, 0.05, 0.0);
+        let mut ctls = vec![Inert, Inert];
+        let report = run_star(&cfg, &mut ctls, &mut NoMarkers, 40_000, 4);
+        assert_eq!(report.congestion_events[0], report.congestion_events[1]);
+        assert!(report.congestion_events[0] > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed() {
+        let cfg = StarConfig::figure8(8, 5, 0.01, 0.02);
+        let run = |seed| {
+            let mut ctls = vec![Pinned(4), Pinned(2), Pinned(8), Pinned(1), Pinned(6)];
+            let r = run_star(&cfg, &mut ctls, &mut NoMarkers, 20_000, seed);
+            (r.shared_carried, r.offered.clone(), r.delivered.clone())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn leave_latency_inflates_shared_usage() {
+        // A receiver that oscillates between levels 1 and M: with a long
+        // prune latency the shared link keeps carrying high layers.
+        struct Oscillate;
+        impl ReceiverController for Oscillate {
+            fn on_packet(&mut self, ev: &PacketEvent) -> Action {
+                if ev.slot % 64 < 32 {
+                    if ev.level < ev.layer_count {
+                        Action::JoinUp
+                    } else {
+                        Action::Stay
+                    }
+                } else if ev.level > 1 {
+                    Action::LeaveDown
+                } else {
+                    Action::Stay
+                }
+            }
+        }
+        let mut cfg = StarConfig::figure8(4, 1, 0.0, 0.0);
+        let baseline = {
+            let mut ctls = vec![Oscillate];
+            run_star(&cfg, &mut ctls, &mut NoMarkers, 40_000, 5)
+        };
+        cfg.leave_latency = 200;
+        let laggy = {
+            let mut ctls = vec![Oscillate];
+            run_star(&cfg, &mut ctls, &mut NoMarkers, 40_000, 5)
+        };
+        let r0 = baseline.shared_redundancy().unwrap();
+        let r1 = laggy.shared_redundancy().unwrap();
+        assert!(
+            r1 > r0 + 0.05,
+            "leave latency must inflate redundancy: {r0} vs {r1}"
+        );
+    }
+
+    #[test]
+    fn markers_reach_receivers_on_clean_packets_only() {
+        struct CountMarkers(u64);
+        impl ReceiverController for CountMarkers {
+            fn on_packet(&mut self, ev: &PacketEvent) -> Action {
+                if ev.marker.is_some() {
+                    assert!(!ev.lost, "markers ride only delivered packets");
+                    self.0 += 1;
+                }
+                Action::Stay
+            }
+        }
+        struct EverySlot;
+        impl MarkerSource for EverySlot {
+            fn marker(&mut self, _s: Tick, _l: usize) -> Option<usize> {
+                Some(1)
+            }
+        }
+        let cfg = StarConfig::figure8(4, 1, 0.3, 0.0);
+        let mut ctls = vec![CountMarkers(0)];
+        let report = run_star(&cfg, &mut ctls, &mut EverySlot, 8000, 6);
+        assert!(ctls[0].0 > 0);
+        assert_eq!(ctls[0].0, report.delivered[0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mlf-sim — deterministic packet-level multicast simulator
+//!
+//! The simulation substrate for Section 4 of *"The Impact of Multicast
+//! Layering on Network Fairness"* (SIGCOMM '99). The paper's authors used an
+//! unreleased ad-hoc simulator; this crate rebuilds the exact model the
+//! paper describes:
+//!
+//! * slotted packet time with layers interleaved by deterministic weighted
+//!   round-robin ([`engine::LayerInterleaver`]);
+//! * Bernoulli per-link loss — one *shared* draw on the sender-side link
+//!   (correlated loss) and independent draws per fanout link — plus a
+//!   Gilbert–Elliott burst-loss extension ([`loss`]);
+//! * idealized multicast membership with optional join/leave latency for
+//!   the Section 5 ablations ([`multicast`]);
+//! * the modified-star engine measuring shared-link redundancy
+//!   ([`engine::run_star`]);
+//! * bit-for-bit reproducible RNG with per-component substreams ([`rng`]);
+//! * Welford statistics for the 30-trial experiment protocol ([`stats`]);
+//! * a generic future-event list with deterministic tie-breaking
+//!   ([`events`]);
+//! * a general-tree engine ([`tree`]) extending the star model to arbitrary
+//!   sender-rooted multicast trees with per-link loss and per-link
+//!   redundancy measurement.
+//!
+//! The Section 4 protocol state machines themselves live in
+//! `mlf-protocols`; this crate only knows the [`engine::ReceiverController`]
+//! interface they implement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod events;
+pub mod loss;
+pub mod multicast;
+pub mod rng;
+pub mod stats;
+pub mod tree;
+
+pub use engine::{
+    run_star, Action, LayerInterleaver, MarkerSource, NoMarkers, PacketEvent, ReceiverController,
+    StarConfig, StarReport,
+};
+pub use events::{EventQueue, Tick};
+pub use loss::LossProcess;
+pub use multicast::MembershipTable;
+pub use rng::SimRng;
+pub use stats::RunningStats;
+pub use tree::{run_tree, TreeConfig, TreeReport};

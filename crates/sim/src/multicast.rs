@@ -1,0 +1,233 @@
+//! Multicast group membership with optional join/leave latency.
+//!
+//! Each receiver holds a *subscription level* `0..=M` with cumulative
+//! semantics (level `i` = joined to layers `1..=i`). The Section 4 model is
+//! idealized — "network propagation delays and leave latencies are
+//! negligible" — so by default changes take effect instantly. The Section 5
+//! discussion predicts that join/leave latency *increases* redundancy ("a
+//! link continues to receive at the rate prior to the leave, until the leave
+//! takes effect, while the receiver's rate reduces immediately");
+//! [`MembershipTable`] therefore supports per-operation latencies so the
+//! ablation benches can quantify that prediction.
+//!
+//! The table distinguishes, per receiver:
+//!
+//! * the **requested** level — what the receiver's protocol asked for; the
+//!   receiver counts its own goodput against this;
+//! * the **effective** level — what the network is still delivering (grafted
+//!   /pruned state); link usage is driven by this.
+//!
+//! A leave keeps the effective level high until the prune latency elapses; a
+//! join keeps it low until the graft latency elapses.
+
+use crate::events::{EventQueue, Tick};
+
+/// Pending membership-change event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Change {
+    receiver: usize,
+    level: usize,
+    seq: u64,
+}
+
+/// Subscription state for a set of receivers of one layered session.
+#[derive(Debug, Clone)]
+pub struct MembershipTable {
+    requested: Vec<usize>,
+    effective: Vec<usize>,
+    /// Monotone per-receiver sequence numbers so a stale scheduled change
+    /// never overwrites a newer one.
+    latest_seq: Vec<u64>,
+    queue: EventQueue<Change>,
+    join_latency: Tick,
+    leave_latency: Tick,
+    layer_count: usize,
+    next_seq: u64,
+}
+
+impl MembershipTable {
+    /// A table for `receivers` receivers of a session with `layer_count`
+    /// layers, all initially at level `initial` (the Section 4 protocols
+    /// start everyone at level 1 — every receiver always holds layer 1).
+    pub fn new(receivers: usize, layer_count: usize, initial: usize) -> Self {
+        assert!(initial <= layer_count);
+        MembershipTable {
+            requested: vec![initial; receivers],
+            effective: vec![initial; receivers],
+            latest_seq: vec![0; receivers],
+            queue: EventQueue::new(),
+            join_latency: 0,
+            leave_latency: 0,
+            layer_count,
+            next_seq: 0,
+        }
+    }
+
+    /// Builder-style join (graft) and leave (prune) latencies in ticks.
+    pub fn with_latencies(mut self, join: Tick, leave: Tick) -> Self {
+        self.join_latency = join;
+        self.leave_latency = leave;
+        self
+    }
+
+    /// Number of receivers tracked.
+    pub fn receiver_count(&self) -> usize {
+        self.requested.len()
+    }
+
+    /// Number of layers `M`.
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    /// The level the receiver's protocol most recently requested.
+    pub fn requested_level(&self, r: usize) -> usize {
+        self.requested[r]
+    }
+
+    /// The level the network is currently delivering to the receiver.
+    pub fn effective_level(&self, r: usize) -> usize {
+        self.effective[r]
+    }
+
+    /// Request a level change for receiver `r` at time `now`. Takes effect
+    /// after the graft/prune latency (instantly at zero latency).
+    pub fn request_level(&mut self, now: Tick, r: usize, level: usize) {
+        assert!(level <= self.layer_count, "level beyond layer count");
+        if level == self.requested[r] {
+            return;
+        }
+        let raising = level > self.requested[r];
+        self.requested[r] = level;
+        let latency = if raising {
+            self.join_latency
+        } else {
+            self.leave_latency
+        };
+        self.next_seq += 1;
+        self.latest_seq[r] = self.next_seq;
+        if latency == 0 {
+            // Apply immediately, but still respect ordering with any
+            // pending delayed changes by sequence number.
+            self.effective[r] = level;
+        } else {
+            // Advance queue clock without processing (caller drives time via
+            // `advance_to`), then schedule.
+            let change = Change {
+                receiver: r,
+                level,
+                seq: self.next_seq,
+            };
+            if self.queue.now() < now {
+                self.queue.drain_until(now);
+            }
+            self.queue.schedule_at(now + latency, change);
+        }
+    }
+
+    /// Apply all membership changes due at or before `now`.
+    pub fn advance_to(&mut self, now: Tick) {
+        for (_, change) in self.queue.drain_until(now) {
+            // Only the most recent request per receiver wins; anything the
+            // receiver superseded (or that a zero-latency change already
+            // applied past) is dropped.
+            if change.seq >= self.latest_seq[change.receiver] {
+                self.effective[change.receiver] = change.level;
+            } else if change.seq > 0 && self.effective[change.receiver] != self.requested[change.receiver]
+            {
+                // A superseded *pending* change may still move the effective
+                // level toward an even newer pending one; conservatively
+                // ignore — the newer event will land later.
+            }
+        }
+    }
+
+    /// The highest effective level across receivers — what the shared link
+    /// upstream of everyone must carry (cumulative layering: the union of
+    /// the receivers' layer sets is the layer prefix up to the max level).
+    pub fn max_effective_level(&self) -> usize {
+        self.effective.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The highest requested level across receivers.
+    pub fn max_requested_level(&self) -> usize {
+        self.requested.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether receiver `r` is effectively subscribed to `layer` (1-based).
+    pub fn subscribed(&self, r: usize, layer: usize) -> bool {
+        layer >= 1 && layer <= self.effective[r]
+    }
+
+    /// Whether receiver `r`'s protocol wants `layer` (1-based).
+    pub fn wants(&self, r: usize, layer: usize) -> bool {
+        layer >= 1 && layer <= self.requested[r]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_changes_apply_instantly() {
+        let mut t = MembershipTable::new(3, 8, 1);
+        t.request_level(0, 1, 4);
+        assert_eq!(t.effective_level(1), 4);
+        assert_eq!(t.requested_level(1), 4);
+        assert_eq!(t.max_effective_level(), 4);
+        assert!(t.subscribed(1, 4));
+        assert!(!t.subscribed(1, 5));
+        assert!(!t.subscribed(0, 2));
+    }
+
+    #[test]
+    fn leave_latency_keeps_effective_level_high() {
+        let mut t = MembershipTable::new(1, 8, 5).with_latencies(0, 10);
+        t.request_level(100, 0, 2);
+        assert_eq!(t.requested_level(0), 2);
+        assert_eq!(t.effective_level(0), 5, "prune not yet effective");
+        t.advance_to(105);
+        assert_eq!(t.effective_level(0), 5);
+        t.advance_to(110);
+        assert_eq!(t.effective_level(0), 2, "prune lands at +10");
+    }
+
+    #[test]
+    fn join_latency_keeps_effective_level_low() {
+        let mut t = MembershipTable::new(1, 8, 1).with_latencies(7, 0);
+        t.request_level(50, 0, 3);
+        assert_eq!(t.effective_level(0), 1);
+        t.advance_to(56);
+        assert_eq!(t.effective_level(0), 1);
+        t.advance_to(57);
+        assert_eq!(t.effective_level(0), 3);
+    }
+
+    #[test]
+    fn newer_request_supersedes_pending_one() {
+        let mut t = MembershipTable::new(1, 8, 1).with_latencies(10, 0);
+        t.request_level(0, 0, 3); // lands at 10
+        t.request_level(5, 0, 1); // instant leave back to 1
+        t.advance_to(20);
+        assert_eq!(
+            t.effective_level(0),
+            1,
+            "stale join must not override the newer leave"
+        );
+    }
+
+    #[test]
+    fn redundant_requests_are_no_ops() {
+        let mut t = MembershipTable::new(1, 4, 2);
+        t.request_level(0, 0, 2);
+        assert_eq!(t.effective_level(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond layer count")]
+    fn level_above_m_panics() {
+        let mut t = MembershipTable::new(1, 4, 1);
+        t.request_level(0, 0, 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Statistics aggregation for multi-trial experiments.
+//!
+//! Figure 8 reports, for each parameter point, "the mean of 30 experiments
+//! ... the variance is less than 1% with 95% confidence". [`RunningStats`]
+//! accumulates trial results with Welford's numerically-stable online
+//! algorithm and reports the mean, variance, and a normal-approximation 95%
+//! confidence half-width.
+
+/// Online mean/variance accumulator (Welford).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Build from a slice of observations.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. Zero when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance. Zero for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval for
+    /// the mean (`1.96 · SE`). The paper's 30-trial experiments are well
+    /// inside the normal regime.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Relative 95% CI half-width (`ci95 / mean`), the "variance less than
+    /// 1% with 95% confidence" figure-of-merit the paper quotes. Zero when
+    /// the mean is zero.
+    pub fn relative_ci95(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.ci95_half_width() / self.mean.abs()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_closed_form_on_small_sample() {
+        let s = RunningStats::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance (n-1): Σ(x-5)^2 = 32, /7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single_are_degenerate() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.variance(), 0.0);
+        let s = RunningStats::from_slice(&[3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = RunningStats::from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        let mut big = RunningStats::new();
+        for _ in 0..25 {
+            for x in [1.0, 2.0, 3.0, 4.0] {
+                big.push(x);
+            }
+        }
+        assert!(big.ci95_half_width() < small.ci95_half_width() / 2.0);
+        assert!(big.relative_ci95() < 0.1);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case for naive sum-of-squares.
+        let base = 1e9;
+        let s = RunningStats::from_slice(&[base + 1.0, base + 2.0, base + 3.0]);
+        assert!((s.variance() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,64 @@
+//! A fairness audit of a mixed single-rate/multi-rate network: which of the
+//! four Section 2 properties hold, for whom, and how the picture changes as
+//! single-rate sessions are progressively "replaced" by multi-rate ones
+//! (Lemma 3 / Corollary 1).
+//!
+//! Run with `cargo run --example fairness_audit`.
+
+use mlf_core::{properties, theory};
+use multicast_fairness::prelude::*;
+
+fn main() {
+    // The paper's Figure 2 network: the canonical audit target.
+    let example = mlf_net::paper::figure2();
+    let net = example.network;
+    let cfg = LinkRateConfig::efficient(net.session_count());
+
+    println!("=== Figure 2: S1 single-rate (3 receivers), S2 unicast ===\n");
+    audit(&net, &cfg);
+
+    // Replace S1 by its multi-rate twin (Lemma 3's operation).
+    let flipped = net.with_session_kind(SessionId(0), SessionType::MultiRate);
+    println!("\n=== After replacing S1 with an identical multi-rate session ===\n");
+    audit(&flipped, &cfg);
+
+    // The ordering verdict.
+    let before = max_min_allocation(&net).ordered_vector();
+    let after = max_min_allocation(&flipped).ordered_vector();
+    println!("\nOrdered vectors: {before:?} ≤m {after:?} (Lemma 3 verified: {})",
+        mlf_core::is_min_unfavorable(&before, &after));
+
+    // And a machine-checked pass over the theorems for this network.
+    println!("\nTheorem 1 (all-multi-rate): all four properties hold: {}",
+        theory::check_theorem1(&net).all_hold());
+    let t2 = theory::check_theorem2(&net);
+    println!("Theorem 2 on the mixed network: a={} b={} c={} d={} e={}",
+        t2.part_a, t2.part_b, t2.part_c, t2.part_d, t2.part_e);
+}
+
+fn audit(net: &Network, cfg: &LinkRateConfig) {
+    let alloc = max_min_allocation(net);
+    for (r, rate) in alloc.iter() {
+        println!("  {r}: rate {rate:.2}");
+    }
+    for j in 0..net.link_count() {
+        let link = LinkId(j);
+        let u = alloc.link_rate(net, cfg, link);
+        let c = net.graph().capacity(link);
+        let mark = if alloc.is_fully_utilized(net, cfg, link) { " (full)" } else { "" };
+        println!("  {link}: {u:.2}/{c:.2}{mark}");
+    }
+    let report = properties::check_all(net, cfg, &alloc);
+    println!("  1. fully-utilized-receiver-fair: {}", verdict(report.fully_utilized_receiver_fair(), &format!("{:?}", report.fully_utilized_violations)));
+    println!("  2. same-path-receiver-fair:      {}", verdict(report.same_path_receiver_fair(), &format!("{:?}", report.same_path_violations)));
+    println!("  3. per-receiver-link-fair:       {}", verdict(report.per_receiver_link_fair(), &format!("{:?}", report.per_receiver_link_violations)));
+    println!("  4. per-session-link-fair:        {}", verdict(report.per_session_link_fair(), &format!("{:?}", report.per_session_link_violations)));
+}
+
+fn verdict(ok: bool, detail: &str) -> String {
+    if ok {
+        "holds".to_string()
+    } else {
+        format!("VIOLATED by {detail}")
+    }
+}

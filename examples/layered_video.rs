@@ -1,0 +1,87 @@
+//! A layered-video scenario (the McCanne-style RLM motivation from the
+//! paper's introduction): a source with a fixed exponential layer ladder
+//! serving receivers across a heterogeneous tree, showing
+//!
+//! 1. what each receiver's *ideal* multi-rate max-min fair rate is,
+//! 2. the best *fixed* layer subscription below that rate,
+//! 3. the quantum join/leave schedule that attains the exact fair rate on
+//!    average, and its redundancy with vs without coordination.
+//!
+//! Run with `cargo run --example layered_video`.
+
+use mlf_layering::{
+    layers::LayerSchedule,
+    quantum::{self, SelectionMode},
+};
+use multicast_fairness::prelude::*;
+
+fn main() {
+    // A two-level distribution tree: a backbone hop, two regional hubs, and
+    // five receivers with diverse last-mile capacities.
+    let mut g = Graph::new();
+    let src = g.add_node();
+    let backbone = g.add_node();
+    let (west, east) = (g.add_node(), g.add_node());
+    g.add_link(src, backbone, 64.0).unwrap();
+    g.add_link(backbone, west, 24.0).unwrap();
+    g.add_link(backbone, east, 40.0).unwrap();
+    let caps = [3.0, 10.0, 6.0, 28.0, 14.0];
+    let mut viewers = Vec::new();
+    for (i, &cap) in caps.iter().enumerate() {
+        let v = g.add_node();
+        let hub = if i < 3 { west } else { east };
+        g.add_link(hub, v, cap).unwrap();
+        viewers.push(v);
+    }
+    // A competing unicast on the east hub keeps the example honest.
+    let net = Network::new(
+        g,
+        vec![
+            Session::multi_rate(src, viewers.clone()),
+            Session::unicast(src, east),
+        ],
+    )
+    .unwrap();
+
+    let alloc = max_min_allocation(&net);
+    let ladder = LayerSchedule::exponential(6); // rates 1,1,2,4,8,16
+    println!("Layer ladder (cumulative): {:?}", ladder.cumulative_rates());
+    println!();
+    println!("viewer   fair rate   best fixed prefix   fixed rate   deficit");
+    let mut fair_rates = Vec::new();
+    for k in 0..viewers.len() {
+        let r = ReceiverId::new(0, k);
+        let fair = alloc.rate(r);
+        fair_rates.push(fair);
+        let level = ladder.level_for_rate(fair);
+        let fixed = ladder.cumulative_rate(level);
+        println!(
+            "  r1,{}   {:>7.2}       level {}             {:>6.2}      {:>5.1}%",
+            k + 1,
+            fair,
+            level,
+            fixed,
+            100.0 * (fair - fixed) / fair.max(1e-9)
+        );
+    }
+
+    // Quantum scheduling recovers the deficit: receivers collect exactly
+    // `fair · Δt` packets per quantum from the one layer above their fixed
+    // prefix. Compare coordinated vs random packet choice on the backbone.
+    let sigma_packets = 64; // packets per quantum at full ladder rate
+    let quotas: Vec<usize> = fair_rates
+        .iter()
+        .map(|f| ((f / ladder.total_rate()) * sigma_packets as f64).round() as usize)
+        .collect();
+    println!("\nPer-quantum packet quotas on the backbone: {quotas:?}");
+    for (label, mode) in [
+        ("coordinated (nested prefixes)", SelectionMode::Prefix),
+        ("uncoordinated (random subsets)", SelectionMode::Random),
+    ] {
+        let red = quantum::long_term_redundancy(&quotas, sigma_packets, 200, mode, 7)
+            .expect("nonzero quotas");
+        println!("  backbone redundancy, {label}: {red:.3}");
+    }
+    println!("\nCoordinated joins keep every byte on the backbone useful;");
+    println!("random joins make the session carry overlapping packet sets.");
+}

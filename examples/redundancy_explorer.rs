@@ -1,0 +1,86 @@
+//! Explore redundancy from three angles in one run:
+//!
+//! 1. the analytic single-layer random-join curve (Figure 5's machinery),
+//! 2. its Monte-Carlo confirmation on sampled packet subsets,
+//! 3. the network-level fair-rate damage (Figure 6's model) measured on an
+//!    actual allocator run, not just the closed form.
+//!
+//! Run with `cargo run --release --example redundancy_explorer`.
+
+use mlf_core::{max_min_allocation_with, redundancy};
+use mlf_layering::randomjoin::{self, Figure5Config};
+use multicast_fairness::prelude::*;
+
+fn main() {
+    println!("== 1. Single-layer redundancy under random joins (σ = 1) ==\n");
+    println!("receivers   All 0.1   All 0.5   1st .5/.1   All 0.9   1st .9/.1");
+    for r in [1usize, 2, 5, 10, 20, 50, 100] {
+        let reds: Vec<f64> = Figure5Config::ALL
+            .iter()
+            .map(|c| randomjoin::analytic_redundancy(&c.rates(r), 1.0))
+            .collect();
+        println!(
+            "  {r:>5}    {:>7.3}   {:>7.3}   {:>8.3}   {:>7.3}   {:>8.3}",
+            reds[0], reds[1], reds[2], reds[3], reds[4]
+        );
+    }
+
+    println!("\n== 2. Monte-Carlo confirmation (σ = 100 packets, 200 quanta) ==\n");
+    for (cfg, r) in [(Figure5Config::All05, 4usize), (Figure5Config::All01, 20)] {
+        let analytic = randomjoin::analytic_redundancy(&cfg.rates(r), 1.0);
+        let mc = randomjoin::monte_carlo_redundancy(cfg, r, 100, 200, 2024);
+        println!(
+            "  {} with {r} receivers: analytic {analytic:.3}, simulated {mc:.3}",
+            cfg.label()
+        );
+    }
+
+    println!("\n== 3. Fair-rate damage on a real bottleneck (Figure 6 model) ==\n");
+    // 10 sessions on a capacity-100 link; sweep how many are redundant at
+    // v = 3 and compare allocator output with the closed form.
+    let capacity = 100.0;
+    let n = 10;
+    println!("redundant sessions m   measured fair rate   c/((n-m)+m*v)");
+    for m in [0usize, 1, 3, 5, 10] {
+        let (net, cfg) = bottleneck_network(capacity, n, m, 3.0);
+        let alloc = max_min_allocation_with(&net, &cfg);
+        let measured = alloc.min_rate();
+        let predicted = mlf_core::bottleneck_fair_rate(capacity, n, m, 3.0);
+        println!("  {m:>10}            {measured:>10.3}         {predicted:>10.3}");
+        // The shared link's worst redundancy is v for m > 0.
+        if m > 0 {
+            let worst = redundancy::max_redundancy(&net, &cfg, &alloc);
+            assert!((worst - 3.0).abs() < 1e-6);
+        }
+    }
+    println!("\nEven a minority of high-redundancy sessions measurably cuts");
+    println!("everyone's fair share; at m/n ≤ 5% the damage stays small —");
+    println!("the paper's argument for tolerating layered multicast today.");
+}
+
+/// `n` sessions pinned on one bottleneck link; the first `m` are 2-receiver
+/// multi-rate sessions with redundancy `v`, the rest unicasts.
+fn bottleneck_network(capacity: f64, n: usize, m: usize, v: f64) -> (Network, LinkRateConfig) {
+    let mut g = Graph::new();
+    let src = g.add_node();
+    let hub = g.add_node();
+    g.add_link(src, hub, capacity).unwrap();
+    let mut sessions = Vec::new();
+    for i in 0..n {
+        if i < m {
+            let a = g.add_node();
+            let b = g.add_node();
+            g.add_link(hub, a, capacity * 10.0).unwrap();
+            g.add_link(hub, b, capacity * 10.0).unwrap();
+            sessions.push(Session::multi_rate(src, vec![a, b]));
+        } else {
+            sessions.push(Session::unicast(src, hub));
+        }
+    }
+    let net = Network::new(g, sessions).unwrap();
+    let mut cfg = LinkRateConfig::efficient(n);
+    for i in 0..m {
+        cfg = cfg.with_session(i, LinkRateModel::Scaled(v));
+    }
+    (net, cfg)
+}

@@ -1,0 +1,62 @@
+//! # multicast-fairness
+//!
+//! A full reproduction of **Rubenstein, Kurose & Towsley, "The Impact of
+//! Multicast Layering on Network Fairness", ACM SIGCOMM 1999** as a Rust
+//! workspace. This umbrella crate re-exports the four library crates:
+//!
+//! | Crate | Paper section | Contents |
+//! |-------|---------------|----------|
+//! | [`net`] (`mlf-net`) | §2 model | graphs, links, routing, sessions, topologies, the paper's example networks |
+//! | [`core`] (`mlf-core`) | §2–§3 theory | the max-min allocator, fairness properties, min-unfavorable ordering, redundancy |
+//! | [`layering`] (`mlf-layering`) | §3 | layer schedules, fixed-layer analysis, quantum join/leave scheduling, random-join redundancy |
+//! | [`sim`] (`mlf-sim`) | §4 substrate | deterministic packet-level star simulator, loss processes, statistics |
+//! | [`protocols`] (`mlf-protocols`) | §4 | the Uncoordinated/Deterministic/Coordinated protocols, the Figure 8 harness, the Figure 7(a) Markov model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use multicast_fairness::prelude::*;
+//!
+//! // Build a network: one multi-rate session, two receivers behind
+//! // different bottlenecks, plus a competing unicast.
+//! let mut g = Graph::new();
+//! let src = g.add_node();
+//! let hub = g.add_node();
+//! let (a, b) = (g.add_node(), g.add_node());
+//! g.add_link(src, hub, 10.0).unwrap();
+//! g.add_link(hub, a, 2.0).unwrap();
+//! g.add_link(hub, b, 6.0).unwrap();
+//! let net = Network::new(g, vec![
+//!     Session::multi_rate(src, vec![a, b]),
+//!     Session::unicast(src, b),
+//! ]).unwrap();
+//!
+//! // The multi-rate max-min fair allocation…
+//! let alloc = max_min_allocation(&net);
+//! assert_eq!(alloc.rates(), &[vec![2.0, 3.0], vec![3.0]]); // b splits its 6-link with the unicast
+//!
+//! // …satisfies all four fairness properties (Theorem 1).
+//! let cfg = LinkRateConfig::efficient(net.session_count());
+//! assert!(check_all(&net, &cfg, &alloc).all_hold());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mlf_core as core;
+pub use mlf_layering as layering;
+pub use mlf_net as net;
+pub use mlf_protocols as protocols;
+pub use mlf_sim as sim;
+
+/// The most commonly used items across all crates, for glob import.
+pub mod prelude {
+    pub use mlf_core::{
+        check_all, max_min_allocation, max_min_allocation_with, multi_rate_max_min,
+        single_rate_max_min, Allocation, FairnessReport, LinkRateConfig, LinkRateModel,
+    };
+    pub use mlf_layering::LayerSchedule;
+    pub use mlf_net::{Graph, LinkId, Network, NodeId, ReceiverId, Session, SessionId, SessionType};
+    pub use mlf_protocols::{ExperimentParams, ProtocolKind};
+    pub use mlf_sim::{LossProcess, RunningStats, SimRng};
+}

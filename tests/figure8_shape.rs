@@ -1,0 +1,89 @@
+//! A scaled-down Figure 8 smoke test: the paper's qualitative claims must
+//! hold even at reduced receiver counts / packet budgets, so CI catches
+//! regressions in the protocols without paying for the full reproduction.
+
+use mlf_protocols::{experiment, ExperimentParams, ProtocolKind};
+
+fn params(shared: f64, independent: f64) -> ExperimentParams {
+    ExperimentParams {
+        layers: 8,
+        receivers: 24,
+        shared_loss: shared,
+        independent_loss: independent,
+        packets: 30_000,
+        trials: 4,
+        seed: 0xF16_8,
+        join_latency: 0,
+        leave_latency: 0,
+    }
+}
+
+#[test]
+fn coordinated_is_lowest_at_every_probed_point() {
+    for shared in [0.0001, 0.05] {
+        for independent in [0.02, 0.08] {
+            let p = params(shared, independent);
+            let unc = experiment::run_point(ProtocolKind::Uncoordinated, &p)
+                .redundancy
+                .mean();
+            let coo = experiment::run_point(ProtocolKind::Coordinated, &p)
+                .redundancy
+                .mean();
+            assert!(
+                coo < unc,
+                "shared {shared}, indep {independent}: coordinated {coo} !< uncoordinated {unc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn redundancy_stays_inside_the_papers_envelope() {
+    // "redundancy remains fairly low (below 5) for reasonable loss rates"
+    // and "Coordinated ... below 2.5".
+    for kind in ProtocolKind::ALL {
+        for independent in [0.01, 0.05, 0.1] {
+            let p = params(0.0001, independent);
+            let red = experiment::run_point(kind, &p).redundancy.mean();
+            assert!(red < 5.0, "{}: {red} at {independent}", kind.label());
+            if kind == ProtocolKind::Coordinated {
+                assert!(red < 2.5, "Coordinated {red} at {independent}");
+            }
+        }
+    }
+}
+
+#[test]
+fn high_shared_loss_compresses_the_curves() {
+    // Figure 8(b) vs 8(a): at the same independent loss, shifting shared
+    // loss from 1e-4 to 0.05 lowers the coordinated-protocol redundancy
+    // (shared loss synchronizes leaves).
+    for kind in [ProtocolKind::Deterministic, ProtocolKind::Coordinated] {
+        let low_shared = experiment::run_point(kind, &params(0.0001, 0.06))
+            .redundancy
+            .mean();
+        let high_shared = experiment::run_point(kind, &params(0.05, 0.06))
+            .redundancy
+            .mean();
+        assert!(
+            high_shared < low_shared,
+            "{}: {high_shared} !< {low_shared}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn redundancy_grows_along_the_independent_loss_axis() {
+    // Beyond the small-loss knee, more independent loss means more
+    // desynchronization and more redundancy.
+    for kind in ProtocolKind::ALL {
+        let lo = experiment::run_point(kind, &params(0.0001, 0.02))
+            .redundancy
+            .mean();
+        let hi = experiment::run_point(kind, &params(0.0001, 0.1))
+            .redundancy
+            .mean();
+        assert!(hi > lo * 0.95, "{}: {hi} vs {lo}", kind.label());
+    }
+}

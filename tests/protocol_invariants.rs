@@ -1,0 +1,147 @@
+//! Property-based invariants of the Section 4 protocol machinery and the
+//! packet engine, across random loss settings and protocols.
+
+use mlf_protocols::{experiment, markov, CoordinatedSender, ExperimentParams, ProtocolKind};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Uncoordinated),
+        Just(ProtocolKind::Deterministic),
+        Just(ProtocolKind::Coordinated),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine accounting invariants: redundancy ≥ 1, delivered ≤ offered,
+    /// the shared link carries at least what the busiest receiver was
+    /// offered, and levels stay in 1..=M.
+    #[test]
+    fn engine_accounting_invariants(
+        kind in arb_kind(),
+        shared in 0.0f64..0.08,
+        independent in 0.0f64..0.08,
+        seed in any::<u64>(),
+    ) {
+        let params = ExperimentParams {
+            receivers: 10,
+            packets: 6_000,
+            trials: 1,
+            seed,
+            ..ExperimentParams::quick(shared, independent)
+        };
+        let report = experiment::run_trial(kind, &params, 0);
+        let max_offered = *report.offered.iter().max().unwrap();
+        prop_assert!(report.shared_carried >= max_offered);
+        for r in 0..params.receivers {
+            prop_assert!(report.delivered[r] <= report.offered[r]);
+            prop_assert!(
+                report.delivered[r] + report.congestion_events[r] <= report.offered[r]
+            );
+            prop_assert!(report.final_levels[r] >= 1 && report.final_levels[r] <= 8);
+            let mean = report.mean_level(r);
+            prop_assert!((1.0..=8.0).contains(&mean));
+        }
+        if let Some(red) = report.shared_redundancy() {
+            prop_assert!(red >= 1.0 - 1e-12);
+            prop_assert!(red <= params.receivers as f64 + 1.0);
+        }
+    }
+
+    /// With zero loss everywhere, every protocol climbs to the top layer
+    /// and stays there. The Uncoordinated climb out of level 7 is a
+    /// geometric wait with mean ~8k slots (join probability 2^{-12} at
+    /// half the slot rate), so its bound is probabilistic: allow level 7
+    /// stragglers but require the bulk at the top.
+    #[test]
+    fn lossless_runs_converge_to_top_layer(kind in arb_kind(), seed in any::<u64>()) {
+        let params = ExperimentParams {
+            receivers: 6,
+            packets: 120_000,
+            trials: 1,
+            seed,
+            ..ExperimentParams::quick(0.0, 0.0)
+        };
+        let report = experiment::run_trial(kind, &params, 0);
+        match kind {
+            ProtocolKind::Uncoordinated => {
+                for r in 0..params.receivers {
+                    prop_assert!(report.final_levels[r] >= 7, "receiver {} stuck", r);
+                }
+                let at_top = report.final_levels.iter().filter(|&&l| l == 8).count();
+                prop_assert!(at_top >= params.receivers / 2);
+            }
+            _ => {
+                for r in 0..params.receivers {
+                    prop_assert_eq!(report.final_levels[r], 8, "receiver {} stuck", r);
+                }
+            }
+        }
+        let red = report.shared_redundancy().unwrap();
+        // Early climbing produces a little transient redundancy only.
+        prop_assert!(red < 1.15, "lossless redundancy {red}");
+    }
+
+    /// Markov chains are well-formed and their stationary redundancy is ≥ 1
+    /// across the loss grid, for every protocol.
+    #[test]
+    fn markov_redundancy_bounds(
+        kind in arb_kind(),
+        p_s in 0.0f64..0.1,
+        p_1 in 0.0f64..0.1,
+        p_2 in 0.0f64..0.1,
+    ) {
+        let model = markov::two_receiver_chain(kind, 5, p_s, p_1, p_2);
+        let red = model.stationary_redundancy();
+        prop_assert!(red >= 1.0 - 1e-9, "{red}");
+        prop_assert!(red <= 16.0 + 1e-9, "{red}");
+        let (l1, l2) = model.stationary_levels();
+        prop_assert!((1.0..=5.0).contains(&l1));
+        prop_assert!((1.0..=5.0).contains(&l2));
+    }
+
+    /// The coordinated sender's dyadic markers nest: within any window of
+    /// 2^{t-1} base packets there is exactly one marker of threshold ≥ t.
+    #[test]
+    fn coordinated_markers_nest(start in 1u64..10_000, t in 1usize..7) {
+        let sender = CoordinatedSender::new(8);
+        let window = 1u64 << (t - 1);
+        let count = (start..start + window)
+            .filter(|&k| sender.threshold_for(k) >= t)
+            .count();
+        prop_assert_eq!(count, 1);
+    }
+}
+
+/// Simulation vs exact Markov chain on the two-receiver star: the
+/// Uncoordinated protocol's chain is exact, so the simulated redundancy
+/// must converge to the chain's stationary value.
+#[test]
+fn simulation_agrees_with_markov_for_uncoordinated() {
+    let (p_s, p_i) = (0.001, 0.04);
+    let layers = 6;
+    let model =
+        markov::two_receiver_chain(ProtocolKind::Uncoordinated, layers, p_s, p_i, p_i);
+    let exact = model.stationary_redundancy();
+
+    let params = ExperimentParams {
+        layers,
+        receivers: 2,
+        shared_loss: p_s,
+        independent_loss: p_i,
+        packets: 300_000,
+        trials: 8,
+        seed: 0xFEED,
+        join_latency: 0,
+        leave_latency: 0,
+    };
+    let out = experiment::run_point(ProtocolKind::Uncoordinated, &params);
+    let simulated = out.redundancy.mean();
+    let rel = (simulated - exact).abs() / exact;
+    assert!(
+        rel < 0.05,
+        "simulated {simulated:.4} vs exact {exact:.4} (rel err {rel:.3})"
+    );
+}
