@@ -3,7 +3,8 @@
 //! as micro-cases.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mlf_core::{max_min_allocation, max_min_allocation_with, LinkRateConfig, LinkRateModel};
+use mlf_core::allocator::{Allocator, Hybrid, SolverWorkspace};
+use mlf_core::{LinkRateConfig, LinkRateModel};
 use mlf_net::topology::random_network;
 use mlf_net::SessionType;
 use std::hint::black_box;
@@ -11,11 +12,28 @@ use std::hint::black_box;
 fn bench_paper_examples(c: &mut Criterion) {
     let fig1 = mlf_net::paper::figure1();
     let fig2 = mlf_net::paper::figure2();
+    let allocator = Hybrid::as_declared();
+    let mut ws = SolverWorkspace::new();
     c.bench_function("allocator/figure1", |b| {
-        b.iter(|| black_box(max_min_allocation(&fig1.network)))
+        b.iter(|| {
+            black_box(
+                allocator
+                    .solve(&fig1.network, &mut ws)
+                    .allocation
+                    .total_rate(),
+            )
+        })
     });
+    let mut ws = SolverWorkspace::new();
     c.bench_function("allocator/figure2_single_rate", |b| {
-        b.iter(|| black_box(max_min_allocation(&fig2.network)))
+        b.iter(|| {
+            black_box(
+                allocator
+                    .solve(&fig2.network, &mut ws)
+                    .allocation
+                    .total_rate(),
+            )
+        })
     });
 }
 
@@ -26,7 +44,11 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{nodes}n_{sessions}s")),
             &net,
-            |b, net| b.iter(|| black_box(max_min_allocation(net))),
+            |b, net| {
+                let allocator = Hybrid::as_declared();
+                let mut ws = SolverWorkspace::new();
+                b.iter(|| black_box(allocator.solve(net, &mut ws).allocation.total_rate()))
+            },
         );
     }
     group.finish();
@@ -37,11 +59,13 @@ fn bench_session_types(c: &mut Criterion) {
     let net = random_network(7, 60, 20, 6);
     let multi = net.with_uniform_kind(SessionType::MultiRate);
     let single = net.with_uniform_kind(SessionType::SingleRate);
+    let allocator = Hybrid::as_declared();
+    let mut ws = SolverWorkspace::new();
     group.bench_function("multi_rate", |b| {
-        b.iter(|| black_box(max_min_allocation(&multi)))
+        b.iter(|| black_box(allocator.solve(&multi, &mut ws).allocation.total_rate()))
     });
     group.bench_function("single_rate", |b| {
-        b.iter(|| black_box(max_min_allocation(&single)))
+        b.iter(|| black_box(allocator.solve(&single, &mut ws).allocation.total_rate()))
     });
     group.finish();
 }
@@ -52,15 +76,20 @@ fn bench_link_rate_models(c: &mut Criterion) {
     let m = net.session_count();
     for (name, cfg) in [
         ("efficient", LinkRateConfig::efficient(m)),
-        ("scaled2", LinkRateConfig::uniform(m, LinkRateModel::Scaled(2.0))),
+        (
+            "scaled2",
+            LinkRateConfig::uniform(m, LinkRateModel::Scaled(2.0)),
+        ),
         ("sum", LinkRateConfig::uniform(m, LinkRateModel::Sum)),
         (
             "random_join",
             LinkRateConfig::uniform(m, LinkRateModel::RandomJoin { sigma: 100.0 }),
         ),
     ] {
+        let allocator = Hybrid::as_declared().with_config(cfg.clone());
+        let mut ws = SolverWorkspace::new();
         group.bench_function(name, |b| {
-            b.iter(|| black_box(max_min_allocation_with(&net, &cfg)))
+            b.iter(|| black_box(allocator.solve(&net, &mut ws).allocation.total_rate()))
         });
     }
     group.finish();
@@ -69,7 +98,7 @@ fn bench_link_rate_models(c: &mut Criterion) {
 fn bench_property_checks(c: &mut Criterion) {
     let net = random_network(11, 60, 20, 6);
     let cfg = LinkRateConfig::efficient(net.session_count());
-    let alloc = max_min_allocation(&net);
+    let alloc = Hybrid::as_declared().allocate(&net);
     c.bench_function("properties/check_all_60n_20s", |b| {
         b.iter(|| black_box(mlf_core::check_all(&net, &cfg, &alloc)))
     });

@@ -36,7 +36,13 @@ fn bench_receiver_scaling(c: &mut Criterion) {
             BenchmarkId::from_parameter(receivers),
             &params,
             |b, params| {
-                b.iter(|| black_box(experiment::run_trial(ProtocolKind::Deterministic, params, 0)))
+                b.iter(|| {
+                    black_box(experiment::run_trial(
+                        ProtocolKind::Deterministic,
+                        params,
+                        0,
+                    ))
+                })
             },
         );
     }

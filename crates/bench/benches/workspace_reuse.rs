@@ -1,0 +1,125 @@
+//! Benchmarks the tentpole hot-path claim: `Allocator::solve` with a reused
+//! `SolverWorkspace` vs the legacy per-call free-function path, on the
+//! Figure 5 random-join sweep (RandomJoin link-rate models force the
+//! bisection solver, the allocator's most scratch-hungry code path).
+//!
+//! Alongside wall-clock timings, a counting global allocator reports heap
+//! allocations **per solve** for both paths — the number the workspace
+//! design exists to cut.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlf_core::allocator::{Allocator, Hybrid, SolverWorkspace};
+use mlf_core::{LinkRateConfig, LinkRateModel};
+use mlf_net::topology::random_network;
+use mlf_net::Network;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// only addition is a relaxed counter increment on the allocation path.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCATIONS.load(Ordering::Relaxed) - before)
+}
+
+/// The sweep corpus: one network per seed, all sessions under the Appendix B
+/// random-join model (Figure 5's setting, fed back into the allocator).
+fn sweep_corpus() -> (Vec<Network>, LinkRateConfig) {
+    let nets: Vec<Network> = (0..24u64).map(|s| random_network(s, 30, 8, 5)).collect();
+    let cfg = LinkRateConfig::uniform(8, LinkRateModel::RandomJoin { sigma: 6.0 });
+    (nets, cfg)
+}
+
+#[allow(deprecated)]
+fn legacy_sweep(nets: &[Network], cfg: &LinkRateConfig) -> f64 {
+    nets.iter()
+        .map(|net| mlf_core::max_min_allocation_with(net, cfg).total_rate())
+        .sum()
+}
+
+fn workspace_sweep(nets: &[Network], allocator: &Hybrid, ws: &mut SolverWorkspace) -> f64 {
+    nets.iter()
+        .map(|net| allocator.solve(net, ws).allocation.total_rate())
+        .sum()
+}
+
+fn report_allocation_counts(nets: &[Network], cfg: &LinkRateConfig) {
+    let allocator = Hybrid::as_declared().with_config(cfg.clone());
+    let mut ws = SolverWorkspace::new();
+    // Warm the workspace so steady-state reuse is measured, then compare.
+    let (warm_total, _) = allocations_during(|| workspace_sweep(nets, &allocator, &mut ws));
+    let (reused_total, reused_allocs) =
+        allocations_during(|| workspace_sweep(nets, &allocator, &mut ws));
+    let (legacy_total, legacy_allocs) = allocations_during(|| legacy_sweep(nets, cfg));
+    assert_eq!(warm_total, reused_total);
+    assert_eq!(reused_total, legacy_total, "paths must agree");
+    let n = nets.len() as u64;
+    println!(
+        "allocations/solve over the {n}-network random-join sweep: \
+         legacy per-call path {}  |  reused workspace {}  ({:.1}x fewer)",
+        legacy_allocs / n,
+        reused_allocs / n,
+        legacy_allocs as f64 / reused_allocs.max(1) as f64
+    );
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let (nets, cfg) = sweep_corpus();
+    report_allocation_counts(&nets, &cfg);
+
+    let mut group = c.benchmark_group("allocator/fig5_random_join_sweep");
+    group.bench_function("legacy_per_call", |b| {
+        b.iter(|| black_box(legacy_sweep(&nets, &cfg)))
+    });
+    let allocator = Hybrid::as_declared().with_config(cfg.clone());
+    let mut ws = SolverWorkspace::new();
+    group.bench_function("reused_workspace", |b| {
+        b.iter(|| black_box(workspace_sweep(&nets, &allocator, &mut ws)))
+    });
+    group.finish();
+}
+
+fn bench_single_network_resolve(c: &mut Criterion) {
+    // The simulation-loop shape: the same network solved over and over.
+    let net = random_network(7, 40, 10, 5);
+    let cfg = LinkRateConfig::efficient(10);
+    let allocator = Hybrid::as_declared().with_config(cfg.clone());
+    let mut ws = SolverWorkspace::new();
+    let mut group = c.benchmark_group("allocator/repeated_resolve_40n_10s");
+    #[allow(deprecated)]
+    group.bench_function("legacy_per_call", |b| {
+        b.iter(|| black_box(mlf_core::max_min_allocation_with(&net, &cfg)))
+    });
+    group.bench_function("reused_workspace", |b| {
+        b.iter(|| black_box(allocator.solve(&net, &mut ws).allocation.total_rate()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_single_network_resolve);
+criterion_main!(benches);

@@ -7,16 +7,25 @@
 //! `cargo run --release -p mlf-bench --bin ablation_active
 //!    [--trials 5] [--packets 30000] [--receivers 30]`
 
-use mlf_bench::{write_csv, Args, Table};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
 use mlf_protocols::{active, experiment, ExperimentParams, ProtocolKind};
 use mlf_sim::RunningStats;
 
+const KNOBS: &[cli::Knob] = &[
+    knob("trials", "5", "trials per point"),
+    knob("packets", "30000", "base-layer packets per trial"),
+    knob("receivers", "30", "receivers on the star"),
+];
+
 fn main() {
-    let args = Args::from_env();
-    let trials: usize = args.get("trials", 5);
-    let packets: u64 = args.get("packets", 30_000);
-    let receivers: usize = args.get("receivers", 30);
-    args.finish();
+    let args = Args::for_binary(
+        "ablation_active",
+        "Active-node ablation: hub-delegated control vs the paper's protocols",
+        KNOBS,
+    );
+    let trials: usize = or_exit(args.get("trials", 5));
+    let packets: u64 = or_exit(args.get("packets", 30_000));
+    let receivers: usize = or_exit(args.get("receivers", 30));
 
     println!(
         "Active-node ablation: {receivers} receivers, shared loss 1e-4, \
@@ -60,9 +69,7 @@ fn main() {
             if let Some(r) = report.shared_redundancy() {
                 red.push(r);
             }
-            goodput.push(
-                (0..receivers).map(|r| report.goodput(r)).sum::<f64>() / receivers as f64,
-            );
+            goodput.push((0..receivers).map(|r| report.goodput(r)).sum::<f64>() / receivers as f64);
         }
         cells.push(format!("{:.3}", red.mean()));
         cells.push(format!("{:.4}", goodput.mean()));

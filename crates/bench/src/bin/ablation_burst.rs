@@ -8,17 +8,29 @@
 //! `cargo run --release -p mlf-bench --bin ablation_burst
 //!    [--trials 5] [--packets 30000] [--receivers 30] [--loss 0.03]`
 
-use mlf_bench::{write_csv, Args, Table};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
 use mlf_protocols::{make_receiver, CoordinatedSender, ProtocolKind};
-use mlf_sim::{run_star, LossProcess, NoMarkers, ReceiverController, RunningStats, SimRng, StarConfig};
+use mlf_sim::{
+    run_star, LossProcess, NoMarkers, ReceiverController, RunningStats, SimRng, StarConfig,
+};
+
+const KNOBS: &[cli::Knob] = &[
+    knob("trials", "5", "trials per point"),
+    knob("packets", "30000", "base-layer packets per trial"),
+    knob("receivers", "30", "receivers on the star"),
+    knob("loss", "0.03", "average independent loss rate"),
+];
 
 fn main() {
-    let args = Args::from_env();
-    let trials: usize = args.get("trials", 5);
-    let packets: u64 = args.get("packets", 30_000);
-    let receivers: usize = args.get("receivers", 30);
-    let loss: f64 = args.get("loss", 0.03);
-    args.finish();
+    let args = Args::for_binary(
+        "ablation_burst",
+        "Burst-loss ablation: Gilbert-Elliott vs Bernoulli at equal average loss",
+        KNOBS,
+    );
+    let trials: usize = or_exit(args.get("trials", 5));
+    let packets: u64 = or_exit(args.get("packets", 30_000));
+    let receivers: usize = or_exit(args.get("receivers", 30));
+    let loss: f64 = or_exit(args.get("loss", 0.03));
 
     println!(
         "Burst-loss ablation: average independent loss {loss}, shared 1e-4, \
@@ -35,7 +47,14 @@ fn main() {
         for kind in ProtocolKind::ALL {
             let mut stats = RunningStats::new();
             for trial in 0..trials {
-                stats.push(run_once(kind, receivers, loss, burst, packets, trial as u64));
+                stats.push(run_once(
+                    kind,
+                    receivers,
+                    loss,
+                    burst,
+                    packets,
+                    trial as u64,
+                ));
             }
             cells.push(format!("{:.3}", stats.mean()));
         }
@@ -79,7 +98,13 @@ fn run_once(
             let mut sender = CoordinatedSender::new(layers);
             run_star(&cfg, &mut controllers, &mut sender, packets, 0x2B + trial)
         }
-        _ => run_star(&cfg, &mut controllers, &mut NoMarkers, packets, 0x2B + trial),
+        _ => run_star(
+            &cfg,
+            &mut controllers,
+            &mut NoMarkers,
+            packets,
+            0x2B + trial,
+        ),
     };
     report.shared_redundancy().unwrap_or(1.0)
 }

@@ -7,17 +7,28 @@
 //! `cargo run --release -p mlf-bench --bin ablation_latency
 //!    [--trials 5] [--packets 30000] [--receivers 30]`
 
-use mlf_bench::{write_csv, Args, Table};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
 use mlf_protocols::{experiment, ExperimentParams, ProtocolKind};
 
-fn main() {
-    let args = Args::from_env();
-    let trials: usize = args.get("trials", 5);
-    let packets: u64 = args.get("packets", 30_000);
-    let receivers: usize = args.get("receivers", 30);
-    args.finish();
+const KNOBS: &[cli::Knob] = &[
+    knob("trials", "5", "trials per point"),
+    knob("packets", "30000", "base-layer packets per trial"),
+    knob("receivers", "30", "receivers on the star"),
+];
 
-    println!("Leave-latency ablation: Deterministic protocol, shared loss 1e-4, independent 0.03\n");
+fn main() {
+    let args = Args::for_binary(
+        "ablation_latency",
+        "Leave-latency ablation: prune latency vs redundancy (Section 5 prediction)",
+        KNOBS,
+    );
+    let trials: usize = or_exit(args.get("trials", 5));
+    let packets: u64 = or_exit(args.get("packets", 30_000));
+    let receivers: usize = or_exit(args.get("receivers", 30));
+
+    println!(
+        "Leave-latency ablation: Deterministic protocol, shared loss 1e-4, independent 0.03\n"
+    );
     let mut t = Table::new(["leave latency (slots)", "redundancy", "ci95", "mean level"]);
     for latency in [0u64, 16, 64, 256, 1024, 4096] {
         let params = ExperimentParams {

@@ -7,21 +7,31 @@
 //! `cargo run --release -p mlf-bench --bin ext_tree_protocols
 //!    [--depth 3] [--loss 0.03] [--packets 40000] [--trials 3]`
 
-use mlf_bench::{write_csv, Args, Table};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
+use mlf_net::{LinkId, Network, Session};
 use mlf_protocols::{make_receiver, CoordinatedSender, ProtocolKind};
 use mlf_sim::{
     tree::{run_tree, TreeConfig},
     LossProcess, NoMarkers, ReceiverController, RunningStats, SimRng,
 };
-use mlf_net::{LinkId, Network, Session};
+
+const KNOBS: &[cli::Knob] = &[
+    knob("depth", "3", "depth of the binary multicast tree"),
+    knob("loss", "0.03", "per-link Bernoulli loss rate"),
+    knob("packets", "40000", "base-layer packets per trial"),
+    knob("trials", "3", "trials per protocol"),
+];
 
 fn main() {
-    let args = Args::from_env();
-    let depth: usize = args.get("depth", 3);
-    let loss: f64 = args.get("loss", 0.03);
-    let packets: u64 = args.get("packets", 40_000);
-    let trials: usize = args.get("trials", 3);
-    args.finish();
+    let args = Args::for_binary(
+        "ext_tree_protocols",
+        "Tree-topology extension: per-level protocol redundancy",
+        KNOBS,
+    );
+    let depth: usize = or_exit(args.get("depth", 3));
+    let loss: f64 = or_exit(args.get("loss", 0.03));
+    let packets: u64 = or_exit(args.get("packets", 40_000));
+    let trials: usize = or_exit(args.get("trials", 3));
 
     let (net, level_of_link) = binary_tree_session(depth);
     let leaves = net.session(mlf_net::SessionId(0)).receivers.len();
@@ -30,10 +40,14 @@ fn main() {
          {packets} packets x {trials} trials\n"
     );
 
-    let mut t = Table::new(["tree level", "Uncoordinated", "Deterministic", "Coordinated"]);
+    let mut t = Table::new([
+        "tree level",
+        "Uncoordinated",
+        "Deterministic",
+        "Coordinated",
+    ]);
     let levels = depth;
-    let mut per_level: Vec<Vec<RunningStats>> =
-        vec![vec![RunningStats::new(); 3]; levels];
+    let mut per_level: Vec<Vec<RunningStats>> = vec![vec![RunningStats::new(); 3]; levels];
     for (p_idx, kind) in ProtocolKind::ALL.into_iter().enumerate() {
         for trial in 0..trials {
             let report = run_once(&net, kind, loss, packets, trial as u64);
@@ -95,7 +109,13 @@ fn run_once(
     let layers = 8;
     let cfg = TreeConfig {
         layer_rates: (0..layers)
-            .map(|i| if i == 0 { 1.0 } else { (1u64 << (i - 1)) as f64 })
+            .map(|i| {
+                if i == 0 {
+                    1.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                }
+            })
             .collect(),
         link_loss: vec![LossProcess::bernoulli(loss); net.link_count()],
         join_latency: 0,
@@ -109,8 +129,22 @@ fn run_once(
     match kind {
         ProtocolKind::Coordinated => {
             let mut sender = CoordinatedSender::new(layers);
-            run_tree(net, &cfg, &mut controllers, &mut sender, packets, 0x11 + trial)
+            run_tree(
+                net,
+                &cfg,
+                &mut controllers,
+                &mut sender,
+                packets,
+                0x11 + trial,
+            )
         }
-        _ => run_tree(net, &cfg, &mut controllers, &mut NoMarkers, packets, 0x11 + trial),
+        _ => run_tree(
+            net,
+            &cfg,
+            &mut controllers,
+            &mut NoMarkers,
+            packets,
+            0x11 + trial,
+        ),
     }
 }

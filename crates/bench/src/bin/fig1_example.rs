@@ -1,18 +1,25 @@
 //! Figure 1 regenerator: the three-session example network, its multi-rate
 //! max-min fair allocation, per-link session rates, and the property audit
-//! the prose walks through.
+//! the prose walks through — composed as a `Scenario`.
 //!
 //! `cargo run -p mlf-bench --bin fig1_example`
 
 use mlf_bench::{write_csv, Table};
-use mlf_core::{max_min_allocation, properties, LinkRateConfig};
+use mlf_core::LinkRateConfig;
 use mlf_net::{paper, LinkId, SessionId};
+use mlf_scenario::Scenario;
 
 fn main() {
     let example = paper::figure1();
-    let net = &example.network;
+    let mut scenario = Scenario::builder()
+        .label("figure1")
+        .network(example.network)
+        .build()
+        .expect("figure 1 scenario");
+    let report = scenario.run();
+    let net = scenario.network().expect("fixed network");
     let cfg = LinkRateConfig::efficient(net.session_count());
-    let alloc = max_min_allocation(net);
+    let alloc = &report.solution.allocation;
 
     println!("Figure 1: multi-rate max-min fair allocation\n");
     let mut rates = Table::new(["receiver", "rate", "paper"]);
@@ -38,10 +45,9 @@ fn main() {
     }
     print!("{links}");
 
-    let report = properties::check_all(net, &cfg, &alloc);
     println!(
         "\nAll four fairness properties hold: {} (paper: yes)",
-        report.all_hold()
+        report.fairness.expect("properties audited").all_hold()
     );
 
     let path = write_csv(".", "fig1_example", &rates.records()).expect("csv");

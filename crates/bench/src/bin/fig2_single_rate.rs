@@ -1,22 +1,39 @@
 //! Figure 2 regenerator: the single-rate failure example. Prints the
 //! single-rate max-min allocation, the multi-rate replacement, which of the
-//! four fairness properties each satisfies, and the Lemma 3 ordering.
+//! four fairness properties each satisfies, and the Lemma 3 ordering —
+//! two `Scenario`s over the same topology, differing only in allocator.
 //!
 //! `cargo run -p mlf-bench --bin fig2_single_rate`
 
 use mlf_bench::{write_csv, Table};
-use mlf_core::{is_strictly_min_unfavorable, max_min_allocation, properties, LinkRateConfig};
+use mlf_core::allocator::{Hybrid, MultiRate};
+use mlf_core::is_strictly_min_unfavorable;
 use mlf_net::paper;
+use mlf_scenario::Scenario;
 
 fn main() {
-    let single = paper::figure2();
-    let multi = paper::figure2_multi_rate();
-    let cfg = LinkRateConfig::efficient(2);
+    let example = paper::figure2();
+    // The declared regime (S1 single-rate) vs the multi-rate replacement:
+    // one network, two allocators.
+    let mut declared = Scenario::builder()
+        .label("figure2-declared")
+        .network(example.network.clone())
+        .allocator(Hybrid::as_declared())
+        .build()
+        .expect("figure 2 scenario");
+    let mut replaced = Scenario::builder()
+        .label("figure2-multi-rate")
+        .network(example.network)
+        .allocator(MultiRate::new())
+        .build()
+        .expect("figure 2 scenario");
 
-    let a_single = max_min_allocation(&single.network);
-    let a_multi = max_min_allocation(&multi.network);
-    let r_single = properties::check_all(&single.network, &cfg, &a_single);
-    let r_multi = properties::check_all(&multi.network, &cfg, &a_multi);
+    let single_report = declared.run();
+    let multi_report = replaced.run();
+    let a_single = &single_report.solution.allocation;
+    let a_multi = &multi_report.solution.allocation;
+    let r_single = single_report.fairness.expect("audited");
+    let r_multi = multi_report.fairness.expect("audited");
 
     println!("Figure 2: single-rate S1 vs its multi-rate replacement\n");
     let mut t = Table::new(["receiver", "single-rate", "multi-rate"]);
@@ -54,9 +71,7 @@ fn main() {
     ] {
         println!("  {name:<32} {s:<12} {m}");
     }
-    println!(
-        "\npaper: single-rate holds only property 4; multi-rate holds all four."
-    );
+    println!("\npaper: single-rate holds only property 4; multi-rate holds all four.");
     println!(
         "Lemma 3 ordering (single <m multi): {}",
         is_strictly_min_unfavorable(&a_single.ordered_vector(), &a_multi.ordered_vector())

@@ -1,24 +1,27 @@
 //! Figure 3 regenerator: receiver removal moves max-min fair rates in
 //! *either* direction. Prints both example networks before/after removing
-//! `r3,2` next to the paper's values.
+//! `r3,2` next to the paper's values. One allocator + one workspace serve
+//! all four solves.
 //!
 //! `cargo run -p mlf-bench --bin fig3_removal`
 
 use mlf_bench::{write_csv, Table};
-use mlf_core::max_min_allocation;
+use mlf_core::allocator::{Allocator, Hybrid, SolverWorkspace};
 use mlf_net::paper::{self, RemovalExample};
 
 fn main() {
     println!("Figure 3: the effect of removing receiver r3,2\n");
-    run("3(a) intra-session DECREASE", paper::figure3a());
+    let mut ws = SolverWorkspace::new();
+    run("3(a) intra-session DECREASE", paper::figure3a(), &mut ws);
     println!();
-    run("3(b) intra-session INCREASE", paper::figure3b());
+    run("3(b) intra-session INCREASE", paper::figure3b(), &mut ws);
 }
 
-fn run(title: &str, ex: RemovalExample) {
-    let before = max_min_allocation(&ex.network);
+fn run(title: &str, ex: RemovalExample, ws: &mut SolverWorkspace) {
+    let allocator = Hybrid::as_declared();
+    let before = allocator.solve(&ex.network, ws).allocation;
     let after_net = ex.network.without_receiver(ex.removed).expect("removable");
-    let after = max_min_allocation(&after_net);
+    let after = allocator.solve(&after_net, ws).allocation;
 
     println!("-- Figure {title} --");
     let mut t = Table::new(["receiver", "before", "after", "paper before", "paper after"]);

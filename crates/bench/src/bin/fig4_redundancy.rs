@@ -1,24 +1,38 @@
 //! Figure 4 regenerator: redundancy 2 on the shared link breaks the
 //! session-perspective fairness properties while the receiver-perspective
-//! ones survive.
+//! ones survive. Two `Scenario`s: the redundant link-rate config vs the
+//! efficient counterfactual.
 //!
 //! `cargo run -p mlf-bench --bin fig4_redundancy`
 
 use mlf_bench::{write_csv, Table};
-use mlf_core::{
-    max_min_allocation, max_min_allocation_with, properties, redundancy, LinkRateConfig,
-    LinkRateModel,
-};
+use mlf_core::{redundancy, LinkRateConfig, LinkRateModel};
 use mlf_net::{paper, LinkId, SessionId};
+use mlf_scenario::{LinkRates, Scenario};
 
 fn main() {
     let ex = paper::figure4();
-    let net = &ex.network;
     let redundant = LinkRateConfig::efficient(2).with_session(0, LinkRateModel::Scaled(2.0));
-    let efficient = LinkRateConfig::efficient(2);
 
-    let a_red = max_min_allocation_with(net, &redundant);
-    let a_eff = max_min_allocation(net);
+    // The scenario's link-rate config drives both the solve and the
+    // property audit — one source of truth.
+    let mut scenario_red = Scenario::builder()
+        .label("figure4-redundant")
+        .network(ex.network.clone())
+        .link_rates(LinkRates::Explicit(redundant.clone()))
+        .build()
+        .expect("figure 4 scenario");
+    let mut scenario_eff = Scenario::builder()
+        .label("figure4-efficient")
+        .network(ex.network)
+        .build()
+        .expect("figure 4 scenario");
+
+    let report_red = scenario_red.run();
+    let report_eff = scenario_eff.run();
+    let net = scenario_red.network().expect("fixed network");
+    let a_red = &report_red.solution.allocation;
+    let a_eff = &report_eff.solution.allocation;
 
     println!("Figure 4: S1 with redundancy 2 on shared links\n");
     let mut t = Table::new(["receiver", "redundant v=2", "efficient v=1"]);
@@ -37,10 +51,10 @@ fn main() {
         a_red.session_link_rate(net, &redundant, LinkId(3), SessionId(0)),
         a_red.session_link_rate(net, &redundant, LinkId(3), SessionId(1)),
         net.graph().capacity(LinkId(3)),
-        redundancy(net, &redundant, &a_red, LinkId(3), SessionId(0)).unwrap(),
+        redundancy(net, &redundant, a_red, LinkId(3), SessionId(0)).unwrap(),
     );
 
-    let rep = properties::check_all(net, &redundant, &a_red);
+    let rep = report_red.fairness.expect("audited");
     println!("\nProperties under redundancy 2:");
     println!(
         "  receiver-perspective (1, 2): {} {}   <- survive, as the paper notes",
@@ -53,10 +67,9 @@ fn main() {
         rep.per_session_link_fair()
     );
 
-    let rep_eff = properties::check_all(net, &efficient, &a_eff);
     println!(
         "\nEfficient counterfactual holds all four properties: {}",
-        rep_eff.all_hold()
+        report_eff.fairness.expect("audited").all_hold()
     );
 
     let path = write_csv(".", "fig4_redundancy", &t.records()).expect("csv");

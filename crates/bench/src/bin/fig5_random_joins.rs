@@ -5,15 +5,36 @@
 //! `cargo run --release -p mlf-bench --bin fig5_random_joins
 //!    [--max-receivers 100] [--mc-quanta 200] [--mc-sigma 100]`
 
-use mlf_bench::{write_csv, Args, Table};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
 use mlf_layering::randomjoin::{self, Figure5Config};
 
+const KNOBS: &[cli::Knob] = &[
+    knob(
+        "max-receivers",
+        "100",
+        "largest receiver count on the x axis",
+    ),
+    knob(
+        "mc-quanta",
+        "200",
+        "Monte-Carlo quanta per confirmation point",
+    ),
+    knob(
+        "mc-sigma",
+        "100",
+        "packets per quantum in the Monte-Carlo runs",
+    ),
+];
+
 fn main() {
-    let args = Args::from_env();
-    let max_receivers: usize = args.get("max-receivers", 100);
-    let mc_quanta: usize = args.get("mc-quanta", 200);
-    let mc_sigma: usize = args.get("mc-sigma", 100);
-    args.finish();
+    let args = Args::for_binary(
+        "fig5_random_joins",
+        "Figure 5 regenerator: single-layer random-join redundancy",
+        KNOBS,
+    );
+    let max_receivers: usize = or_exit(args.get("max-receivers", 100));
+    let mc_quanta: usize = or_exit(args.get("mc-quanta", 200));
+    let mc_sigma: usize = or_exit(args.get("mc-sigma", 100));
 
     // Log-spaced x-axis like the paper's log plot.
     let mut xs = vec![1usize, 2, 3, 4, 5, 7, 10, 14, 20, 30, 50, 70];

@@ -4,16 +4,25 @@
 //!
 //! `cargo run -p mlf-bench --bin fig6_fair_rate_impact [--steps 19]`
 
-use mlf_bench::{write_csv, Args, Table};
-use mlf_core::{max_min_allocation_with, redundancy, LinkRateConfig, LinkRateModel};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
+use mlf_core::{redundancy, LinkRateConfig, LinkRateModel};
 use mlf_net::{Graph, Network, Session};
+use mlf_scenario::{LinkRates, Scenario};
 
 const FRACTIONS: [f64; 4] = [0.01, 0.05, 0.1, 1.0];
+const KNOBS: &[cli::Knob] = &[knob(
+    "steps",
+    "19",
+    "number of redundancy steps on the v axis",
+)];
 
 fn main() {
-    let args = Args::from_env();
-    let steps: usize = args.get("steps", 19);
-    args.finish();
+    let args = Args::for_binary(
+        "fig6_fair_rate_impact",
+        "Figure 6 regenerator: normalized fair rate vs redundancy",
+        KNOBS,
+    );
+    let steps: usize = or_exit(args.get("steps", 19));
 
     println!("Figure 6: normalized fair rate vs redundancy v\n");
     let mut t = Table::new(["v", "m/n=0.01", "m/n=0.05", "m/n=0.1", "m/n=1"]);
@@ -24,8 +33,15 @@ fn main() {
 
     // Allocator cross-check at m/n = 0.1 (n = 20 sessions, m = 2), v = 4.
     let (net, cfg) = bottleneck(100.0, 20, 2, 4.0);
-    let alloc = max_min_allocation_with(&net, &cfg);
-    let measured = alloc.min_rate() / (100.0 / 20.0);
+    let mut scenario = Scenario::builder()
+        .label("figure6-cross-check")
+        .network(net)
+        .link_rates(LinkRates::Explicit(cfg))
+        .check_properties(false)
+        .build()
+        .expect("figure 6 scenario");
+    let report = scenario.run();
+    let measured = report.metrics.min_rate / (100.0 / 20.0);
     let predicted = redundancy::normalized_fair_rate(0.1, 4.0);
     println!(
         "\nallocator cross-check (n=20, m=2, v=4): measured {measured:.4}, closed form {predicted:.4}"

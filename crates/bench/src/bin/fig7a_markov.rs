@@ -6,30 +6,40 @@
 //!
 //! `cargo run -p mlf-bench --bin fig7a_markov [--layers 8] [--loss 0.04]`
 
-use mlf_bench::{write_csv, Args, Table};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
 use mlf_protocols::{markov, ProtocolKind};
 
-fn main() {
-    let args = Args::from_env();
-    let layers: usize = args.get("layers", 8);
-    let loss: f64 = args.get("loss", 0.04);
-    args.finish();
+const KNOBS: &[cli::Knob] = &[
+    knob("layers", "8", "number of layers in the ladder"),
+    knob("loss", "0.04", "total per-receiver loss budget"),
+];
 
-    println!(
-        "Two-receiver star, {layers} layers, total per-receiver loss ≈ {loss}\n"
+fn main() {
+    let args = Args::for_binary(
+        "fig7a_markov",
+        "Figure 7(a) regenerator: exact two-receiver Markov analysis",
+        KNOBS,
     );
+    let layers: usize = or_exit(args.get("layers", 8));
+    let loss: f64 = or_exit(args.get("loss", 0.04));
+
+    println!("Two-receiver star, {layers} layers, total per-receiver loss ≈ {loss}\n");
 
     // Sweep 1: shared vs independent split of the loss budget.
     println!("-- shared/independent split of the loss budget --\n");
-    let mut t = Table::new(["shared", "independent", "Uncoordinated", "Deterministic", "Coordinated"]);
+    let mut t = Table::new([
+        "shared",
+        "independent",
+        "Uncoordinated",
+        "Deterministic",
+        "Coordinated",
+    ]);
     for share in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let p_s = loss * share;
         let p_i = loss * (1.0 - share);
         let reds: Vec<f64> = ProtocolKind::ALL
             .iter()
-            .map(|&k| {
-                markov::two_receiver_chain(k, layers, p_s, p_i, p_i).stationary_redundancy()
-            })
+            .map(|&k| markov::two_receiver_chain(k, layers, p_s, p_i, p_i).stationary_redundancy())
             .collect();
         let mut cells = vec![format!("{p_s:.3}"), format!("{p_i:.3}")];
         cells.extend(reds.iter().map(|r| format!("{r:.4}")));

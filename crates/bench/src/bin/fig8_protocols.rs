@@ -11,18 +11,30 @@
 //! Scaled run for a quick look:
 //! `cargo run --release -p mlf-bench --bin fig8_protocols -- --trials 5 --packets 30000 --receivers 40`
 
-use mlf_bench::{write_csv, Args, Table};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
 use mlf_protocols::{experiment, ExperimentParams, ProtocolKind};
 
+const KNOBS: &[cli::Knob] = &[
+    knob("shared", "0.0001", "shared (sender-side) loss rate"),
+    knob("trials", "30", "trials per point"),
+    knob("packets", "100000", "base-layer packets per trial"),
+    knob("receivers", "100", "receivers on the star"),
+    knob("layers", "8", "layers in the ladder"),
+    knob("points", "11", "points on the independent-loss axis"),
+];
+
 fn main() {
-    let args = Args::from_env();
-    let shared: f64 = args.get("shared", 0.0001);
-    let trials: usize = args.get("trials", 30);
-    let packets: u64 = args.get("packets", 100_000);
-    let receivers: usize = args.get("receivers", 100);
-    let layers: usize = args.get("layers", 8);
-    let points: usize = args.get("points", 11);
-    args.finish();
+    let args = Args::for_binary(
+        "fig8_protocols",
+        "Figure 8 regenerator: protocol redundancy vs independent loss",
+        KNOBS,
+    );
+    let shared: f64 = or_exit(args.get("shared", 0.0001));
+    let trials: usize = or_exit(args.get("trials", 30));
+    let packets: u64 = or_exit(args.get("packets", 100_000));
+    let receivers: usize = or_exit(args.get("receivers", 100));
+    let layers: usize = or_exit(args.get("layers", 8));
+    let points: usize = or_exit(args.get("points", 11));
 
     let template = ExperimentParams {
         layers,
@@ -35,12 +47,18 @@ fn main() {
         join_latency: 0,
         leave_latency: 0,
     };
-    let losses: Vec<f64> = (0..points).map(|i| 0.1 * i as f64 / (points - 1) as f64).collect();
+    let losses: Vec<f64> = (0..points)
+        .map(|i| 0.1 * i as f64 / (points - 1) as f64)
+        .collect();
 
     println!(
         "Figure 8 ({}): {receivers} receivers, {layers} layers, shared loss {shared}, \
          {packets} packets x {trials} trials\n",
-        if shared < 0.01 { "a: low shared loss" } else { "b: high shared loss" }
+        if shared < 0.01 {
+            "a: low shared loss"
+        } else {
+            "b: high shared loss"
+        }
     );
 
     let mut t = Table::new([
@@ -78,7 +96,11 @@ fn main() {
         last_row[1], last_row[3], last_row[5]
     );
 
-    let name = if shared < 0.01 { "fig8a_protocols" } else { "fig8b_protocols" };
+    let name = if shared < 0.01 {
+        "fig8a_protocols"
+    } else {
+        "fig8b_protocols"
+    };
     let path = write_csv(".", name, &records).expect("csv");
     println!("series written to {}", path.display());
     let _ = ProtocolKind::ALL; // legend order documented in the table header

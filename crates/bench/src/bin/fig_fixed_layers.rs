@@ -3,13 +3,18 @@
 //!
 //! `cargo run -p mlf-bench --bin fig_fixed_layers [--capacity 6]`
 
-use mlf_bench::{write_csv, Args, Table};
+use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
 use mlf_layering::fixed;
 
+const KNOBS: &[cli::Knob] = &[knob("capacity", "6", "capacity of the single shared link")];
+
 fn main() {
-    let args = Args::from_env();
-    let capacity: f64 = args.get("capacity", 6.0);
-    args.finish();
+    let args = Args::for_binary(
+        "fig_fixed_layers",
+        "Section 3 fixed-layer example: no max-min fair allocation exists",
+        KNOBS,
+    );
+    let capacity: f64 = or_exit(args.get("capacity", 6.0));
 
     let analysis = fixed::section3_example(capacity);
     println!(
@@ -22,11 +27,7 @@ fn main() {
         let a1 = alloc.rates()[0][0];
         let a2 = alloc.rates()[1][0];
         let is_mm = fixed::is_max_min_within(alloc, &analysis.feasible);
-        t.row([
-            format!("{a1:.2}"),
-            format!("{a2:.2}"),
-            format!("{is_mm}"),
-        ]);
+        t.row([format!("{a1:.2}"), format!("{a2:.2}"), format!("{is_mm}")]);
     }
     print!("{t}");
     println!(

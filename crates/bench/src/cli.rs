@@ -2,68 +2,153 @@
 //!
 //! The binaries take a handful of numeric knobs (`--trials 30`,
 //! `--packets 100000`, `--shared 0.05`); pulling in a full CLI crate for
-//! that would violate the workspace's dependency policy, so this ~60-line
-//! parser does the job. Unknown keys abort with a message listing the
-//! knobs that were read, which doubles as `--help`.
+//! that would violate the workspace's dependency policy, so this small
+//! parser does the job. All fallible operations return [`Result`] — nothing
+//! here panics on user input. The binaries funnel errors through
+//! [`Args::for_binary`]/[`or_exit`], which print a `--help`-style message
+//! listing the known knobs and exit with status 2; `--help` itself prints
+//! the same message and exits 0.
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A malformed command line, with the message shown to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// One knob a binary accepts: flag name, default, one-line description.
+#[derive(Debug, Clone, Copy)]
+pub struct Knob {
+    /// The flag, without the `--` prefix.
+    pub key: &'static str,
+    /// Rendered default value.
+    pub default: &'static str,
+    /// What the knob controls.
+    pub help: &'static str,
+}
+
+/// Declare a binary's knob table (for its `--help` and error messages).
+pub const fn knob(key: &'static str, default: &'static str, help: &'static str) -> Knob {
+    Knob { key, default, help }
+}
+
+/// Render a usage message for a binary and its knobs.
+pub fn usage(binary: &str, about: &str, knobs: &[Knob]) -> String {
+    let mut out = format!("{about}\n\nusage: {binary} [--key value]...\n");
+    if !knobs.is_empty() {
+        out.push_str("\noptions:\n");
+        for k in knobs {
+            out.push_str(&format!(
+                "  --{:<16} {} (default {})\n",
+                k.key, k.help, k.default
+            ));
+        }
+    }
+    out.push_str("  --help             print this message\n");
+    out
+}
 
 /// Parsed command-line arguments.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     values: BTreeMap<String, String>,
-    consumed: std::cell::RefCell<Vec<String>>,
+    known: Vec<&'static str>,
 }
 
 impl Args {
     /// Parse `std::env::args()` (skipping the binary name).
-    pub fn from_env() -> Self {
+    pub fn from_env() -> Result<Self, CliError> {
         Self::parse(std::env::args().skip(1))
     }
 
     /// Parse an explicit token stream (used by tests).
-    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, CliError> {
         let mut values = BTreeMap::new();
         let mut it = tokens.into_iter().peekable();
         while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .unwrap_or_else(|| panic!("expected --key, got {tok:?}"));
+            let key = tok.strip_prefix("--").ok_or_else(|| {
+                CliError(format!(
+                    "expected --key, got {tok:?} (positional arguments are not accepted)"
+                ))
+            })?;
+            if key == "help" {
+                return Err(CliError("help".to_string()));
+            }
             let val = it
                 .next()
-                .unwrap_or_else(|| panic!("missing value for --{key}"));
+                .ok_or_else(|| CliError(format!("missing value for --{key}")))?;
             values.insert(key.to_string(), val);
         }
-        Args {
+        Ok(Args {
             values,
-            consumed: Default::default(),
+            known: Vec::new(),
+        })
+    }
+
+    /// Parse the environment against a binary's knob table: rejects unknown
+    /// flags up front, handles `--help`, and on any error prints the usage
+    /// message and exits (2 on errors, 0 for `--help`). The one-stop entry
+    /// point for `fn main`.
+    pub fn for_binary(binary: &'static str, about: &'static str, knobs: &'static [Knob]) -> Self {
+        let parsed = Self::from_env().and_then(|mut args| {
+            args.known = knobs.iter().map(|k| k.key).collect();
+            args.check_unknown()?;
+            Ok(args)
+        });
+        match parsed {
+            Ok(args) => args,
+            Err(CliError(msg)) if msg == "help" => {
+                println!("{}", usage(binary, about, knobs));
+                std::process::exit(0);
+            }
+            Err(CliError(msg)) => {
+                eprintln!("error: {msg}\n");
+                eprintln!("{}", usage(binary, about, knobs));
+                std::process::exit(2);
+            }
         }
     }
 
     /// Read a typed value with a default.
-    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
     where
-        T::Err: std::fmt::Debug,
+        T::Err: fmt::Debug,
     {
-        self.consumed.borrow_mut().push(key.to_string());
         match self.values.get(key) {
             Some(v) => v
                 .parse()
-                .unwrap_or_else(|e| panic!("bad value for --{key}: {v:?} ({e:?})")),
-            None => default,
+                .map_err(|e| CliError(format!("bad value for --{key}: {v:?} ({e:?})"))),
+            None => Ok(default),
         }
     }
 
-    /// Abort if any provided key was never consumed (typo protection).
-    /// Call after all `get`s.
-    pub fn finish(&self) {
-        let consumed = self.consumed.borrow();
+    /// Reject flags that are not in the declared knob table.
+    fn check_unknown(&self) -> Result<(), CliError> {
         for key in self.values.keys() {
-            if !consumed.contains(key) {
-                eprintln!("unknown option --{key}");
-                eprintln!("known options: {}", consumed.join(", "));
-                std::process::exit(2);
+            if !self.known.contains(&key.as_str()) {
+                return Err(CliError(format!("unknown option --{key}")));
             }
+        }
+        Ok(())
+    }
+}
+
+/// Unwrap a CLI result or print the error and exit with status 2 — the
+/// binaries' error funnel for post-parse failures (bad values).
+pub fn or_exit<T>(result: Result<T, CliError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
     }
 }
@@ -72,35 +157,61 @@ impl Args {
 mod tests {
     use super::*;
 
+    fn parse(tokens: &[&str]) -> Result<Args, CliError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn parses_typed_values_with_defaults() {
-        let args = Args::parse(
-            ["--trials", "7", "--shared", "0.05"]
-                .iter()
-                .map(|s| s.to_string()),
-        );
-        assert_eq!(args.get("trials", 30usize), 7);
-        assert_eq!(args.get("shared", 0.0001f64), 0.05);
-        assert_eq!(args.get("packets", 100_000u64), 100_000);
-        args.finish();
+        let args = parse(&["--trials", "7", "--shared", "0.05"]).unwrap();
+        assert_eq!(args.get("trials", 30usize).unwrap(), 7);
+        assert_eq!(args.get("shared", 0.0001f64).unwrap(), 0.05);
+        assert_eq!(args.get("packets", 100_000u64).unwrap(), 100_000);
     }
 
     #[test]
-    #[should_panic(expected = "missing value")]
-    fn missing_value_panics() {
-        let _ = Args::parse(["--trials".to_string()]);
+    fn missing_value_is_an_error_not_a_panic() {
+        let err = parse(&["--trials"]).unwrap_err();
+        assert!(err.to_string().contains("missing value for --trials"));
     }
 
     #[test]
-    #[should_panic(expected = "expected --key")]
-    fn positional_tokens_panic() {
-        let _ = Args::parse(["trials".to_string(), "7".to_string()]);
+    fn positional_tokens_are_an_error() {
+        let err = parse(&["trials", "7"]).unwrap_err();
+        assert!(err.to_string().contains("expected --key"));
     }
 
     #[test]
-    #[should_panic(expected = "bad value")]
-    fn unparseable_value_panics() {
-        let args = Args::parse(["--trials", "many"].iter().map(|s| s.to_string()));
-        let _: usize = args.get("trials", 1);
+    fn unparseable_value_is_an_error() {
+        let args = parse(&["--trials", "many"]).unwrap();
+        let err = args.get("trials", 1usize).unwrap_err();
+        assert!(err.to_string().contains("bad value for --trials"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_against_the_knob_table() {
+        let mut args = parse(&["--tirals", "7"]).unwrap();
+        args.known = vec!["trials", "packets"];
+        let err = args.check_unknown().unwrap_err();
+        assert!(err.to_string().contains("unknown option --tirals"));
+    }
+
+    #[test]
+    fn help_is_signalled() {
+        let err = parse(&["--help"]).unwrap_err();
+        assert_eq!(err, CliError("help".to_string()));
+    }
+
+    #[test]
+    fn usage_lists_every_knob() {
+        const KNOBS: &[Knob] = &[
+            knob("trials", "30", "number of trials"),
+            knob("packets", "100000", "packets per trial"),
+        ];
+        let text = usage("fig8_protocols", "Figure 8 regenerator", KNOBS);
+        assert!(text.contains("--trials"));
+        assert!(text.contains("number of trials"));
+        assert!(text.contains("--help"));
+        assert!(text.contains("fig8_protocols"));
     }
 }

@@ -3,7 +3,11 @@
 //! One binary per table/figure of the paper (see `src/bin/`), plus Criterion
 //! benchmarks (see `benches/`). This library holds the shared scaffolding:
 //! a plain-text table renderer, a CSV writer for plotting, and a tiny
-//! `--key value` argument parser so the binaries stay dependency-free.
+//! `Result`-based `--key value` argument parser so the binaries stay
+//! dependency-free and exit cleanly (status 2) on malformed input.
+//!
+//! The binaries compose their experiments through the `mlf-scenario`
+//! crate's `Scenario` builder and the `mlf-core` `Allocator` trait.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,6 +16,6 @@ pub mod cli;
 pub mod csvout;
 pub mod table;
 
-pub use cli::Args;
+pub use cli::{knob, or_exit, usage, Args, CliError, Knob};
 pub use csvout::write_csv;
 pub use table::Table;

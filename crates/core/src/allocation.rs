@@ -141,9 +141,9 @@ impl Allocation {
                 let first = self.rates[i][0];
                 for (k, &a) in self.rates[i].iter().enumerate() {
                     if (a - first).abs() > RATE_EPS {
-                        return Some(FeasibilityViolation::SingleRateMismatch(
-                            ReceiverId::new(i, k),
-                        ));
+                        return Some(FeasibilityViolation::SingleRateMismatch(ReceiverId::new(
+                            i, k,
+                        )));
                     }
                 }
             }
@@ -262,7 +262,10 @@ mod tests {
         let alloc = Allocation::from_rates(vec![vec![4.0, 2.1]]);
         assert!(matches!(
             alloc.feasibility_violation(&net, &cfg),
-            Some(FeasibilityViolation::OverCapacity { link: LinkId(0), .. })
+            Some(FeasibilityViolation::OverCapacity {
+                link: LinkId(0),
+                ..
+            })
         ));
     }
 
@@ -282,11 +285,7 @@ mod tests {
         let mut g = Graph::new();
         let n = g.add_nodes(2);
         g.add_link(n[0], n[1], 10.0).unwrap();
-        let net2 = Network::new(
-            g,
-            vec![Session::unicast(n[0], n[1]).with_max_rate(1.0)],
-        )
-        .unwrap();
+        let net2 = Network::new(g, vec![Session::unicast(n[0], n[1]).with_max_rate(1.0)]).unwrap();
         assert!(matches!(
             Allocation::from_rates(vec![vec![2.0]])
                 .feasibility_violation(&net2, &LinkRateConfig::efficient(1)),

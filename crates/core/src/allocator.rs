@@ -1,0 +1,558 @@
+//! The unified allocation API: one [`Allocator`] trait over every
+//! allocation regime the paper compares, plus the reusable
+//! [`SolverWorkspace`] that lets sweeps and simulations solve thousands of
+//! networks without re-allocating scratch buffers per call.
+//!
+//! The paper's core result compares four regimes — multi-rate max-min
+//! (Theorem 1's setting), single-rate max-min (Tzeng–Siu), weighted
+//! (TCP-fairness-style, the Section 5 extension), and the textbook unicast
+//! Bertsekas–Gallager baseline — plus arbitrary per-session mixes. Each is
+//! an [`Allocator`] implementation here:
+//!
+//! | Allocator | Regime |
+//! |-----------|--------|
+//! | [`MultiRate`] | every session multi-rate (Theorem 1) |
+//! | [`SingleRate`] | every session single-rate (Tzeng–Siu) |
+//! | [`Hybrid`] | per-session regime mix (`χ` as declared, or overridden) |
+//! | [`Weighted`] | weighted multi-rate max-min (`w = 1/RTT` TCP fairness) |
+//! | [`Unicast`] | Bertsekas–Gallager water-filling (differential baseline) |
+//!
+//! # Example
+//!
+//! ```
+//! use mlf_core::allocator::{Allocator, Hybrid, MultiRate, SolverWorkspace};
+//!
+//! let example = mlf_net::paper::figure2();
+//! let mut ws = SolverWorkspace::new();
+//!
+//! // The network's declared regime mix (S1 single-rate)…
+//! let declared = Hybrid::as_declared().solve(&example.network, &mut ws);
+//! // …versus the all-multi-rate counterfactual, reusing the same scratch.
+//! let multi = MultiRate::new().solve(&example.network, &mut ws);
+//! assert!(multi.allocation.min_rate() >= declared.allocation.min_rate());
+//! assert_eq!(ws.solves(), 2);
+//! ```
+
+use crate::allocation::Allocation;
+use crate::linkrate::LinkRateConfig;
+use crate::maxmin::{solve_in, FreezeReason, MaxMinSolution};
+use crate::unicast::unicast_solve_in;
+use crate::weighted::{weighted_solve_in, Weights};
+use mlf_net::{Network, SessionType};
+
+/// Reusable scratch state for the progressive-filling solvers.
+///
+/// A workspace owns every buffer a solve needs — per-receiver rate/active/
+/// reason tables, the piecewise-linear term and breakpoint arrays, and
+/// per-link scratch — so repeated [`Allocator::solve`] calls (parameter
+/// sweeps, simulation loops) reuse allocations instead of re-allocating per
+/// call. A workspace may be shared freely across allocators and networks of
+/// different shapes; buffers are resized, not reallocated, when shapes
+/// repeat.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    /// Per-receiver rates, `[session][receiver]`.
+    pub(crate) rates: Vec<Vec<f64>>,
+    /// Per-receiver active flags (still rising with the water level).
+    pub(crate) active: Vec<Vec<bool>>,
+    /// Per-receiver freeze diagnostics.
+    pub(crate) reasons: Vec<Vec<Option<FreezeReason>>>,
+    /// `(breakpoint, weight)` terms of a link's piecewise-linear load.
+    pub(crate) terms: Vec<(f64, f64)>,
+    /// Sorted breakpoint scan buffer.
+    pub(crate) breakpoints: Vec<f64>,
+    /// Per-call scratch rates (e.g. a session's rates on one link).
+    pub(crate) scratch: Vec<f64>,
+    /// Per-link accumulator (bandwidth used by frozen unicast flows).
+    pub(crate) link_used: Vec<f64>,
+    /// Per-link flags (binding links in the unicast solver).
+    pub(crate) link_flag: Vec<bool>,
+    solves: u64,
+}
+
+impl SolverWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// How many solves this workspace has served (telemetry for benches).
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Size the per-receiver tables for `net` and reset them to the
+    /// progressive-filling start state (all rates 0, everyone active).
+    /// Inner buffers are reused whenever shapes repeat.
+    pub(crate) fn reset(&mut self, net: &Network) {
+        let m = net.session_count();
+        self.rates.resize_with(m, Vec::new);
+        self.active.resize_with(m, Vec::new);
+        self.reasons.resize_with(m, Vec::new);
+        for (i, s) in net.sessions().iter().enumerate() {
+            let k = s.receivers.len();
+            self.rates[i].clear();
+            self.rates[i].resize(k, 0.0);
+            self.active[i].clear();
+            self.active[i].resize(k, true);
+            self.reasons[i].clear();
+            self.reasons[i].resize(k, None);
+        }
+        self.link_used.clear();
+        self.link_used.resize(net.link_count(), 0.0);
+        self.link_flag.clear();
+        self.link_flag.resize(net.link_count(), false);
+        self.solves += 1;
+    }
+
+    /// Package the frozen state as a [`MaxMinSolution`] (the only
+    /// allocations a warm solve performs are for this owned output).
+    pub(crate) fn take_solution(&self, iterations: usize) -> MaxMinSolution {
+        MaxMinSolution {
+            allocation: Allocation::from_rates(self.rates.clone()),
+            reasons: self
+                .reasons
+                .iter()
+                .map(|rs| {
+                    rs.iter()
+                        .map(|r| r.expect("every receiver froze"))
+                        .collect()
+                })
+                .collect(),
+            iterations,
+        }
+    }
+}
+
+/// How session types (`χ` in the paper) are chosen for a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Regimes {
+    /// Use each session's declared [`SessionType`].
+    AsDeclared,
+    /// Treat every session as the given type.
+    Uniform(SessionType),
+    /// Explicit per-session types (length must equal the session count).
+    PerSession(Vec<SessionType>),
+}
+
+impl Regimes {
+    /// The effective type of session `i` in `net`.
+    pub(crate) fn kind(&self, net: &Network, i: usize) -> SessionType {
+        match self {
+            Regimes::AsDeclared => net.sessions()[i].kind,
+            Regimes::Uniform(k) => *k,
+            Regimes::PerSession(ks) => ks[i],
+        }
+    }
+
+    fn check(&self, net: &Network) {
+        if let Regimes::PerSession(ks) = self {
+            assert_eq!(
+                ks.len(),
+                net.session_count(),
+                "per-session regime list must cover every session"
+            );
+        }
+    }
+}
+
+/// A max-min fair allocation solver for one regime of the paper.
+///
+/// Implementations are cheap, immutable specs; all mutable state lives in
+/// the caller's [`SolverWorkspace`], so one allocator can serve many
+/// networks concurrently (one workspace per thread) and sweeps can reuse
+/// scratch across solves.
+pub trait Allocator {
+    /// Compute the regime's unique max-min fair allocation of `net`,
+    /// with per-receiver freeze diagnostics.
+    fn solve(&self, net: &Network, ws: &mut SolverWorkspace) -> MaxMinSolution;
+
+    /// Convenience one-shot solve returning just the allocation.
+    fn allocate(&self, net: &Network) -> Allocation {
+        self.solve(net, &mut SolverWorkspace::new()).allocation
+    }
+
+    /// Solve under an explicit link-rate configuration, overriding any the
+    /// allocator carries. Returns `None` for allocators whose regime has no
+    /// link-rate parameterization ([`Weighted`] and [`Unicast`] are defined
+    /// for the efficient model only) — callers that need the override, like
+    /// `Scenario` model sweeps, treat `None` as a configuration error.
+    fn solve_with(
+        &self,
+        net: &Network,
+        cfg: &LinkRateConfig,
+        ws: &mut SolverWorkspace,
+    ) -> Option<MaxMinSolution> {
+        let _ = (net, cfg, ws);
+        None
+    }
+
+    /// Whether [`Allocator::solve_with`] honours a link-rate configuration.
+    fn supports_link_rates(&self) -> bool {
+        false
+    }
+
+    /// A short regime label for reports and benches.
+    fn name(&self) -> &'static str {
+        "allocator"
+    }
+}
+
+fn solve_regime(
+    net: &Network,
+    cfg: Option<&LinkRateConfig>,
+    regimes: &Regimes,
+    ws: &mut SolverWorkspace,
+) -> MaxMinSolution {
+    regimes.check(net);
+    match cfg {
+        Some(cfg) => solve_in(net, cfg, regimes, ws),
+        None => solve_in(
+            net,
+            &LinkRateConfig::efficient(net.session_count()),
+            regimes,
+            ws,
+        ),
+    }
+}
+
+/// Every session treated as multi-rate (Theorem 1's setting).
+#[derive(Debug, Clone, Default)]
+pub struct MultiRate {
+    cfg: Option<LinkRateConfig>,
+}
+
+impl MultiRate {
+    /// Multi-rate max-min under the efficient link-rate model.
+    pub fn new() -> Self {
+        MultiRate { cfg: None }
+    }
+
+    /// Multi-rate max-min under explicit per-session link-rate models.
+    pub fn with_config(cfg: LinkRateConfig) -> Self {
+        MultiRate { cfg: Some(cfg) }
+    }
+}
+
+impl Allocator for MultiRate {
+    fn solve(&self, net: &Network, ws: &mut SolverWorkspace) -> MaxMinSolution {
+        solve_regime(
+            net,
+            self.cfg.as_ref(),
+            &Regimes::Uniform(SessionType::MultiRate),
+            ws,
+        )
+    }
+
+    fn solve_with(
+        &self,
+        net: &Network,
+        cfg: &LinkRateConfig,
+        ws: &mut SolverWorkspace,
+    ) -> Option<MaxMinSolution> {
+        Some(solve_regime(
+            net,
+            Some(cfg),
+            &Regimes::Uniform(SessionType::MultiRate),
+            ws,
+        ))
+    }
+
+    fn supports_link_rates(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-rate"
+    }
+}
+
+/// Every session treated as single-rate (the Tzeng–Siu setting).
+#[derive(Debug, Clone, Default)]
+pub struct SingleRate {
+    cfg: Option<LinkRateConfig>,
+}
+
+impl SingleRate {
+    /// Single-rate max-min under the efficient link-rate model.
+    pub fn new() -> Self {
+        SingleRate { cfg: None }
+    }
+
+    /// Single-rate max-min under explicit per-session link-rate models.
+    pub fn with_config(cfg: LinkRateConfig) -> Self {
+        SingleRate { cfg: Some(cfg) }
+    }
+}
+
+impl Allocator for SingleRate {
+    fn solve(&self, net: &Network, ws: &mut SolverWorkspace) -> MaxMinSolution {
+        solve_regime(
+            net,
+            self.cfg.as_ref(),
+            &Regimes::Uniform(SessionType::SingleRate),
+            ws,
+        )
+    }
+
+    fn solve_with(
+        &self,
+        net: &Network,
+        cfg: &LinkRateConfig,
+        ws: &mut SolverWorkspace,
+    ) -> Option<MaxMinSolution> {
+        Some(solve_regime(
+            net,
+            Some(cfg),
+            &Regimes::Uniform(SessionType::SingleRate),
+            ws,
+        ))
+    }
+
+    fn supports_link_rates(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "single-rate"
+    }
+}
+
+/// A per-session regime mix: the general solver of the paper's Section 2,
+/// honouring (or overriding) each session's declared type.
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    regimes: Regimes,
+    cfg: Option<LinkRateConfig>,
+}
+
+impl Hybrid {
+    /// Solve with each session's declared type and efficient link rates —
+    /// the regime of the legacy `max_min_allocation` entry point.
+    pub fn as_declared() -> Self {
+        Hybrid {
+            regimes: Regimes::AsDeclared,
+            cfg: None,
+        }
+    }
+
+    /// Solve with explicit per-session types (overriding the declared `χ`).
+    pub fn new(kinds: Vec<SessionType>) -> Self {
+        Hybrid {
+            regimes: Regimes::PerSession(kinds),
+            cfg: None,
+        }
+    }
+
+    /// Use explicit per-session link-rate models (the Section 3 setting).
+    pub fn with_config(mut self, cfg: LinkRateConfig) -> Self {
+        self.cfg = Some(cfg);
+        self
+    }
+}
+
+impl Default for Hybrid {
+    fn default() -> Self {
+        Hybrid::as_declared()
+    }
+}
+
+impl Allocator for Hybrid {
+    fn solve(&self, net: &Network, ws: &mut SolverWorkspace) -> MaxMinSolution {
+        solve_regime(net, self.cfg.as_ref(), &self.regimes, ws)
+    }
+
+    fn solve_with(
+        &self,
+        net: &Network,
+        cfg: &LinkRateConfig,
+        ws: &mut SolverWorkspace,
+    ) -> Option<MaxMinSolution> {
+        Some(solve_regime(net, Some(cfg), &self.regimes, ws))
+    }
+
+    fn supports_link_rates(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+/// Weighted multi-rate max-min fairness (the Section 5 TCP-fairness
+/// extension): max-min over the normalized rates `a / w`.
+#[derive(Debug, Clone)]
+pub struct Weighted {
+    weights: WeightSpec,
+}
+
+#[derive(Debug, Clone)]
+enum WeightSpec {
+    Uniform,
+    Explicit(Weights),
+}
+
+impl Weighted {
+    /// Explicit per-receiver weights (shape-checked at solve time).
+    pub fn new(weights: Weights) -> Self {
+        Weighted {
+            weights: WeightSpec::Explicit(weights),
+        }
+    }
+
+    /// Uniform weights — reduces to the ordinary multi-rate max-min, which
+    /// makes this the differential twin of [`MultiRate`] on multi-rate
+    /// networks.
+    pub fn uniform() -> Self {
+        Weighted {
+            weights: WeightSpec::Uniform,
+        }
+    }
+
+    /// TCP-style weights from per-receiver round-trip times (`w = 1/RTT`).
+    pub fn from_rtts(rtts: Vec<Vec<f64>>) -> Self {
+        Weighted::new(Weights::from_rtts(rtts))
+    }
+}
+
+impl Allocator for Weighted {
+    fn solve(&self, net: &Network, ws: &mut SolverWorkspace) -> MaxMinSolution {
+        match &self.weights {
+            WeightSpec::Uniform => weighted_solve_in(net, &Weights::uniform(net), ws),
+            WeightSpec::Explicit(w) => weighted_solve_in(net, w, ws),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+}
+
+/// The textbook Bertsekas–Gallager unicast water-filling, kept
+/// implementation-independent from the general solver as a differential
+/// baseline. Panics (as the legacy free function did) if any session has
+/// more than one receiver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unicast;
+
+impl Unicast {
+    /// The unicast baseline allocator.
+    pub fn new() -> Self {
+        Unicast
+    }
+}
+
+impl Allocator for Unicast {
+    fn solve(&self, net: &Network, ws: &mut SolverWorkspace) -> MaxMinSolution {
+        unicast_solve_in(net, ws)
+    }
+
+    fn name(&self) -> &'static str {
+        "unicast"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlf_net::topology::random_network;
+    use mlf_net::{Graph, Session};
+
+    fn tree() -> Network {
+        let mut g = Graph::new();
+        let n = g.add_nodes(4);
+        g.add_link(n[0], n[1], 6.0).unwrap();
+        g.add_link(n[1], n[2], 4.0).unwrap();
+        g.add_link(n[1], n[3], 2.0).unwrap();
+        Network::new(g, vec![Session::multi_rate(n[0], vec![n[2], n[3]])]).unwrap()
+    }
+
+    #[test]
+    fn regimes_pick_session_kinds() {
+        let net = tree();
+        let multi = MultiRate::new().allocate(&net);
+        assert_eq!(multi.rates(), &[vec![4.0, 2.0]]);
+        let single = SingleRate::new().allocate(&net);
+        assert_eq!(single.rates(), &[vec![2.0, 2.0]]);
+        let hybrid = Hybrid::new(vec![SessionType::SingleRate]).allocate(&net);
+        assert_eq!(hybrid.rates(), single.rates());
+        let declared = Hybrid::as_declared().allocate(&net);
+        assert_eq!(declared.rates(), multi.rates());
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        let mut ws = SolverWorkspace::new();
+        for seed in 0..10u64 {
+            let net = random_network(seed, 12, 4, 4);
+            let warm = Hybrid::as_declared().solve(&net, &mut ws);
+            let cold = Hybrid::as_declared().allocate(&net);
+            assert_eq!(warm.allocation.rates(), cold.rates(), "seed {seed}");
+        }
+        assert_eq!(ws.solves(), 10);
+    }
+
+    #[test]
+    fn workspace_survives_shape_changes() {
+        let mut ws = SolverWorkspace::new();
+        let small = tree();
+        let big = random_network(3, 20, 6, 5);
+        let a1 = MultiRate::new().solve(&small, &mut ws).allocation;
+        let _ = MultiRate::new().solve(&big, &mut ws);
+        let a2 = MultiRate::new().solve(&small, &mut ws).allocation;
+        assert_eq!(a1.rates(), a2.rates());
+    }
+
+    #[test]
+    fn weighted_uniform_matches_multi_rate() {
+        let mut ws = SolverWorkspace::new();
+        for seed in 0..10u64 {
+            let net = random_network(seed, 10, 4, 4);
+            let w = Weighted::uniform().solve(&net, &mut ws).allocation;
+            let m = MultiRate::new().solve(&net, &mut ws).allocation;
+            for (a, b) in w.rates().iter().flatten().zip(m.rates().iter().flatten()) {
+                assert!((a - b).abs() < 1e-9, "seed {seed}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unicast_matches_hybrid_on_unicast_networks() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_link(n[0], n[1], 10.0).unwrap();
+        g.add_link(n[1], n[2], 6.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![
+                Session::unicast(n[0], n[2]),
+                Session::unicast(n[0], n[1]),
+                Session::unicast(n[1], n[2]),
+            ],
+        )
+        .unwrap();
+        let mut ws = SolverWorkspace::new();
+        let bg = Unicast::new().solve(&net, &mut ws);
+        assert_eq!(bg.allocation.rates(), &[vec![3.0], vec![7.0], vec![3.0]]);
+        let general = Hybrid::as_declared().solve(&net, &mut ws);
+        assert_eq!(bg.allocation.rates(), general.allocation.rates());
+    }
+
+    #[test]
+    fn allocators_are_object_safe() {
+        let net = tree();
+        let mut ws = SolverWorkspace::new();
+        let allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(MultiRate::new()),
+            Box::new(SingleRate::new()),
+            Box::new(Hybrid::as_declared()),
+            Box::new(Weighted::uniform()),
+        ];
+        for a in &allocators {
+            let sol = a.solve(&net, &mut ws);
+            assert!(!a.name().is_empty());
+            assert!(sol.allocation.min_rate() > 0.0);
+        }
+    }
+}

@@ -3,7 +3,12 @@
 //! The primary contribution of *"The Impact of Multicast Layering on Network
 //! Fairness"* (Rubenstein, Kurose, Towsley, SIGCOMM 1999), as a library:
 //!
-//! * [`maxmin`] — the progressive-filling allocator (the paper's Appendix A
+//! * [`allocator`] — **the unified allocation API**: the [`Allocator`]
+//!   trait over every regime the paper compares ([`MultiRate`],
+//!   [`SingleRate`], [`Hybrid`] per-session mixes, [`Weighted`] TCP-style,
+//!   [`Unicast`] Bertsekas–Gallager), all sharing scratch buffers through a
+//!   reusable [`SolverWorkspace`];
+//! * [`maxmin`] — the progressive-filling engine (the paper's Appendix A
 //!   algorithm) computing the unique max-min fair allocation for any mix of
 //!   single-rate and multi-rate sessions, generalized to arbitrary monotone
 //!   session link-rate models;
@@ -23,25 +28,49 @@
 //! * [`weighted`] — weighted (TCP-fairness-style) multi-rate max-min, the
 //!   Section 5 future-work item, implemented.
 //!
-//! ## Example: Figure 2 in five lines
+//! ## Example: the four regimes through one trait
 //!
 //! ```
-//! use mlf_core::{maxmin, properties, linkrate::LinkRateConfig};
+//! use mlf_core::allocator::{Allocator, Hybrid, MultiRate, SingleRate, SolverWorkspace};
+//! use mlf_core::{properties, LinkRateConfig};
 //!
 //! let example = mlf_net::paper::figure2();
-//! let alloc = maxmin::max_min_allocation(&example.network);
-//! let cfg = LinkRateConfig::efficient(2);
-//! let report = properties::check_all(&example.network, &cfg, &alloc);
-//! // Single-rate S1 costs three of the four properties…
+//! let net = &example.network;
+//! let cfg = LinkRateConfig::efficient(net.session_count());
+//!
+//! // One workspace serves every solve: sweeps reuse its scratch buffers.
+//! let mut ws = SolverWorkspace::new();
+//!
+//! // The declared regime mix (S1 single-rate) costs three properties…
+//! let declared = Hybrid::as_declared().solve(net, &mut ws);
+//! let report = properties::check_all(net, &cfg, &declared.allocation);
 //! assert_eq!(report.count_holding(), 1);
-//! // …and the multi-rate replacement recovers all four (Theorem 1).
-//! assert!(mlf_core::theory::check_theorem1(&example.network).all_hold());
+//!
+//! // …the all-multi-rate regime recovers all four (Theorem 1)…
+//! let multi = MultiRate::new().solve(net, &mut ws);
+//! assert!(properties::check_all(net, &cfg, &multi.allocation).all_hold());
+//!
+//! // …and the single-rate regime is what the declared mix collapses to.
+//! let single = SingleRate::new().solve(net, &mut ws);
+//! assert_eq!(declared.allocation.rates(), single.allocation.rates());
+//! assert_eq!(ws.solves(), 3);
 //! ```
+//!
+//! ## Migration note
+//!
+//! The pre-0.2 free functions — `max_min_allocation`,
+//! `max_min_allocation_with`, `multi_rate_max_min`, `single_rate_max_min`,
+//! `weighted::weighted_max_min`, `unicast::unicast_max_min` — remain as
+//! thin `#[deprecated]` shims delegating to the [`Allocator`]
+//! implementations above, so downstream code keeps compiling. New code
+//! should use the trait (or the `Scenario` builder in the `mlf-scenario`
+//! crate, which adds topology/metrics/sweep composition on top).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allocation;
+pub mod allocator;
 pub mod linkrate;
 pub mod maxmin;
 pub mod metrics;
@@ -53,13 +82,19 @@ pub mod unicast;
 pub mod weighted;
 
 pub use allocation::{Allocation, FeasibilityViolation, RATE_EPS};
-pub use linkrate::{LinkRateConfig, LinkRateModel};
-pub use maxmin::{
-    max_min_allocation, max_min_allocation_with, multi_rate_max_min, single_rate_max_min, solve,
-    FreezeReason, MaxMinSolution,
+pub use allocator::{
+    Allocator, Hybrid, MultiRate, Regimes, SingleRate, SolverWorkspace, Unicast, Weighted,
 };
+pub use linkrate::{LinkRateConfig, LinkRateModel};
+#[allow(deprecated)]
+pub use maxmin::{
+    max_min_allocation, max_min_allocation_with, multi_rate_max_min, single_rate_max_min,
+};
+pub use maxmin::{solve, FreezeReason, MaxMinSolution};
+pub use metrics::{jain_index, min_max_spread, satisfaction};
 pub use ordering::{is_min_unfavorable, is_strictly_min_unfavorable, min_unfavorable_cmp, ordered};
 pub use properties::{check_all, FairnessReport};
 pub use redundancy::{bottleneck_fair_rate, normalized_fair_rate, redundancy};
-pub use weighted::{weighted_max_min, Weights};
-pub use metrics::{jain_index, min_max_spread, satisfaction};
+#[allow(deprecated)]
+pub use weighted::weighted_max_min;
+pub use weighted::Weights;

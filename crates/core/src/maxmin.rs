@@ -2,6 +2,14 @@
 //! single-rate and multi-rate sessions (Appendix A of the paper),
 //! generalized to arbitrary monotone session link-rate models (Section 3).
 //!
+//! The preferred entry points are the [`crate::allocator::Allocator`]
+//! implementations ([`crate::allocator::MultiRate`],
+//! [`crate::allocator::SingleRate`], [`crate::allocator::Hybrid`], …),
+//! which share scratch buffers through a
+//! [`crate::allocator::SolverWorkspace`]. The free functions in this module
+//! predate that API and remain as thin deprecated shims; [`solve`] is the
+//! low-level one-shot engine entry they and the trait both reach.
+//!
 //! # Algorithm
 //!
 //! All receivers start active at rate 0. A global *water level* rises; every
@@ -33,6 +41,7 @@
 //! so the loop runs at most `#receivers` times.
 
 use crate::allocation::{Allocation, RATE_EPS};
+use crate::allocator::{Regimes, SolverWorkspace};
 use crate::linkrate::{LinkRateConfig, LinkRateModel};
 use mlf_net::{LinkId, Network, ReceiverId, SessionId};
 
@@ -51,7 +60,7 @@ pub enum FreezeReason {
 
 /// The allocator's output: the unique max-min fair allocation plus
 /// per-receiver diagnostics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MaxMinSolution {
     /// The max-min fair allocation.
     pub allocation: Allocation,
@@ -79,36 +88,90 @@ impl MaxMinSolution {
 /// Compute the max-min fair allocation under the efficient link-rate model
 /// (`u_{i,j} = max` — the Section 2 setting) for the network's session-type
 /// mapping as given.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `allocator::Hybrid::as_declared()` via the `Allocator` trait \
+            (or a `Scenario` from the mlf-scenario crate)"
+)]
 pub fn max_min_allocation(net: &Network) -> Allocation {
     solve(net, &LinkRateConfig::efficient(net.session_count())).allocation
 }
 
 /// Compute the max-min fair allocation under explicit per-session link-rate
 /// models (the Section 3 setting).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `allocator::Hybrid::as_declared().with_config(cfg)` via the \
+            `Allocator` trait"
+)]
 pub fn max_min_allocation_with(net: &Network, cfg: &LinkRateConfig) -> Allocation {
     solve(net, cfg).allocation
 }
 
 /// The multi-rate max-min fair allocation: every session treated as
 /// multi-rate (Theorem 1's setting), efficient link rates.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `allocator::MultiRate::new()` via the `Allocator` trait"
+)]
 pub fn multi_rate_max_min(net: &Network) -> Allocation {
-    max_min_allocation(&net.with_uniform_kind(mlf_net::SessionType::MultiRate))
+    let mut ws = SolverWorkspace::new();
+    solve_in(
+        net,
+        &LinkRateConfig::efficient(net.session_count()),
+        &Regimes::Uniform(mlf_net::SessionType::MultiRate),
+        &mut ws,
+    )
+    .allocation
 }
 
 /// The single-rate max-min fair allocation: every session treated as
 /// single-rate (the Tzeng–Siu setting), efficient link rates.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `allocator::SingleRate::new()` via the `Allocator` trait"
+)]
 pub fn single_rate_max_min(net: &Network) -> Allocation {
-    max_min_allocation(&net.with_uniform_kind(mlf_net::SessionType::SingleRate))
+    let mut ws = SolverWorkspace::new();
+    solve_in(
+        net,
+        &LinkRateConfig::efficient(net.session_count()),
+        &Regimes::Uniform(mlf_net::SessionType::SingleRate),
+        &mut ws,
+    )
+    .allocation
 }
 
-/// Full progressive-filling solve with diagnostics.
+/// One-shot progressive-filling solve with diagnostics, honouring each
+/// session's declared type. The low-level engine entry: allocates a fresh
+/// workspace per call. Prefer the [`crate::allocator::Allocator`] trait with
+/// a reused [`SolverWorkspace`] in sweeps and other hot paths.
 pub fn solve(net: &Network, cfg: &LinkRateConfig) -> MaxMinSolution {
+    solve_in(net, cfg, &Regimes::AsDeclared, &mut SolverWorkspace::new())
+}
+
+/// Progressive filling into a caller-provided workspace, with an explicit
+/// session-type regime. The engine behind every [`crate::allocator`]
+/// implementation except `Weighted` and `Unicast`.
+pub(crate) fn solve_in(
+    net: &Network,
+    cfg: &LinkRateConfig,
+    regimes: &Regimes,
+    ws: &mut SolverWorkspace,
+) -> MaxMinSolution {
     assert_eq!(
         cfg.len(),
         net.session_count(),
         "link-rate config must cover every session"
     );
-    let mut state = State::new(net, cfg);
+    ws.reset(net);
+    let mut state = State {
+        net,
+        cfg,
+        regimes,
+        ws,
+        level: 0.0,
+    };
     let mut iterations = 0;
     while state.any_active() {
         iterations += 1;
@@ -118,46 +181,29 @@ pub fn solve(net: &Network, cfg: &LinkRateConfig) -> MaxMinSolution {
         );
         state.step();
     }
-    MaxMinSolution {
-        allocation: Allocation::from_rates(state.rates),
-        reasons: state
-            .reasons
-            .into_iter()
-            .map(|rs| rs.into_iter().map(|r| r.expect("all frozen")).collect())
-            .collect(),
-        iterations,
-    }
+    ws.take_solution(iterations)
 }
 
-/// Mutable water-filling state.
+/// Water-filling pass over workspace-held state.
 struct State<'a> {
     net: &'a Network,
     cfg: &'a LinkRateConfig,
-    rates: Vec<Vec<f64>>,
-    active: Vec<Vec<bool>>,
-    reasons: Vec<Vec<Option<FreezeReason>>>,
+    regimes: &'a Regimes,
+    ws: &'a mut SolverWorkspace,
     level: f64,
 }
 
-impl<'a> State<'a> {
-    fn new(net: &'a Network, cfg: &'a LinkRateConfig) -> Self {
-        let shape: Vec<usize> = net.sessions().iter().map(|s| s.receivers.len()).collect();
-        State {
-            net,
-            cfg,
-            rates: shape.iter().map(|&k| vec![0.0; k]).collect(),
-            active: shape.iter().map(|&k| vec![true; k]).collect(),
-            reasons: shape.iter().map(|&k| vec![None; k]).collect(),
-            level: 0.0,
-        }
-    }
-
+impl State<'_> {
     fn any_active(&self) -> bool {
-        self.active.iter().any(|s| s.iter().any(|&a| a))
+        self.ws.active.iter().any(|s| s.iter().any(|&a| a))
     }
 
     fn session_has_active(&self, i: usize) -> bool {
-        self.active[i].iter().any(|&a| a)
+        self.ws.active[i].iter().any(|&a| a)
+    }
+
+    fn single_rate(&self, i: usize) -> bool {
+        self.regimes.kind(self.net, i).is_single_rate()
     }
 
     /// The effective rate cap of session `i`: `κ_i`, additionally clamped to
@@ -197,10 +243,10 @@ impl<'a> State<'a> {
         self.level = next.max(self.level);
 
         // Raise every active receiver to the new level.
-        for i in 0..self.rates.len() {
-            for k in 0..self.rates[i].len() {
-                if self.active[i][k] {
-                    self.rates[i][k] = self.level;
+        for i in 0..self.ws.rates.len() {
+            for k in 0..self.ws.rates[i].len() {
+                if self.ws.active[i][k] {
+                    self.ws.rates[i][k] = self.level;
                 }
             }
         }
@@ -211,11 +257,11 @@ impl<'a> State<'a> {
         for i in 0..self.net.session_count() {
             if self.session_has_active(i) && self.effective_kappa(i) <= self.level + RATE_EPS {
                 let kappa = self.effective_kappa(i);
-                for k in 0..self.rates[i].len() {
-                    if self.active[i][k] {
-                        self.active[i][k] = false;
-                        self.rates[i][k] = kappa;
-                        self.reasons[i][k] = Some(FreezeReason::MaxRate);
+                for k in 0..self.ws.rates[i].len() {
+                    if self.ws.active[i][k] {
+                        self.ws.active[i][k] = false;
+                        self.ws.rates[i][k] = kappa;
+                        self.ws.reasons[i][k] = Some(FreezeReason::MaxRate);
                         froze_any = true;
                     }
                 }
@@ -234,18 +280,18 @@ impl<'a> State<'a> {
             }
             for i in 0..self.net.session_count() {
                 let on = self.net.receivers_of_session_on_link(link, SessionId(i));
-                if on.is_empty() || !on.iter().any(|&k| self.active[i][k]) {
+                if on.is_empty() || !on.iter().any(|&k| self.ws.active[i][k]) {
                     continue;
                 }
                 if !self.session_marginal_on(j, i) {
                     continue; // free rider: keeps rising under the frozen max
                 }
-                if self.net.sessions()[i].kind.is_single_rate() {
+                if self.single_rate(i) {
                     // Freeze the whole session (step 7).
-                    for k in 0..self.rates[i].len() {
-                        if self.active[i][k] {
-                            self.active[i][k] = false;
-                            self.reasons[i][k] = Some(if on.contains(&k) {
+                    for k in 0..self.ws.rates[i].len() {
+                        if self.ws.active[i][k] {
+                            self.ws.active[i][k] = false;
+                            self.ws.reasons[i][k] = Some(if on.contains(&k) {
                                 FreezeReason::Link(link)
                             } else {
                                 FreezeReason::SessionClosure
@@ -255,9 +301,9 @@ impl<'a> State<'a> {
                     }
                 } else {
                     for &k in on {
-                        if self.active[i][k] {
-                            self.active[i][k] = false;
-                            self.reasons[i][k] = Some(FreezeReason::Link(link));
+                        if self.ws.active[i][k] {
+                            self.ws.active[i][k] = false;
+                            self.ws.reasons[i][k] = Some(FreezeReason::Link(link));
                             froze_any = true;
                         }
                     }
@@ -279,42 +325,44 @@ impl<'a> State<'a> {
             self.net
                 .receivers_of_session_on_link(link, SessionId(i))
                 .iter()
-                .any(|&k| self.active[i][k])
+                .any(|&k| self.ws.active[i][k])
         })
     }
 
-    /// Session `i`'s rates on link `j` if the level were `ℓ` (frozen rates
-    /// stay fixed, active ones take `ℓ`).
-    fn session_rates_at(&self, j: usize, i: usize, level: f64) -> Vec<f64> {
-        self.net
+    /// Fill the workspace scratch buffer with session `i`'s rates on link
+    /// `j` if the level were `ℓ` (frozen rates stay fixed, active ones take
+    /// `ℓ`).
+    fn fill_session_rates_at(&mut self, j: usize, i: usize, level: f64) {
+        let ws = &mut *self.ws;
+        ws.scratch.clear();
+        for &k in self
+            .net
             .receivers_of_session_on_link(LinkId(j), SessionId(i))
-            .iter()
-            .map(|&k| {
-                if self.active[i][k] {
-                    level
-                } else {
-                    self.rates[i][k]
-                }
-            })
-            .collect()
+        {
+            ws.scratch.push(if ws.active[i][k] {
+                level
+            } else {
+                ws.rates[i][k]
+            });
+        }
     }
 
     /// The load `u_j(ℓ)` of link `j` at hypothetical level `ℓ`.
-    fn link_load_at(&self, j: usize, level: f64) -> f64 {
-        (0..self.net.session_count())
-            .map(|i| {
-                let rates = self.session_rates_at(j, i, level);
-                self.cfg.model(i).link_rate(&rates)
-            })
-            .sum()
+    fn link_load_at(&mut self, j: usize, level: f64) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.net.session_count() {
+            self.fill_session_rates_at(j, i, level);
+            total += self.cfg.model(i).link_rate(&self.ws.scratch);
+        }
+        total
     }
 
     /// Whether raising the level marginally above the current value would
     /// raise session `i`'s rate on link `j` (the free-rider test).
-    fn session_marginal_on(&self, j: usize, i: usize) -> bool {
+    fn session_marginal_on(&mut self, j: usize, i: usize) -> bool {
         let link = LinkId(j);
         let on = self.net.receivers_of_session_on_link(link, SessionId(i));
-        if !on.iter().any(|&k| self.active[i][k]) {
+        if !on.iter().any(|&k| self.ws.active[i][k]) {
             return false;
         }
         match *self.cfg.model(i) {
@@ -323,29 +371,25 @@ impl<'a> State<'a> {
                 // higher rate than the level.
                 let frozen_max = on
                     .iter()
-                    .filter(|&&k| !self.active[i][k])
-                    .map(|&k| self.rates[i][k])
+                    .filter(|&&k| !self.ws.active[i][k])
+                    .map(|&k| self.ws.rates[i][k])
                     .fold(0.0_f64, f64::max);
                 self.level >= frozen_max - RATE_EPS
             }
             LinkRateModel::Sum => true,
             LinkRateModel::RandomJoin { .. } => {
                 let delta = (self.level.abs() + 1.0) * 1e-7;
-                let now = self
-                    .cfg
-                    .model(i)
-                    .link_rate(&self.session_rates_at(j, i, self.level));
-                let bumped = self
-                    .cfg
-                    .model(i)
-                    .link_rate(&self.session_rates_at(j, i, self.level + delta));
+                self.fill_session_rates_at(j, i, self.level);
+                let now = self.cfg.model(i).link_rate(&self.ws.scratch);
+                self.fill_session_rates_at(j, i, self.level + delta);
+                let bumped = self.cfg.model(i).link_rate(&self.ws.scratch);
                 bumped > now + RATE_EPS * delta
             }
         }
     }
 
     /// The largest level `ℓ ∈ [self.level, upper]` with `u_j(ℓ) ≤ c_j`.
-    fn link_saturation_level(&self, j: usize, upper: f64) -> f64 {
+    fn link_saturation_level(&mut self, j: usize, upper: f64) -> f64 {
         let cap = self.net.graph().capacity(LinkId(j));
         // Sessions crossing j: are they all piecewise-linear?
         let linear = (0..self.net.session_count()).all(|i| {
@@ -362,26 +406,27 @@ impl<'a> State<'a> {
     }
 
     /// Exact solve for piecewise-linear loads `u_j(ℓ) = K + Σ w_t·max(b_t, ℓ)`.
-    fn saturation_level_linear(&self, j: usize, upper: f64, cap: f64) -> f64 {
+    fn saturation_level_linear(&mut self, j: usize, upper: f64, cap: f64) -> f64 {
         let link = LinkId(j);
         let mut constant = 0.0; // K: contributions independent of ℓ
-        let mut terms: Vec<(f64, f64)> = Vec::new(); // (b_t, w_t)
+        let ws = &mut *self.ws;
+        ws.terms.clear(); // (b_t, w_t)
         for i in 0..self.net.session_count() {
             let on = self.net.receivers_of_session_on_link(link, SessionId(i));
             if on.is_empty() {
                 continue;
             }
-            let active_count = on.iter().filter(|&&k| self.active[i][k]).count();
-            let frozen: Vec<f64> = on
-                .iter()
-                .filter(|&&k| !self.active[i][k])
-                .map(|&k| self.rates[i][k])
-                .collect();
-            let frozen_max = frozen.iter().copied().fold(0.0_f64, f64::max);
+            let active_count = on.iter().filter(|&&k| ws.active[i][k]).count();
+            let mut frozen_sum = 0.0_f64;
+            let mut frozen_max = 0.0_f64;
+            for &k in on.iter().filter(|&&k| !ws.active[i][k]) {
+                frozen_sum += ws.rates[i][k];
+                frozen_max = frozen_max.max(ws.rates[i][k]);
+            }
             match *self.cfg.model(i) {
                 LinkRateModel::Efficient => {
                     if active_count > 0 {
-                        terms.push((frozen_max, 1.0));
+                        ws.terms.push((frozen_max, 1.0));
                     } else {
                         constant += frozen_max;
                     }
@@ -389,15 +434,15 @@ impl<'a> State<'a> {
                 LinkRateModel::Scaled(v) => {
                     let w = if on.len() >= 2 { v } else { 1.0 };
                     if active_count > 0 {
-                        terms.push((frozen_max, w));
+                        ws.terms.push((frozen_max, w));
                     } else {
                         constant += w * frozen_max;
                     }
                 }
                 LinkRateModel::Sum => {
-                    constant += frozen.iter().sum::<f64>();
+                    constant += frozen_sum;
                     if active_count > 0 {
-                        terms.push((0.0, active_count as f64));
+                        ws.terms.push((0.0, active_count as f64));
                     }
                 }
                 LinkRateModel::RandomJoin { .. } => {
@@ -405,24 +450,26 @@ impl<'a> State<'a> {
                 }
             }
         }
-        if terms.is_empty() {
+        if ws.terms.is_empty() {
             return upper; // load independent of the level
         }
         // Scan segments between sorted breakpoints.
-        let mut breakpoints: Vec<f64> = terms.iter().map(|&(b, _)| b).collect();
-        breakpoints.push(self.level);
-        breakpoints.push(upper);
-        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        breakpoints.dedup();
-        let load_at = |l: f64| -> f64 {
-            constant
-                + terms
-                    .iter()
-                    .map(|&(b, w)| w * b.max(l))
-                    .sum::<f64>()
-        };
+        ws.breakpoints.clear();
+        ws.breakpoints.extend(ws.terms.iter().map(|&(b, _)| b));
+        ws.breakpoints.push(self.level);
+        ws.breakpoints.push(upper);
+        ws.breakpoints
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ws.breakpoints.dedup();
+        let terms = &ws.terms;
+        let load_at =
+            |l: f64| -> f64 { constant + terms.iter().map(|&(b, w)| w * b.max(l)).sum::<f64>() };
         let mut lo = self.level;
-        for &bp in breakpoints.iter().filter(|&&b| b > self.level && b <= upper) {
+        for &bp in ws
+            .breakpoints
+            .iter()
+            .filter(|&&b| b > self.level && b <= upper)
+        {
             // Segment [lo, bp]: slope = Σ w over terms with b ≤ lo.
             if load_at(bp) > cap + RATE_EPS {
                 // Saturation inside (lo, bp]: solve linearly.
@@ -446,7 +493,7 @@ impl<'a> State<'a> {
     }
 
     /// Monotone bisection fallback for nonlinear (RandomJoin) loads.
-    fn saturation_level_bisect(&self, j: usize, upper: f64, cap: f64) -> f64 {
+    fn saturation_level_bisect(&mut self, j: usize, upper: f64, cap: f64) -> f64 {
         let mut lo = self.level;
         if self.link_load_at(j, upper) <= cap + RATE_EPS {
             return upper;
@@ -478,6 +525,7 @@ impl<'a> State<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocator::{Allocator, Hybrid, MultiRate, SingleRate};
     use mlf_net::{Graph, Session, SessionType};
 
     fn assert_rates(alloc: &Allocation, expected: &[Vec<f64>], tol: f64) {
@@ -503,7 +551,10 @@ mod tests {
         let net = Network::new(g, vec![Session::unicast(n[0], n[2])]).unwrap();
         let sol = solve(&net, &LinkRateConfig::efficient(1));
         assert_rates(&sol.allocation, &[vec![3.0]], 1e-9);
-        assert_eq!(sol.reason(ReceiverId::new(0, 0)), FreezeReason::Link(LinkId(1)));
+        assert_eq!(
+            sol.reason(ReceiverId::new(0, 0)),
+            FreezeReason::Link(LinkId(1))
+        );
     }
 
     #[test]
@@ -516,7 +567,7 @@ mod tests {
             vec![Session::unicast(n[0], n[1]), Session::unicast(n[0], n[1])],
         )
         .unwrap();
-        let alloc = max_min_allocation(&net);
+        let alloc = Hybrid::as_declared().allocate(&net);
         assert_rates(&alloc, &[vec![4.0], vec![4.0]], 1e-9);
     }
 
@@ -548,24 +599,19 @@ mod tests {
         g.add_link(n[1], n[2], 4.0).unwrap();
         g.add_link(n[1], n[3], 2.0).unwrap();
         let net = Network::new(g, vec![Session::multi_rate(n[0], vec![n[2], n[3]])]).unwrap();
-        let alloc = max_min_allocation(&net);
+        let alloc = MultiRate::new().allocate(&net);
         assert_rates(&alloc, &[vec![4.0, 2.0]], 1e-9);
         // The single-rate twin drags everyone to the slowest branch.
-        let single = single_rate_max_min(&net);
+        let single = SingleRate::new().allocate(&net);
         assert_rates(&single, &[vec![2.0, 2.0]], 1e-9);
     }
 
     #[test]
     fn free_rider_rides_a_saturated_link() {
-        // Session A: unicast r_A crossing L (cap 4) alone -> would take 4.
-        // Session B: multi-rate, r_B1 crosses L with r_A... build:
-        //   X_B -> r_B1 via L2 (cap 10), r_B2 via L2 then L3 (cap 6)?
-        // Simpler canonical case: shared link L (cap 6) carries unicast S1
-        // and multi-rate S2 = {r21 (via L only), r22 (via L + cap-1 tail)}.
-        // Fill: tail freezes r22 at 1. L: u = a1 + max(a21, 1) saturates at
-        // a1 = a21 = 3. Without the free-rider rule r21 would wrongly freeze
-        // at 1 when... actually exercise the opposite: r22 frozen LOW never
-        // blocks r21. Now make the tail generous for r21 and tight for r22:
+        // Shared link L (cap 6) carries unicast S1 and multi-rate
+        // S2 = {r21 (via L + roomy tail), r22 (via L + cap-1 tail)}.
+        // r22 freezes at 1 (its tail). L: u = a1 + max(a21, 1): saturates
+        // when a1 + a21 = 6 -> both 3.
         let mut g = Graph::new();
         let n = g.add_nodes(4);
         g.add_link(n[0], n[1], 6.0).unwrap(); // L shared
@@ -579,9 +625,7 @@ mod tests {
             ],
         )
         .unwrap();
-        // r22 freezes at 1 (its tail). L: u = a1 + max(a21, 1): saturates
-        // when a1 + a21 = 6 -> both 3.
-        let alloc = max_min_allocation(&net);
+        let alloc = Hybrid::as_declared().allocate(&net);
         assert_rates(&alloc, &[vec![3.0], vec![3.0, 1.0]], 1e-9);
     }
 
@@ -593,9 +637,6 @@ mod tests {
         //   L1 (cap 4): r11 (S1 unicast) + r21 (S2)
         //   L2 (cap 10): r21 + r22 (both S2, multi-rate)
         //   L3 (cap 9): r22 alone
-        // Fill: L1 saturates at level 2 freezing r11 and r21? No: r21 and
-        // r11 split L1 -> 2 each. r22 rides L2 (u = max(a21, a22) = level,
-        // capacity 10 never binds before L3): freezes at 9 on L3.
         let mut g = Graph::new();
         let n = g.add_nodes(5);
         let l2 = g.add_link(n[0], n[1], 10.0).unwrap(); // L2 shared by S2
@@ -603,8 +644,6 @@ mod tests {
         g.add_link(n[1], n[3], 9.0).unwrap(); // L3: r22 tail
         g.add_link(n[0], n[4], 100.0).unwrap();
         let _ = l2;
-        // S1: unicast from n4-side into the L1 link? Simplify: S1 sender at
-        // n1 is illegal only if colliding with own members; use n1.
         let net = Network::new(
             g,
             vec![
@@ -615,7 +654,7 @@ mod tests {
         .unwrap();
         // L1 (cap 4) carries r11 and r21: saturates at level 2 -> both 2.
         // r22 continues: L2 u = max(2, level) rides to 9 via L3 (cap 9).
-        let alloc = max_min_allocation(&net);
+        let alloc = Hybrid::as_declared().allocate(&net);
         assert_rates(&alloc, &[vec![2.0]], 1e-9);
         assert_rates(&alloc, &[vec![2.0], vec![2.0, 9.0]], 1e-9);
         // Check L2's load is the session max, not the sum.
@@ -677,10 +716,10 @@ mod tests {
         .unwrap();
         // v = 2 for session 0: link load = 2·L + L = 3L = 12 -> L = 4.
         let cfg = LinkRateConfig::efficient(2).with_session(0, LinkRateModel::Scaled(2.0));
-        let alloc = max_min_allocation_with(&net, &cfg);
+        let alloc = Hybrid::as_declared().with_config(cfg).allocate(&net);
         assert_rates(&alloc, &[vec![4.0, 4.0], vec![4.0]], 1e-9);
         // Efficient: 2L = 12 -> 6 each.
-        let eff = max_min_allocation(&net);
+        let eff = Hybrid::as_declared().allocate(&net);
         assert_rates(&eff, &[vec![6.0, 6.0], vec![6.0]], 1e-9);
     }
 
@@ -700,7 +739,7 @@ mod tests {
         )
         .unwrap();
         let cfg = LinkRateConfig::efficient(2).with_session(0, LinkRateModel::Sum);
-        let alloc = max_min_allocation_with(&net, &cfg);
+        let alloc = Hybrid::as_declared().with_config(cfg).allocate(&net);
         // Load on the first hop: a11 + a12 + a2 = 3L = 9.
         assert_rates(&alloc, &[vec![3.0, 3.0], vec![3.0]], 1e-9);
     }
@@ -745,18 +784,19 @@ mod tests {
         let s_b = Session::unicast(n[0], n[3]);
         let net1 = Network::new(g.clone(), vec![s_a.clone(), s_b.clone()]).unwrap();
         let net2 = Network::new(g, vec![s_b, s_a]).unwrap();
-        let a1 = max_min_allocation(&net1);
-        let a2 = max_min_allocation(&net2);
+        let a1 = Hybrid::as_declared().allocate(&net1);
+        let a2 = Hybrid::as_declared().allocate(&net2);
         assert_eq!(a1.rates()[0], a2.rates()[1]);
         assert_eq!(a1.rates()[1], a2.rates()[0]);
     }
 
     #[test]
     fn result_is_always_feasible_and_saturating() {
+        let mut ws = SolverWorkspace::new();
         for seed in 0..30u64 {
             let net = mlf_net::topology::random_network(seed, 12, 4, 4);
             let cfg = LinkRateConfig::efficient(net.session_count());
-            let sol = solve(&net, &cfg);
+            let sol = solve_in(&net, &cfg, &Regimes::AsDeclared, &mut ws);
             assert!(
                 sol.allocation.is_feasible(&net, &cfg),
                 "seed {seed}: infeasible: {:?}",
@@ -788,12 +828,37 @@ mod tests {
             // Flip session 0 single-rate.
             net = net.with_session_kind(SessionId(0), SessionType::SingleRate);
             let cfg = LinkRateConfig::efficient(net.session_count());
-            let alloc = max_min_allocation_with(&net, &cfg);
+            let alloc = Hybrid::as_declared()
+                .with_config(cfg.clone())
+                .allocate(&net);
             assert!(alloc.is_feasible(&net, &cfg), "seed {seed}");
             let rs = &alloc.rates()[0];
             for &a in rs {
                 assert!((a - rs[0]).abs() < 1e-9, "seed {seed}: single-rate uniform");
             }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_trait() {
+        for seed in 0..10u64 {
+            let net = mlf_net::topology::random_network(seed, 12, 4, 4);
+            assert_eq!(
+                max_min_allocation(&net).rates(),
+                Hybrid::as_declared().allocate(&net).rates(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                multi_rate_max_min(&net).rates(),
+                MultiRate::new().allocate(&net).rates(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                single_rate_max_min(&net).rates(),
+                SingleRate::new().allocate(&net).rates(),
+                "seed {seed}"
+            );
         }
     }
 }

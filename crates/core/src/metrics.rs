@@ -93,12 +93,15 @@ pub fn min_max_spread(alloc: &Allocation) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::maxmin::{multi_rate_max_min, single_rate_max_min};
+    use crate::allocator::{Allocator, MultiRate, SingleRate};
     use mlf_net::{Graph, Session};
 
     #[test]
     fn jain_index_extremes() {
-        assert_eq!(jain_index(&Allocation::from_rates(vec![vec![2.0, 2.0, 2.0]])), 1.0);
+        assert_eq!(
+            jain_index(&Allocation::from_rates(vec![vec![2.0, 2.0, 2.0]])),
+            1.0
+        );
         let skew = jain_index(&Allocation::from_rates(vec![vec![1.0, 0.0, 0.0]]));
         assert!((skew - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(jain_index(&Allocation::from_rates(vec![vec![]])), 1.0);
@@ -121,14 +124,16 @@ mod tests {
         let net = Graph::clone(&g); // keep g for reuse clarity
         let net = mlf_net::Network::new(net, vec![Session::multi_rate(src, leaves)]).unwrap();
 
-        let multi = multi_rate_max_min(&net);
-        let single = single_rate_max_min(&net);
+        let multi = MultiRate::new().allocate(&net);
+        let single = SingleRate::new().allocate(&net);
         assert!(satisfaction(&net, &multi) > satisfaction(&net, &single));
         // Single-rate pins everyone to 1 -> Jain 1.0 (equal but starved);
         // satisfaction tells the truth where Jain cannot.
         assert_eq!(jain_index(&single), 1.0);
-        assert!((satisfaction(&net, &multi) - 1.0).abs() < 1e-9,
-            "alone in the network, multi-rate receivers reach their bottlenecks");
+        assert!(
+            (satisfaction(&net, &multi) - 1.0).abs() < 1e-9,
+            "alone in the network, multi-rate receivers reach their bottlenecks"
+        );
         assert!(satisfaction(&net, &single) < 0.5);
         assert!(min_max_spread(&multi) < 1.0);
         assert_eq!(min_max_spread(&single), 1.0);

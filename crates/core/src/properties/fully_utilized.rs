@@ -96,11 +96,7 @@ mod tests {
         let mut g = Graph::new();
         let n = g.add_nodes(2);
         g.add_link(n[0], n[1], 4.0).unwrap();
-        let net = Network::new(
-            g,
-            vec![Session::unicast(n[0], n[1]).with_max_rate(1.0)],
-        )
-        .unwrap();
+        let net = Network::new(g, vec![Session::unicast(n[0], n[1]).with_max_rate(1.0)]).unwrap();
         let cfg = LinkRateConfig::efficient(1);
         let alloc = Allocation::from_rates(vec![vec![1.0]]);
         assert!(check_fully_utilized_receiver_fair(&net, &cfg, &alloc).is_empty());

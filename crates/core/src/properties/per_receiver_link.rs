@@ -135,11 +135,7 @@ mod tests {
         let mut g = Graph::new();
         let n = g.add_nodes(2);
         g.add_link(n[0], n[1], 10.0).unwrap();
-        let netk = Network::new(
-            g,
-            vec![Session::unicast(n[0], n[1]).with_max_rate(2.0)],
-        )
-        .unwrap();
+        let netk = Network::new(g, vec![Session::unicast(n[0], n[1]).with_max_rate(2.0)]).unwrap();
         let cfg = LinkRateConfig::efficient(1);
         let alloc = Allocation::from_rates(vec![vec![2.0]]);
         assert!(check_per_receiver_link_fair(&netk, &cfg, &alloc).is_empty());

@@ -47,9 +47,8 @@ fn session_ok(
     sid: SessionId,
 ) -> bool {
     let session = net.session(sid);
-    let all_capped = (0..session.receivers.len()).all(|k| {
-        alloc.rate(mlf_net::ReceiverId::new(sid.0, k)) >= session.max_rate - RATE_EPS
-    });
+    let all_capped = (0..session.receivers.len())
+        .all(|k| alloc.rate(mlf_net::ReceiverId::new(sid.0, k)) >= session.max_rate - RATE_EPS);
     if all_capped {
         return true;
     }
@@ -115,11 +114,7 @@ mod tests {
         let mut g = Graph::new();
         let n = g.add_nodes(2);
         g.add_link(n[0], n[1], 10.0).unwrap();
-        let net = Network::new(
-            g,
-            vec![Session::unicast(n[0], n[1]).with_max_rate(1.0)],
-        )
-        .unwrap();
+        let net = Network::new(g, vec![Session::unicast(n[0], n[1]).with_max_rate(1.0)]).unwrap();
         let cfg = LinkRateConfig::efficient(1);
         let alloc = Allocation::from_rates(vec![vec![1.0]]);
         assert!(check_per_session_link_fair(&net, &cfg, &alloc).is_empty());

@@ -241,7 +241,7 @@ mod tests {
         }
         let net = Network::new(g, sessions).unwrap();
         let cfg = LinkRateConfig::efficient(5).with_session(0, LinkRateModel::Scaled(2.0));
-        let alloc = crate::maxmin::max_min_allocation_with(&net, &cfg);
+        let alloc = crate::maxmin::solve(&net, &cfg).allocation;
         let expected = bottleneck_fair_rate(12.0, 5, 1, 2.0);
         for (_, rate) in alloc.iter() {
             assert!((rate - expected).abs() < 1e-9, "rate {rate} != {expected}");

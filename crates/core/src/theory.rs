@@ -16,7 +16,7 @@
 
 use crate::allocation::{Allocation, RATE_EPS};
 use crate::linkrate::LinkRateConfig;
-use crate::maxmin::{max_min_allocation_with, solve};
+use crate::maxmin::solve;
 use crate::ordering::{is_min_unfavorable, ordered};
 use crate::properties::{self, FairnessReport};
 use mlf_net::topology::SplitMix64;
@@ -29,7 +29,7 @@ use mlf_net::{Network, ReceiverId, SessionType};
 pub fn check_theorem1(net: &Network) -> FairnessReport {
     let multi = net.with_uniform_kind(SessionType::MultiRate);
     let cfg = LinkRateConfig::efficient(multi.session_count());
-    let alloc = max_min_allocation_with(&multi, &cfg);
+    let alloc = solve(&multi, &cfg).allocation;
     properties::check_all(&multi, &cfg, &alloc)
 }
 
@@ -61,7 +61,7 @@ impl Theorem2Outcome {
 /// efficient link rates.
 pub fn check_theorem2(net: &Network) -> Theorem2Outcome {
     let cfg = LinkRateConfig::efficient(net.session_count());
-    let alloc = max_min_allocation_with(net, &cfg);
+    let alloc = solve(net, &cfg).allocation;
     let report = properties::check_all(net, &cfg, &alloc);
     let is_multi = |r: ReceiverId| net.session(r.session).kind.is_multi_rate();
 
@@ -162,7 +162,7 @@ pub fn random_feasible_allocation(
 /// be min-unfavorable to the max-min fair allocation. Returns `true` when
 /// every sample satisfied `B ≤ₘ A`.
 pub fn check_lemma1(net: &Network, cfg: &LinkRateConfig, trials: usize, seed: u64) -> bool {
-    let maxmin = ordered(&max_min_allocation_with(net, cfg).ordered_vector());
+    let maxmin = ordered(&solve(net, cfg).allocation.ordered_vector());
     let mut rng = SplitMix64(seed);
     (0..trials).all(|_| {
         let b = random_feasible_allocation(net, cfg, &mut rng);
@@ -176,18 +176,18 @@ pub fn check_lemma1(net: &Network, cfg: &LinkRateConfig, trials: usize, seed: u6
 /// Efficient link rates throughout.
 pub fn check_lemma3(net: &Network) -> bool {
     let cfg = LinkRateConfig::efficient(net.session_count());
-    let before = max_min_allocation_with(net, &cfg).ordered_vector();
+    let before = solve(net, &cfg).allocation.ordered_vector();
     let mut ok = true;
     for (sid, s) in net.sessions_iter() {
         if s.kind.is_single_rate() {
             let flipped = net.with_session_kind(sid, SessionType::MultiRate);
-            let after = max_min_allocation_with(&flipped, &cfg).ordered_vector();
+            let after = solve(&flipped, &cfg).allocation.ordered_vector();
             ok &= is_min_unfavorable(&before, &after);
         }
     }
     // Corollary 1: the all-multi-rate network dominates everything.
     let all_multi = net.with_uniform_kind(SessionType::MultiRate);
-    let best = max_min_allocation_with(&all_multi, &cfg).ordered_vector();
+    let best = solve(&all_multi, &cfg).allocation.ordered_vector();
     ok && is_min_unfavorable(&before, &best)
 }
 
@@ -199,8 +199,8 @@ pub fn check_lemma4(net: &Network, low: &LinkRateConfig, high: &LinkRateConfig) 
         high.dominates(low),
         "lemma 4 premise: high must dominate low"
     );
-    let a_low = max_min_allocation_with(net, low).ordered_vector();
-    let a_high = max_min_allocation_with(net, high).ordered_vector();
+    let a_low = solve(net, low).allocation.ordered_vector();
+    let a_high = solve(net, high).allocation.ordered_vector();
     is_min_unfavorable(&a_high, &a_low)
 }
 
@@ -211,14 +211,14 @@ pub fn check_lemma4(net: &Network, low: &LinkRateConfig, high: &LinkRateConfig) 
 /// single-rate session of the network.
 pub fn check_single_session_flip_monotonicity(net: &Network) -> bool {
     let cfg = LinkRateConfig::efficient(net.session_count());
-    let before = max_min_allocation_with(net, &cfg);
+    let before = solve(net, &cfg).allocation;
     let mut ok = true;
     for (sid, s) in net.sessions_iter() {
         if !s.kind.is_single_rate() {
             continue;
         }
         let flipped = net.with_session_kind(sid, SessionType::MultiRate);
-        let after = max_min_allocation_with(&flipped, &cfg);
+        let after = solve(&flipped, &cfg).allocation;
         for k in 0..s.receivers.len() {
             let r = ReceiverId::new(sid.0, k);
             if after.rate(r) < before.rate(r) - 1e-6 {
@@ -271,8 +271,7 @@ pub fn spot_check_maxmin(net: &Network, cfg: &LinkRateConfig, alloc: &Allocation
         // Single-rate sessions are additionally blocked through their
         // session-mates (raising one receiver forces raising all).
         if !blocked && net.session(r.session).kind.is_single_rate() {
-            blocked = net
-                .sessions()[r.session.0]
+            blocked = net.sessions()[r.session.0]
                 .receivers
                 .iter()
                 .enumerate()
@@ -283,8 +282,7 @@ pub fn spot_check_maxmin(net: &Network, cfg: &LinkRateConfig, alloc: &Allocation
                             let mut bumped = alloc.clone();
                             bumped.set_rate(mate, alloc.rate(mate) + 1e-6);
                             bumped.session_link_rate(net, cfg, l, r.session)
-                                > alloc.session_link_rate(net, cfg, l, r.session)
-                                    + RATE_EPS * 1e-3
+                                > alloc.session_link_rate(net, cfg, l, r.session) + RATE_EPS * 1e-3
                         }
                     })
                 });
@@ -380,7 +378,7 @@ mod tests {
     fn spot_check_accepts_allocator_output_and_rejects_slack() {
         let net = random_network(3, 10, 3, 3);
         let cfg = LinkRateConfig::efficient(net.session_count());
-        let alloc = max_min_allocation_with(&net, &cfg);
+        let alloc = solve(&net, &cfg).allocation;
         assert!(spot_check_maxmin(&net, &cfg, &alloc));
         // Halving all rates leaves slack everywhere: not max-min.
         let halved = Allocation::from_rates(

@@ -9,8 +9,14 @@
 //! specialised to unicast, implemented here from the textbook description
 //! with none of the general allocator's machinery, so agreement between the
 //! two on all-unicast networks is a meaningful differential test.
+//!
+//! The preferred entry point is [`crate::allocator::Unicast`] through the
+//! [`crate::allocator::Allocator`] trait; the [`unicast_max_min`] free
+//! function remains as a deprecated shim.
 
 use crate::allocation::Allocation;
+use crate::allocator::SolverWorkspace;
+use crate::maxmin::{FreezeReason, MaxMinSolution};
 use mlf_net::{LinkId, Network};
 
 /// Compute the unicast max-min fair allocation of a network in which every
@@ -20,98 +26,126 @@ use mlf_net::{LinkId, Network};
 ///
 /// Panics if any session has more than one receiver — this baseline is
 /// deliberately unicast-only.
-#[allow(clippy::needless_range_loop)] // parallel arrays indexed by flow id
+#[deprecated(
+    since = "0.2.0",
+    note = "use `allocator::Unicast::new()` via the `Allocator` trait"
+)]
 pub fn unicast_max_min(net: &Network) -> Allocation {
+    unicast_solve_in(net, &mut SolverWorkspace::new()).allocation
+}
+
+/// Textbook water-filling into a caller-provided workspace: the engine
+/// behind [`crate::allocator::Unicast`]. Flow `i` occupies the workspace's
+/// `[i][0]` slots (one receiver per session by definition).
+#[allow(clippy::needless_range_loop)] // parallel per-flow tables
+pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMinSolution {
     assert!(
         net.sessions().iter().all(|s| s.is_unicast()),
         "unicast_max_min requires an all-unicast network"
     );
+    ws.reset(net);
     let m = net.session_count();
-    // Flow i follows route of receiver (i, 0) with cap κ_i.
-    let routes: Vec<&[LinkId]> = (0..m)
-        .map(|i| net.route(mlf_net::ReceiverId::new(i, 0)))
-        .collect();
-    let kappa: Vec<f64> = net.sessions().iter().map(|s| s.max_rate).collect();
+    let route = |i: usize| net.route(mlf_net::ReceiverId::new(i, 0));
+    let kappa = |i: usize| net.sessions()[i].max_rate;
 
-    let mut rate = vec![0.0_f64; m];
-    let mut frozen = vec![false; m];
-    let mut used = vec![0.0_f64; net.link_count()]; // bandwidth used by frozen flows
+    // ws.link_used[j]: bandwidth consumed by frozen flows on link j.
+    // ws.active[i][0]: flow i still rising. ws.rates[i][0]: its rate.
+    let mut iterations = 0usize;
     loop {
-        let active: Vec<usize> = (0..m).filter(|&i| !frozen[i]).collect();
-        if active.is_empty() {
+        let n_active = (0..m).filter(|&i| ws.active[i][0]).count();
+        if n_active == 0 {
             break;
         }
+        iterations += 1;
+        assert!(iterations <= m + 1, "no convergence");
         // Common increment level: all active flows currently share one rate
         // (they all started at zero and have risen together), so the binding
         // link share is (c_j - used_j) / #active flows on j, offset by the
         // current common rate.
-        let current = rate[active[0]];
-        debug_assert!(active.iter().all(|&i| (rate[i] - current).abs() < 1e-12));
+        #[cfg(debug_assertions)]
+        {
+            let current = (0..m)
+                .find(|&i| ws.active[i][0])
+                .map(|i| ws.rates[i][0])
+                .unwrap();
+            debug_assert!((0..m)
+                .filter(|&i| ws.active[i][0])
+                .all(|i| (ws.rates[i][0] - current).abs() < 1e-12));
+        }
 
         let mut next = f64::INFINITY;
         // κ events.
-        for &i in &active {
-            next = next.min(kappa[i]);
+        for i in 0..m {
+            if ws.active[i][0] {
+                next = next.min(kappa(i));
+            }
         }
         // Link saturation events.
         for j in 0..net.link_count() {
             let link = LinkId(j);
-            let n_active = active
-                .iter()
-                .filter(|&&i| routes[i].contains(&link))
+            let on = (0..m)
+                .filter(|&i| ws.active[i][0] && route(i).contains(&link))
                 .count();
-            if n_active == 0 {
+            if on == 0 {
                 continue;
             }
-            let share = (net.graph().capacity(link) - used[j]) / n_active as f64;
+            let share = (net.graph().capacity(link) - ws.link_used[j]) / on as f64;
             next = next.min(share);
         }
-        debug_assert!(next.is_finite() && next >= current - 1e-12);
+        debug_assert!(next.is_finite());
 
         // Raise everyone, then determine the binding links *before* any
         // bookkeeping mutation (freezing one flow must not shift the share
         // seen by the next flow in the same round).
-        let mut froze = false;
-        for &i in &active {
-            rate[i] = next.min(kappa[i]);
+        for i in 0..m {
+            if ws.active[i][0] {
+                ws.rates[i][0] = next.min(kappa(i));
+            }
         }
-        let binding: Vec<bool> = (0..net.link_count())
-            .map(|j| {
-                let link = LinkId(j);
-                let n_active = active
-                    .iter()
-                    .filter(|&&x| routes[x].contains(&link))
-                    .count();
-                if n_active == 0 {
-                    return false;
-                }
-                let share = (net.graph().capacity(link) - used[j]) / n_active as f64;
+        for j in 0..net.link_count() {
+            let link = LinkId(j);
+            let on = (0..m)
+                .filter(|&i| ws.active[i][0] && route(i).contains(&link))
+                .count();
+            ws.link_flag[j] = if on == 0 {
+                false
+            } else {
+                let share = (net.graph().capacity(link) - ws.link_used[j]) / on as f64;
                 share <= next + 1e-12
-            })
-            .collect();
-        for &i in &active {
-            let at_kappa = rate[i] >= kappa[i] - 1e-12;
-            let at_link = routes[i].iter().any(|&l| binding[l.0]);
-            if at_kappa || at_link {
-                frozen[i] = true;
+            };
+        }
+        let mut froze = false;
+        for i in 0..m {
+            if !ws.active[i][0] {
+                continue;
+            }
+            let at_kappa = ws.rates[i][0] >= kappa(i) - 1e-12;
+            let binding_link = route(i).iter().copied().find(|l| ws.link_flag[l.0]);
+            if at_kappa || binding_link.is_some() {
+                ws.active[i][0] = false;
+                ws.reasons[i][0] = Some(if at_kappa {
+                    FreezeReason::MaxRate
+                } else {
+                    FreezeReason::Link(binding_link.unwrap())
+                });
                 froze = true;
-                for &l in routes[i] {
-                    used[l.0] += rate[i];
+                for &l in route(i) {
+                    ws.link_used[l.0] += ws.rates[i][0];
                 }
             }
         }
         assert!(froze, "unicast water-filling must freeze a flow per round");
     }
-    Allocation::from_rates(rate.into_iter().map(|a| vec![a]).collect())
+    ws.take_solution(iterations)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocator::{Allocator, Hybrid, Unicast};
     use crate::linkrate::LinkRateConfig;
-    use crate::maxmin::max_min_allocation;
     use mlf_net::topology::{random_tree, SplitMix64};
-    use mlf_net::{Graph, NodeId, Session};
+    use mlf_net::{Graph, NodeId, ReceiverId, Session};
 
     #[test]
     fn textbook_example_three_flows() {
@@ -134,8 +168,17 @@ mod tests {
             ],
         )
         .unwrap();
-        let alloc = unicast_max_min(&net);
-        assert_eq!(alloc.rates(), &[vec![3.0], vec![7.0], vec![3.0]]);
+        let sol = Unicast::new().solve(&net, &mut SolverWorkspace::new());
+        assert_eq!(sol.allocation.rates(), &[vec![3.0], vec![7.0], vec![3.0]]);
+        // The long flow froze on the thin link; the fat-link flow on l0.
+        assert_eq!(
+            sol.reason(ReceiverId::new(0, 0)),
+            FreezeReason::Link(LinkId(1))
+        );
+        assert_eq!(
+            sol.reason(ReceiverId::new(1, 0)),
+            FreezeReason::Link(LinkId(0))
+        );
     }
 
     #[test]
@@ -151,8 +194,9 @@ mod tests {
             ],
         )
         .unwrap();
-        let alloc = unicast_max_min(&net);
-        assert_eq!(alloc.rates(), &[vec![2.0], vec![8.0]]);
+        let sol = Unicast::new().solve(&net, &mut SolverWorkspace::new());
+        assert_eq!(sol.allocation.rates(), &[vec![2.0], vec![8.0]]);
+        assert_eq!(sol.reason(ReceiverId::new(0, 0)), FreezeReason::MaxRate);
     }
 
     #[test]
@@ -163,14 +207,16 @@ mod tests {
         g.add_link(n[0], n[1], 1.0).unwrap();
         g.add_link(n[0], n[2], 1.0).unwrap();
         let net = Network::new(g, vec![Session::multi_rate(n[0], vec![n[1], n[2]])]).unwrap();
-        let _ = unicast_max_min(&net);
+        let _ = Unicast::new().allocate(&net);
     }
 
     #[test]
     fn agrees_with_general_allocator_on_random_unicast_networks() {
         // Differential test: textbook unicast water-filling vs the general
-        // progressive-filling allocator on all-unicast random trees.
+        // progressive-filling allocator on all-unicast random trees, both
+        // running through one shared workspace.
         let mut rng = SplitMix64(0xC0FFEE);
+        let mut ws = SolverWorkspace::new();
         for seed in 0..40u64 {
             let g = random_tree(seed, 10, 1.0, 8.0);
             let nodes = g.node_count();
@@ -184,8 +230,8 @@ mod tests {
                 sessions.push(Session::unicast(from, to));
             }
             let net = Network::new(g, sessions).unwrap();
-            let a = unicast_max_min(&net);
-            let b = max_min_allocation(&net);
+            let a = Unicast::new().solve(&net, &mut ws).allocation;
+            let b = Hybrid::as_declared().solve(&net, &mut ws).allocation;
             for (ra, rb) in a.rates().iter().zip(b.rates()) {
                 for (x, y) in ra.iter().zip(rb) {
                     assert!((x - y).abs() < 1e-9, "seed {seed}: {x} vs {y}");
@@ -195,5 +241,21 @@ mod tests {
             let cfg = LinkRateConfig::efficient(net.session_count());
             assert!(a.is_feasible(&net, &cfg));
         }
+    }
+
+    #[test]
+    fn legacy_shim_matches_the_trait() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(3);
+        g.add_link(n[0], n[1], 10.0).unwrap();
+        g.add_link(n[1], n[2], 6.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![Session::unicast(n[0], n[2]), Session::unicast(n[0], n[1])],
+        )
+        .unwrap();
+        #[allow(deprecated)]
+        let legacy = unicast_max_min(&net);
+        assert_eq!(legacy.rates(), Unicast::new().allocate(&net).rates());
     }
 }

@@ -11,6 +11,10 @@
 //! case; TCP-friendliness uses `w = 1/RTT` (per the Mahdavi–Floyd model at
 //! fixed loss).
 //!
+//! The preferred entry point is [`crate::allocator::Weighted`] through the
+//! [`crate::allocator::Allocator`] trait; the [`weighted_max_min`] free
+//! function remains as a deprecated shim.
+//!
 //! The algorithm is progressive filling over a common *potential* `φ`:
 //! every active receiver holds `a = w·φ`. Under the efficient link-rate
 //! model the load is `u_j(φ) = Σ_i max(f_{i,j}, φ·W_{i,j})` where
@@ -25,9 +29,11 @@
 //! Scope: multi-rate sessions under the efficient model (the setting the
 //! paper's remark addresses). Single-rate sessions would need a convention
 //! for mixing per-receiver weights with the uniform-rate constraint that
-//! the paper does not define; the constructor rejects them.
+//! the paper does not define; the solver rejects them.
 
 use crate::allocation::{Allocation, RATE_EPS};
+use crate::allocator::SolverWorkspace;
+use crate::maxmin::{FreezeReason, MaxMinSolution};
 use mlf_net::{LinkId, Network, ReceiverId, SessionId};
 
 /// Per-receiver weights, shaped like the network (`[session][receiver]`).
@@ -77,38 +83,52 @@ impl Weights {
 ///
 /// Panics if any session is single-rate, the weight shape mismatches, or a
 /// weight is not positive and finite.
-#[allow(clippy::needless_range_loop)] // parallel (rates, active, weights) tables
+#[deprecated(
+    since = "0.2.0",
+    note = "use `allocator::Weighted::new(weights)` via the `Allocator` trait"
+)]
 pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
+    weighted_solve_in(net, weights, &mut SolverWorkspace::new()).allocation
+}
+
+/// Weighted progressive filling into a caller-provided workspace: the
+/// engine behind [`crate::allocator::Weighted`].
+#[allow(clippy::needless_range_loop)] // parallel (rates, active, weights) tables
+pub(crate) fn weighted_solve_in(
+    net: &Network,
+    weights: &Weights,
+    ws: &mut SolverWorkspace,
+) -> MaxMinSolution {
     assert!(
         net.sessions().iter().all(|s| s.kind.is_multi_rate()),
         "weighted max-min is defined for multi-rate sessions"
     );
     assert_eq!(weights.w.len(), net.session_count(), "weight shape");
-    for (s, ws) in net.sessions().iter().zip(&weights.w) {
-        assert_eq!(ws.len(), s.receivers.len(), "weight shape");
+    for (s, wsess) in net.sessions().iter().zip(&weights.w) {
+        assert_eq!(wsess.len(), s.receivers.len(), "weight shape");
         assert!(
-            ws.iter().all(|w| w.is_finite() && *w > 0.0),
+            wsess.iter().all(|w| w.is_finite() && *w > 0.0),
             "weights must be positive"
         );
     }
 
-    let shape: Vec<usize> = net.sessions().iter().map(|s| s.receivers.len()).collect();
-    let mut rates: Vec<Vec<f64>> = shape.iter().map(|&k| vec![0.0; k]).collect();
-    let mut active: Vec<Vec<bool>> = shape.iter().map(|&k| vec![true; k]).collect();
+    ws.reset(net);
     let mut phi = 0.0_f64;
+    let mut iterations = 0usize;
 
-    let any_active = |active: &Vec<Vec<bool>>| active.iter().any(|s| s.iter().any(|&a| a));
-
-    let mut guard = 0;
-    while any_active(&active) {
-        guard += 1;
-        assert!(guard <= net.receiver_count() + 1, "no convergence");
+    loop {
+        let any_active = ws.active.iter().any(|s| s.iter().any(|&a| a));
+        if !any_active {
+            break;
+        }
+        iterations += 1;
+        assert!(iterations <= net.receiver_count() + 1, "no convergence");
 
         // Potential cap from κ: receiver r freezes at φ = κ_i / w_r.
         let mut upper = f64::INFINITY;
         for (i, s) in net.sessions().iter().enumerate() {
             for k in 0..s.receivers.len() {
-                if active[i][k] {
+                if ws.active[i][k] {
                     upper = upper.min(s.max_rate / weights.w[i][k]);
                 }
             }
@@ -120,7 +140,7 @@ pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
         for j in 0..net.link_count() {
             let link = LinkId(j);
             let mut constant = 0.0;
-            let mut terms: Vec<(f64, f64)> = Vec::new(); // (breakpoint b, slope W)
+            ws.terms.clear(); // (breakpoint b, slope W)
             let mut has_active = false;
             for i in 0..net.session_count() {
                 let on = net.receivers_of_session_on_link(link, SessionId(i));
@@ -129,17 +149,17 @@ pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
                 }
                 let frozen_max = on
                     .iter()
-                    .filter(|&&k| !active[i][k])
-                    .map(|&k| rates[i][k])
+                    .filter(|&&k| !ws.active[i][k])
+                    .map(|&k| ws.rates[i][k])
                     .fold(0.0_f64, f64::max);
                 let w_max = on
                     .iter()
-                    .filter(|&&k| active[i][k])
+                    .filter(|&&k| ws.active[i][k])
                     .map(|&k| weights.w[i][k])
                     .fold(0.0_f64, f64::max);
                 if w_max > 0.0 {
                     has_active = true;
-                    terms.push((frozen_max / w_max, w_max));
+                    ws.terms.push((frozen_max / w_max, w_max));
                 } else {
                     constant += frozen_max;
                 }
@@ -148,17 +168,20 @@ pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
                 continue;
             }
             let cap = net.graph().capacity(link);
+            let terms = &ws.terms;
             let load_at = |p: f64| -> f64 {
                 constant + terms.iter().map(|&(b, w)| w * b.max(p)).sum::<f64>()
             };
-            let mut bps: Vec<f64> = terms.iter().map(|&(b, _)| b).collect();
-            bps.push(phi);
-            bps.push(upper);
-            bps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            bps.dedup();
+            ws.breakpoints.clear();
+            ws.breakpoints.extend(terms.iter().map(|&(b, _)| b));
+            ws.breakpoints.push(phi);
+            ws.breakpoints.push(upper);
+            ws.breakpoints
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            ws.breakpoints.dedup();
             let mut lo = phi;
             let mut sat = upper;
-            for &bp in bps.iter().filter(|&&b| b > phi && b <= upper) {
+            for &bp in ws.breakpoints.iter().filter(|&&b| b > phi && b <= upper) {
                 if load_at(bp) > cap + RATE_EPS {
                     let slope: f64 = terms
                         .iter()
@@ -180,10 +203,10 @@ pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
         phi = next.max(phi);
 
         // Raise all active receivers to w·φ.
-        for i in 0..rates.len() {
-            for k in 0..rates[i].len() {
-                if active[i][k] {
-                    rates[i][k] = weights.w[i][k] * phi;
+        for i in 0..ws.rates.len() {
+            for k in 0..ws.rates[i].len() {
+                if ws.active[i][k] {
+                    ws.rates[i][k] = weights.w[i][k] * phi;
                 }
             }
         }
@@ -192,9 +215,10 @@ pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
         // κ freezes.
         for (i, s) in net.sessions().iter().enumerate() {
             for k in 0..s.receivers.len() {
-                if active[i][k] && weights.w[i][k] * phi >= s.max_rate - RATE_EPS {
-                    active[i][k] = false;
-                    rates[i][k] = s.max_rate;
+                if ws.active[i][k] && weights.w[i][k] * phi >= s.max_rate - RATE_EPS {
+                    ws.active[i][k] = false;
+                    ws.rates[i][k] = s.max_rate;
+                    ws.reasons[i][k] = Some(FreezeReason::MaxRate);
                     froze = true;
                 }
             }
@@ -207,7 +231,7 @@ pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
             let mut load = 0.0;
             for i in 0..net.session_count() {
                 let on = net.receivers_of_session_on_link(link, SessionId(i));
-                let max = on.iter().map(|&k| rates[i][k]).fold(0.0_f64, f64::max);
+                let max = on.iter().map(|&k| ws.rates[i][k]).fold(0.0_f64, f64::max);
                 load += max;
             }
             if load < net.graph().capacity(link) - RATE_EPS {
@@ -218,10 +242,11 @@ pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
                 if on.is_empty() {
                     continue;
                 }
-                let session_max = on.iter().map(|&k| rates[i][k]).fold(0.0_f64, f64::max);
+                let session_max = on.iter().map(|&k| ws.rates[i][k]).fold(0.0_f64, f64::max);
                 for &k in on {
-                    if active[i][k] && rates[i][k] >= session_max - RATE_EPS {
-                        active[i][k] = false;
+                    if ws.active[i][k] && ws.rates[i][k] >= session_max - RATE_EPS {
+                        ws.active[i][k] = false;
+                        ws.reasons[i][k] = Some(FreezeReason::Link(link));
                         froze = true;
                     }
                 }
@@ -229,23 +254,24 @@ pub fn weighted_max_min(net: &Network, weights: &Weights) -> Allocation {
         }
         assert!(froze, "weighted filling made no progress at phi = {phi}");
     }
-    Allocation::from_rates(rates)
+    ws.take_solution(iterations)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::allocator::{Allocator, Hybrid, MultiRate, Weighted};
     use crate::linkrate::LinkRateConfig;
-    use crate::maxmin::max_min_allocation;
     use mlf_net::topology::random_network;
     use mlf_net::{Graph, Session};
 
     #[test]
     fn uniform_weights_match_unweighted() {
+        let mut ws = SolverWorkspace::new();
         for seed in 0..15u64 {
             let net = random_network(seed, 10, 4, 4);
-            let weighted = weighted_max_min(&net, &Weights::uniform(&net));
-            let plain = max_min_allocation(&net);
+            let weighted = Weighted::uniform().solve(&net, &mut ws).allocation;
+            let plain = Hybrid::as_declared().solve(&net, &mut ws).allocation;
             for (a, b) in weighted.rates().iter().zip(plain.rates()) {
                 for (x, y) in a.iter().zip(b) {
                     assert!((x - y).abs() < 1e-9, "seed {seed}: {x} vs {y}");
@@ -265,7 +291,7 @@ mod tests {
         )
         .unwrap();
         let w = Weights::from_values(vec![vec![2.0], vec![1.0]]);
-        let alloc = weighted_max_min(&net, &w);
+        let alloc = Weighted::new(w).allocate(&net);
         assert!((alloc.rate(ReceiverId::new(0, 0)) - 6.0).abs() < 1e-9);
         assert!((alloc.rate(ReceiverId::new(1, 0)) - 3.0).abs() < 1e-9);
     }
@@ -282,8 +308,7 @@ mod tests {
             vec![Session::unicast(n[0], n[1]), Session::unicast(n[0], n[1])],
         )
         .unwrap();
-        let w = Weights::from_rtts(vec![vec![0.05], vec![0.1]]);
-        let alloc = weighted_max_min(&net, &w);
+        let alloc = Weighted::from_rtts(vec![vec![0.05], vec![0.1]]).allocate(&net);
         let a = alloc.rate(ReceiverId::new(0, 0));
         let b = alloc.rate(ReceiverId::new(1, 0));
         assert!((a - 2.0 * b).abs() < 1e-9);
@@ -312,10 +337,20 @@ mod tests {
         )
         .unwrap();
         let w = Weights::from_values(vec![vec![3.0, 1.0], vec![1.0]]);
-        let alloc = weighted_max_min(&net, &w);
+        let sol = Weighted::new(w).solve(&net, &mut SolverWorkspace::new());
+        let alloc = &sol.allocation;
         assert!((alloc.rate(ReceiverId::new(0, 0)) - 6.0).abs() < 1e-9);
         assert!((alloc.rate(ReceiverId::new(1, 0)) - 2.0).abs() < 1e-9);
         assert!((alloc.rate(ReceiverId::new(0, 1)) - 5.0).abs() < 1e-9);
+        // The riders froze on their own links, with diagnostics to prove it.
+        assert_eq!(
+            sol.reason(ReceiverId::new(0, 0)),
+            FreezeReason::Link(LinkId(0))
+        );
+        assert_eq!(
+            sol.reason(ReceiverId::new(0, 1)),
+            FreezeReason::Link(LinkId(2))
+        );
         // Feasible under the efficient model.
         let cfg = LinkRateConfig::efficient(2);
         assert!(alloc.is_feasible(&net, &cfg));
@@ -335,15 +370,17 @@ mod tests {
         )
         .unwrap();
         let w = Weights::from_values(vec![vec![5.0], vec![1.0]]);
-        let alloc = weighted_max_min(&net, &w);
+        let sol = Weighted::new(w).solve(&net, &mut SolverWorkspace::new());
         // The heavy receiver caps at κ = 1 long before its weighted share;
         // the rest goes to the other flow.
-        assert!((alloc.rate(ReceiverId::new(0, 0)) - 1.0).abs() < 1e-9);
-        assert!((alloc.rate(ReceiverId::new(1, 0)) - 9.0).abs() < 1e-9);
+        assert!((sol.allocation.rate(ReceiverId::new(0, 0)) - 1.0).abs() < 1e-9);
+        assert!((sol.allocation.rate(ReceiverId::new(1, 0)) - 9.0).abs() < 1e-9);
+        assert_eq!(sol.reason(ReceiverId::new(0, 0)), FreezeReason::MaxRate);
     }
 
     #[test]
     fn results_are_feasible_on_random_networks() {
+        let mut ws = SolverWorkspace::new();
         for seed in 20..40u64 {
             let net = random_network(seed, 12, 4, 4);
             // Pseudo-random but deterministic weights.
@@ -358,7 +395,7 @@ mod tests {
                     })
                     .collect(),
             );
-            let alloc = weighted_max_min(&net, &w);
+            let alloc = Weighted::new(w).solve(&net, &mut ws).allocation;
             let cfg = LinkRateConfig::efficient(net.session_count());
             assert!(
                 alloc.is_feasible(&net, &cfg),
@@ -369,6 +406,25 @@ mod tests {
     }
 
     #[test]
+    fn legacy_shim_matches_the_trait() {
+        #[allow(deprecated)]
+        for seed in 0..5u64 {
+            let net = random_network(seed, 10, 3, 3);
+            let w = Weights::uniform(&net);
+            #[allow(deprecated)]
+            let legacy = weighted_max_min(&net, &w);
+            let new = Weighted::new(w).allocate(&net);
+            assert_eq!(legacy.rates(), new.rates(), "seed {seed}");
+        }
+        // And uniform weighting equals plain multi-rate max-min.
+        let net = random_network(7, 10, 3, 3);
+        assert_eq!(
+            Weighted::uniform().allocate(&net).rates(),
+            MultiRate::new().allocate(&net).rates()
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "multi-rate")]
     fn rejects_single_rate_sessions() {
         let mut g = Graph::new();
@@ -376,6 +432,6 @@ mod tests {
         g.add_link(n[0], n[1], 1.0).unwrap();
         g.add_link(n[0], n[2], 1.0).unwrap();
         let net = Network::new(g, vec![Session::single_rate(n[0], vec![n[1], n[2]])]).unwrap();
-        let _ = weighted_max_min(&net, &Weights::uniform(&net));
+        let _ = Weighted::uniform().allocate(&net);
     }
 }

@@ -2,9 +2,10 @@
 //! the receiver rates, the session link rates, the full-utilization pattern,
 //! and the property violations the prose walks through.
 
+use mlf_core::allocator::{Allocator, Hybrid};
 use mlf_core::linkrate::{LinkRateConfig, LinkRateModel};
 use mlf_core::properties;
-use mlf_core::{max_min_allocation, max_min_allocation_with, redundancy};
+use mlf_core::redundancy;
 use mlf_net::paper;
 use mlf_net::{LinkId, ReceiverId, SessionId};
 
@@ -26,7 +27,7 @@ fn assert_alloc(alloc: &mlf_core::Allocation, expected: &[Vec<f64>]) {
 fn figure1_rates_and_link_rates() {
     let ex = paper::figure1();
     let net = &ex.network;
-    let alloc = max_min_allocation(net);
+    let alloc = Hybrid::as_declared().allocate(net);
     assert_alloc(&alloc, &ex.expected_rates);
 
     let cfg = LinkRateConfig::efficient(net.session_count());
@@ -59,7 +60,7 @@ fn figure1_rates_and_link_rates() {
 fn figure2_single_rate_fails_three_properties() {
     let ex = paper::figure2();
     let net = &ex.network;
-    let alloc = max_min_allocation(net);
+    let alloc = Hybrid::as_declared().allocate(net);
     assert_alloc(&alloc, &ex.expected_rates);
 
     let cfg = LinkRateConfig::efficient(net.session_count());
@@ -103,7 +104,7 @@ fn figure2_single_rate_fails_three_properties() {
 fn figure2_multi_rate_replacement_restores_all_properties() {
     let ex = paper::figure2_multi_rate();
     let net = &ex.network;
-    let alloc = max_min_allocation(net);
+    let alloc = Hybrid::as_declared().allocate(net);
     assert_alloc(&alloc, &ex.expected_rates);
     let cfg = LinkRateConfig::efficient(net.session_count());
     let report = properties::check_all(net, &cfg, &alloc);
@@ -115,8 +116,12 @@ fn figure2_lemma3_ordering_between_variants() {
     // The multi-rate replacement must be weakly more max-min fair.
     let single = paper::figure2();
     let multi = paper::figure2_multi_rate();
-    let a = max_min_allocation(&single.network).ordered_vector();
-    let b = max_min_allocation(&multi.network).ordered_vector();
+    let a = Hybrid::as_declared()
+        .allocate(&single.network)
+        .ordered_vector();
+    let b = Hybrid::as_declared()
+        .allocate(&multi.network)
+        .ordered_vector();
     assert!(mlf_core::is_min_unfavorable(&a, &b));
     // Strictly, here: (2,2,2,3) <m (2,2,2.5,2.5).
     assert!(mlf_core::is_strictly_min_unfavorable(&a, &b));
@@ -125,10 +130,10 @@ fn figure2_lemma3_ordering_between_variants() {
 #[test]
 fn figure3a_removal_decreases_a_sibling() {
     let ex = paper::figure3a();
-    let before = max_min_allocation(&ex.network);
+    let before = Hybrid::as_declared().allocate(&ex.network);
     assert_alloc(&before, &ex.before);
     let after_net = ex.network.without_receiver(ex.removed).unwrap();
-    let after = max_min_allocation(&after_net);
+    let after = Hybrid::as_declared().allocate(&after_net);
     assert_alloc(&after, &ex.after);
     // The headline: r3,1 *decreased* (3 -> 2) while r1,1 rose (7 -> 8).
     assert!(after.rate(ReceiverId::new(2, 0)) < before.rate(ReceiverId::new(2, 0)));
@@ -138,10 +143,10 @@ fn figure3a_removal_decreases_a_sibling() {
 #[test]
 fn figure3b_removal_increases_a_sibling() {
     let ex = paper::figure3b();
-    let before = max_min_allocation(&ex.network);
+    let before = Hybrid::as_declared().allocate(&ex.network);
     assert_alloc(&before, &ex.before);
     let after_net = ex.network.without_receiver(ex.removed).unwrap();
-    let after = max_min_allocation(&after_net);
+    let after = Hybrid::as_declared().allocate(&after_net);
     assert_alloc(&after, &ex.after);
     // The headline: r3,1 *increased* (7 -> 8) while r1,1 fell (3 -> 2).
     assert!(after.rate(ReceiverId::new(2, 0)) > before.rate(ReceiverId::new(2, 0)));
@@ -154,7 +159,7 @@ fn figure4_redundancy_breaks_session_perspective_fairness() {
     let net = &ex.network;
     // S1 redundancy 2 on shared links.
     let cfg = LinkRateConfig::efficient(2).with_session(0, LinkRateModel::Scaled(2.0));
-    let alloc = max_min_allocation_with(net, &cfg);
+    let alloc = Hybrid::as_declared().with_config(cfg.clone()).allocate(net);
     assert_alloc(&alloc, &ex.expected_rates);
 
     // u_{1,4} = 4, u_{2,4} = 2, l4 (index 3) fully utilized.
@@ -187,7 +192,7 @@ fn figure4_redundancy_breaks_session_perspective_fairness() {
 #[test]
 fn figure4_efficient_counterfactual() {
     let ex = paper::figure4();
-    let alloc = max_min_allocation(&ex.network);
+    let alloc = Hybrid::as_declared().allocate(&ex.network);
     assert_alloc(&alloc, &paper::figure4_efficient_rates());
     let cfg = LinkRateConfig::efficient(2);
     let report = properties::check_all(&ex.network, &cfg, &alloc);

@@ -111,9 +111,7 @@ impl LayerSchedule {
 
     /// Whether some subscription level yields exactly `rate`.
     pub fn rate_is_achievable(&self, rate: f64) -> bool {
-        self.cumulative
-            .iter()
-            .any(|&c| (c - rate).abs() <= 1e-12)
+        self.cumulative.iter().any(|&c| (c - rate).abs() <= 1e-12)
     }
 }
 

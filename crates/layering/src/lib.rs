@@ -41,7 +41,7 @@ pub mod randomjoin;
 pub use fixed::{analyze, section3_example, FixedLayerAnalysis};
 pub use layers::LayerSchedule;
 pub use quantum::{
-    long_term_redundancy, measured_redundancy, prefix_subsets, random_subsets,
-    rate_quota_schedule, SelectionMode,
+    long_term_redundancy, measured_redundancy, prefix_subsets, random_subsets, rate_quota_schedule,
+    SelectionMode,
 };
 pub use randomjoin::{analytic_redundancy, expected_link_rate, figure5_series, Figure5Config};

@@ -19,9 +19,16 @@
 //!   `⌊aΔt⌋`/`⌈aΔt⌉` quanta so the long-term average converges to `a`
 //!   (footnote 7 of the paper).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use mlf_net::topology::SplitMix64;
+
+/// Fisher–Yates shuffle driven by the workspace's deterministic generator
+/// (the build ships no external `rand` dependency).
+fn shuffle(indices: &mut [usize], rng: &mut SplitMix64) {
+    for i in (1..indices.len()).rev() {
+        let j = rng.below(i + 1);
+        indices.swap(i, j);
+    }
+}
 
 /// Packet subsets within one quantum: `subsets[r][p]` is whether receiver
 /// `r` collects packet `p` of the `sigma_packets` transmitted.
@@ -47,13 +54,13 @@ pub fn prefix_subsets(quotas: &[usize], sigma_packets: usize) -> PacketSubsets {
 /// Uncoordinated packet choice: receiver `r` takes a uniformly random
 /// `quotas[r]`-subset of the quantum's packets. Deterministic in `seed`.
 pub fn random_subsets(quotas: &[usize], sigma_packets: usize, seed: u64) -> PacketSubsets {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64(seed.wrapping_add(0x5EED_0F42));
     let mut indices: Vec<usize> = (0..sigma_packets).collect();
     quotas
         .iter()
         .map(|&q| {
             assert!(q <= sigma_packets, "quota exceeds the layer rate");
-            indices.shuffle(&mut rng);
+            shuffle(&mut indices, &mut rng);
             let mut take = vec![false; sigma_packets];
             for &p in &indices[..q] {
                 take[p] = true;
@@ -70,16 +77,17 @@ pub fn union_size(subsets: &PacketSubsets) -> usize {
         return 0;
     }
     let n = subsets[0].len();
-    (0..n)
-        .filter(|&p| subsets.iter().any(|s| s[p]))
-        .count()
+    (0..n).filter(|&p| subsets.iter().any(|s| s[p])).count()
 }
 
 /// Measured redundancy of a set of subsets (Definition 3 at quantum
 /// granularity): union size over the largest individual subset. `None` when
 /// every subset is empty.
 pub fn measured_redundancy(subsets: &PacketSubsets) -> Option<f64> {
-    let max = subsets.iter().map(|s| s.iter().filter(|&&b| b).count()).max()?;
+    let max = subsets
+        .iter()
+        .map(|s| s.iter().filter(|&&b| b).count())
+        .max()?;
     if max == 0 {
         return None;
     }
@@ -206,8 +214,7 @@ mod tests {
     fn long_term_redundancy_random_matches_appendix_b() {
         // 3 receivers each taking half the packets of σ=20:
         // E[U] = 20(1 - 0.5^3) = 17.5, redundancy = 17.5/10 = 1.75.
-        let red =
-            long_term_redundancy(&[10, 10, 10], 20, 400, SelectionMode::Random, 99).unwrap();
+        let red = long_term_redundancy(&[10, 10, 10], 20, 400, SelectionMode::Random, 99).unwrap();
         assert!((red - 1.75).abs() < 0.05, "got {red}");
     }
 

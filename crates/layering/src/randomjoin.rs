@@ -158,7 +158,11 @@ mod tests {
             }
             // And approaches it.
             let red = analytic_redundancy(&cfg.rates(2000), 1.0);
-            assert!(red > 0.99 * bound, "{}: {red} vs bound {bound}", cfg.label());
+            assert!(
+                red > 0.99 * bound,
+                "{}: {red} vs bound {bound}",
+                cfg.label()
+            );
         }
     }
 

@@ -2,8 +2,8 @@
 //! that make "average rates equal fair rates" work.
 
 use mlf_layering::quantum::{
-    long_term_redundancy, measured_redundancy, prefix_subsets, random_subsets,
-    rate_quota_schedule, schedule_average, union_size, SelectionMode,
+    long_term_redundancy, measured_redundancy, prefix_subsets, random_subsets, rate_quota_schedule,
+    schedule_average, union_size, SelectionMode,
 };
 use mlf_layering::randomjoin::analytic_redundancy;
 use mlf_layering::LayerSchedule;

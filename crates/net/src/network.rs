@@ -189,9 +189,10 @@ impl Network {
 
     /// Iterate over every receiver id in the network, session-major.
     pub fn receivers(&self) -> impl Iterator<Item = ReceiverId> + '_ {
-        self.sessions.iter().enumerate().flat_map(|(i, s)| {
-            (0..s.receivers.len()).map(move |k| ReceiverId::new(i, k))
-        })
+        self.sessions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| (0..s.receivers.len()).map(move |k| ReceiverId::new(i, k)))
     }
 
     /// The data-path (ordered link sequence) of a receiver.
@@ -392,10 +393,7 @@ mod tests {
         g.add_link(n[0], n[1], 1.0).unwrap();
         let err = Network::new(g.clone(), vec![Session::multi_rate(n[0], vec![])]);
         assert!(matches!(err, Err(NetError::EmptySession(_))));
-        let err = Network::new(
-            g,
-            vec![Session::unicast(n[0], n[1]).with_max_rate(0.0)],
-        );
+        let err = Network::new(g, vec![Session::unicast(n[0], n[1]).with_max_rate(0.0)]);
         assert!(matches!(err, Err(NetError::BadMaxRate { .. })));
     }
 

@@ -62,9 +62,9 @@ pub fn figure1() -> PaperExample {
     g.add_link(n[2], n[4], 4.0).unwrap(); // l3
     g.add_link(n[2], n[3], 3.0).unwrap(); // l4
     let sessions = vec![
-        Session::unicast(n[0], n[3]),                       // S1: X1 -> r1,1
-        Session::multi_rate(n[0], vec![n[3], n[4]]),        // S2: X2 -> r2,1 r2,2
-        Session::multi_rate(n[1], vec![n[3], n[4]]),        // S3: X3 -> r3,1 r3,2
+        Session::unicast(n[0], n[3]),                // S1: X1 -> r1,1
+        Session::multi_rate(n[0], vec![n[3], n[4]]), // S2: X2 -> r2,1 r2,2
+        Session::multi_rate(n[1], vec![n[3], n[4]]), // S3: X3 -> r3,1 r3,2
     ];
     let network = Network::new(g, sessions).expect("figure 1 network");
     PaperExample {
@@ -112,9 +112,10 @@ pub fn figure2() -> PaperExample {
 /// `r1,3 = 3` — all four fairness properties hold.
 pub fn figure2_multi_rate() -> PaperExample {
     let base = figure2();
-    let network = base
-        .network
-        .with_session_kind(crate::ids::SessionId(0), crate::session::SessionType::MultiRate);
+    let network = base.network.with_session_kind(
+        crate::ids::SessionId(0),
+        crate::session::SessionType::MultiRate,
+    );
     PaperExample {
         network,
         expected_rates: vec![vec![2.5, 2.0, 3.0], vec![2.5]],
@@ -204,8 +205,8 @@ pub fn figure3b() -> RemovalExample {
         Session::multi_rate(n[0], vec![n[3], n[1]]), // S3: X3@A -> r3,1@D, r3,2@B
     ];
     let routes = vec![
-        vec![vec![l3, l1]], // r1,1
-        vec![vec![l2, l3]], // r2,1 (explicitly the long way around)
+        vec![vec![l3, l1]],           // r1,1
+        vec![vec![l2, l3]],           // r2,1 (explicitly the long way around)
         vec![vec![l4, l1], vec![l2]], // r3,1 ; r3,2
     ];
     let network = Network::with_routes(g, sessions, routes).expect("figure 3b network");
@@ -272,11 +273,8 @@ pub fn single_link(capacity: f64) -> Network {
     let a = g.add_node();
     let b = g.add_node();
     g.add_link(a, b, capacity).unwrap();
-    Network::new(
-        g,
-        vec![Session::unicast(a, b), Session::unicast(a, b)],
-    )
-    .expect("single link network")
+    Network::new(g, vec![Session::unicast(a, b), Session::unicast(a, b)])
+        .expect("single link network")
 }
 
 /// Figure 7(a): the two-receiver analysis star (shared link + two fanout

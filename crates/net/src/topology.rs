@@ -63,11 +63,8 @@ pub fn star(shared_capacity: f64, fanout_capacities: &[f64]) -> Star {
 pub fn star_network(n_receivers: usize, shared_capacity: f64, fanout_capacity: f64) -> Network {
     let caps = vec![fanout_capacity; n_receivers];
     let s = star(shared_capacity, &caps);
-    Network::new(
-        s.graph,
-        vec![Session::multi_rate(s.sender, s.receivers)],
-    )
-    .expect("star network is routable by construction")
+    Network::new(s.graph, vec![Session::multi_rate(s.sender, s.receivers)])
+        .expect("star network is routable by construction")
 }
 
 /// A chain `n0 --l0-- n1 --l1-- ... -- n_k` with the given per-hop
@@ -249,7 +246,11 @@ pub fn random_sessions(
         }
         if receivers.is_empty() {
             // Degenerate tiny graph: fall back to the single non-sender node.
-            let fallback = if sender == NodeId(0) { NodeId(1) } else { NodeId(0) };
+            let fallback = if sender == NodeId(0) {
+                NodeId(1)
+            } else {
+                NodeId(0)
+            };
             receivers.push(fallback);
         }
         sessions.push(Session::multi_rate(sender, receivers));

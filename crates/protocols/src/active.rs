@@ -200,8 +200,10 @@ mod tests {
         assert!(red < 1.1, "active-node redundancy {red}");
         // The subtree still adapts: levels respond to the representative's
         // loss and sit well inside (1, 8).
-        let mean: f64 =
-            (0..params.receivers).map(|r| report.mean_level(r)).sum::<f64>() / 20.0;
+        let mean: f64 = (0..params.receivers)
+            .map(|r| report.mean_level(r))
+            .sum::<f64>()
+            / 20.0;
         assert!(mean > 1.5 && mean < 7.5, "mean level {mean}");
     }
 

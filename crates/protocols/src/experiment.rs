@@ -134,8 +134,18 @@ pub fn run_point(kind: ProtocolKind, params: &ExperimentParams) -> PointOutcome 
             redundancy.push(r);
         }
         let n = params.receivers as f64;
-        mean_level.push((0..params.receivers).map(|r| report.mean_level(r)).sum::<f64>() / n);
-        goodput.push((0..params.receivers).map(|r| report.goodput(r)).sum::<f64>() / n);
+        mean_level.push(
+            (0..params.receivers)
+                .map(|r| report.mean_level(r))
+                .sum::<f64>()
+                / n,
+        );
+        goodput.push(
+            (0..params.receivers)
+                .map(|r| report.goodput(r))
+                .sum::<f64>()
+                / n,
+        );
     }
     PointOutcome {
         kind,
@@ -158,7 +168,10 @@ pub struct Figure8Point {
 /// Sweep the independent-loss axis for all three protocols at a fixed
 /// shared loss — one full Figure 8 panel. `template` supplies everything
 /// except the independent loss.
-pub fn figure8_series(template: &ExperimentParams, independent_losses: &[f64]) -> Vec<Figure8Point> {
+pub fn figure8_series(
+    template: &ExperimentParams,
+    independent_losses: &[f64],
+) -> Vec<Figure8Point> {
     independent_losses
         .iter()
         .map(|&p| {
@@ -193,7 +206,11 @@ mod tests {
             let out = run_point(kind, &params);
             let r = out.redundancy.mean();
             assert!(r >= 1.0, "{}: redundancy {r} < 1", kind.label());
-            assert!(r < 10.0, "{}: redundancy {r} implausibly high", kind.label());
+            assert!(
+                r < 10.0,
+                "{}: redundancy {r} implausibly high",
+                kind.label()
+            );
         }
     }
 

@@ -42,11 +42,11 @@ pub mod markov;
 pub mod receiver;
 pub mod sender;
 
+pub use active::{active_node_controllers, run_trial_active, ActiveNodeReceiver};
 pub use config::{join_probability, join_threshold, ProtocolConfig, ProtocolKind};
 pub use experiment::{figure8_series, run_point, run_trial, ExperimentParams, PointOutcome};
 pub use markov::{two_receiver_chain, DenseChain, TwoReceiverModel};
 pub use receiver::{
     make_receiver, CoordinatedReceiver, DeterministicReceiver, UncoordinatedReceiver,
 };
-pub use active::{active_node_controllers, run_trial_active, ActiveNodeReceiver};
 pub use sender::CoordinatedSender;

@@ -49,10 +49,7 @@ impl DenseChain {
         for (s, row) in p.iter().enumerate() {
             assert_eq!(row.len(), n, "matrix must be square");
             let sum: f64 = row.iter().sum();
-            assert!(
-                (sum - 1.0).abs() < 1e-9,
-                "row {s} sums to {sum}, not 1"
-            );
+            assert!((sum - 1.0).abs() < 1e-9, "row {s} sums to {sum}, not 1");
             assert!(row.iter().all(|&x| x >= -1e-15), "negative probability");
         }
         DenseChain { p }
@@ -89,11 +86,7 @@ impl DenseChain {
                     next[t] += ps * self.p[s][t];
                 }
             }
-            let delta: f64 = pi
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             std::mem::swap(&mut pi, &mut next);
             if delta < tol {
                 break;
@@ -173,7 +166,11 @@ pub fn two_receiver_chain(
     let total_rate = (1u64 << (m - 1)) as f64;
     // P(slot layer = j), j in 1..=m: layer rates 1,1,2,4,... over 2^{m-1}.
     let layer_prob = |j: usize| -> f64 {
-        let r = if j == 1 { 1.0 } else { (1u64 << (j - 2)) as f64 };
+        let r = if j == 1 {
+            1.0
+        } else {
+            (1u64 << (j - 2)) as f64
+        };
         r / total_rate
     };
     // Coordinated: threshold distribution for base-layer packets.
@@ -228,12 +225,16 @@ pub fn two_receiver_chain(
                                                 continue;
                                             }
                                             let n1 = next_level(
-                                                l1, sub1, lost1,
+                                                l1,
+                                                sub1,
+                                                lost1,
                                                 !lost1 && sub1 && l1 <= t,
                                                 m,
                                             );
                                             let n2 = next_level(
-                                                l2, sub2, lost2,
+                                                l2,
+                                                sub2,
+                                                lost2,
                                                 !lost2 && sub2 && l2 <= t,
                                                 m,
                                             );
@@ -340,12 +341,9 @@ mod tests {
         // The paper's key analytic finding. Fix the total "loss budget" and
         // compare the symmetric split against asymmetric ones.
         for kind in [ProtocolKind::Uncoordinated, ProtocolKind::Coordinated] {
-            let sym = two_receiver_chain(kind, 6, 0.0001, 0.03, 0.03)
-                .stationary_redundancy();
-            let asym1 = two_receiver_chain(kind, 6, 0.0001, 0.01, 0.05)
-                .stationary_redundancy();
-            let asym2 = two_receiver_chain(kind, 6, 0.0001, 0.005, 0.055)
-                .stationary_redundancy();
+            let sym = two_receiver_chain(kind, 6, 0.0001, 0.03, 0.03).stationary_redundancy();
+            let asym1 = two_receiver_chain(kind, 6, 0.0001, 0.01, 0.05).stationary_redundancy();
+            let asym2 = two_receiver_chain(kind, 6, 0.0001, 0.005, 0.055).stationary_redundancy();
             assert!(
                 sym >= asym1 - 1e-6 && sym >= asym2 - 1e-6,
                 "{}: sym {sym}, asym {asym1}/{asym2}",
@@ -368,10 +366,8 @@ mod tests {
         // Same end-to-end loss, shifted from independent to shared: shared
         // loss synchronizes leaves, so redundancy drops.
         let kind = ProtocolKind::Uncoordinated;
-        let independent = two_receiver_chain(kind, 6, 0.0001, 0.04, 0.04)
-            .stationary_redundancy();
-        let shared = two_receiver_chain(kind, 6, 0.04, 0.0001, 0.0001)
-            .stationary_redundancy();
+        let independent = two_receiver_chain(kind, 6, 0.0001, 0.04, 0.04).stationary_redundancy();
+        let shared = two_receiver_chain(kind, 6, 0.04, 0.0001, 0.0001).stationary_redundancy();
         assert!(
             shared < independent,
             "shared {shared} !< independent {independent}"

@@ -92,9 +92,7 @@ impl ReceiverController for CoordinatedReceiver {
             return Action::LeaveDown;
         }
         match ev.marker {
-            Some(threshold) if ev.level <= threshold && ev.level < ev.layer_count => {
-                Action::JoinUp
-            }
+            Some(threshold) if ev.level <= threshold && ev.level < ev.layer_count => Action::JoinUp,
             _ => Action::Stay,
         }
     }

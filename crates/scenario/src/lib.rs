@@ -1,0 +1,807 @@
+//! # mlf-scenario — declarative experiment composition
+//!
+//! Every figure of the paper — and every experiment this workspace has
+//! grown beyond it — composes the same five ingredients: a topology (from
+//! `mlf-net`), a session link-rate model (`LinkRateConfig`), an allocation
+//! regime (an `mlf-core` [`Allocator`]), optionally a layer ladder (from
+//! `mlf-layering`), and metric/property reporting. Before this crate, each
+//! figure binary, example, and test hand-wired those pieces; a [`Scenario`]
+//! declares them once and offers [`Scenario::run`] for a single solve and
+//! [`Scenario::sweep`]/[`Scenario::sweep_grid`] for parameter grids.
+//!
+//! A scenario owns one [`SolverWorkspace`], so a sweep's repeated solves
+//! reuse scratch buffers instead of re-allocating per call — the hot-path
+//! win the Figure 5/8 sweeps need.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlf_core::allocator::MultiRate;
+//! use mlf_net::{Graph, Network, Session};
+//! use mlf_scenario::Scenario;
+//!
+//! // One layered video session against a competing unicast.
+//! let mut g = Graph::new();
+//! let (src, hub) = (g.add_node(), g.add_node());
+//! let (a, b) = (g.add_node(), g.add_node());
+//! g.add_link(src, hub, 10.0).unwrap();
+//! g.add_link(hub, a, 2.0).unwrap();
+//! g.add_link(hub, b, 6.0).unwrap();
+//! let net = Network::new(g, vec![
+//!     Session::multi_rate(src, vec![a, b]),
+//!     Session::unicast(src, b),
+//! ]).unwrap();
+//!
+//! let mut scenario = Scenario::builder()
+//!     .label("quickstart")
+//!     .network(net)
+//!     .allocator(MultiRate::new())
+//!     .build()
+//!     .unwrap();
+//! let report = scenario.run();
+//! assert_eq!(report.solution.allocation.rates(), &[vec![2.0, 3.0], vec![3.0]]);
+//! assert!(report.fairness.unwrap().all_hold()); // Theorem 1
+//! ```
+//!
+//! Sweeps over random topologies are deterministic in their seeds:
+//!
+//! ```
+//! use mlf_scenario::Scenario;
+//!
+//! let mut s = Scenario::builder()
+//!     .random_networks(12, 4, 4)
+//!     .build()
+//!     .unwrap();
+//! let once = s.sweep(0..8);
+//! let again = s.sweep(0..8);
+//! assert_eq!(once.points, again.points);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mlf_core::allocator::{Allocator, Hybrid, SolverWorkspace};
+use mlf_core::{
+    metrics, properties, FairnessReport, LinkRateConfig, LinkRateModel, MaxMinSolution,
+};
+use mlf_layering::LayerSchedule;
+use mlf_net::topology::random_network;
+use mlf_net::{Network, ReceiverId};
+
+/// Where a scenario's networks come from.
+#[derive(Debug, Clone)]
+pub enum NetworkSource {
+    /// One fixed network (e.g. a paper figure).
+    Fixed(Network),
+    /// The `mlf_net::topology::random_network` family, one network per
+    /// sweep seed.
+    Random {
+        /// Number of nodes in the random tree.
+        nodes: usize,
+        /// Number of multicast sessions.
+        sessions: usize,
+        /// Maximum receivers per session.
+        max_receivers: usize,
+    },
+}
+
+/// How the per-session link-rate models are chosen.
+#[derive(Debug, Clone, Default)]
+pub enum LinkRates {
+    /// Every session efficient (`v = max`, the Section 2 assumption).
+    #[default]
+    Efficient,
+    /// The same model for every session.
+    Uniform(LinkRateModel),
+    /// An explicit per-session configuration (fixed networks only; its
+    /// length must match the network's session count).
+    Explicit(LinkRateConfig),
+}
+
+impl LinkRates {
+    fn resolve(&self, session_count: usize) -> LinkRateConfig {
+        match self {
+            LinkRates::Efficient => LinkRateConfig::efficient(session_count),
+            LinkRates::Uniform(m) => LinkRateConfig::uniform(session_count, *m),
+            LinkRates::Explicit(cfg) => cfg.clone(),
+        }
+    }
+}
+
+/// Why a [`ScenarioBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// Neither [`ScenarioBuilder::network`] nor
+    /// [`ScenarioBuilder::random_networks`] was called.
+    MissingNetwork,
+    /// An explicit [`LinkRateConfig`] does not cover the fixed network's
+    /// sessions.
+    ConfigShape {
+        /// Sessions in the network.
+        expected: usize,
+        /// Models in the config.
+        got: usize,
+    },
+    /// An explicit [`LinkRateConfig`] cannot parameterize a random-network
+    /// sweep (session counts are not fixed); use `Efficient` or `Uniform`.
+    ExplicitConfigOnRandom,
+    /// Non-efficient link rates were configured for an allocator whose
+    /// regime has no link-rate parameterization (`Weighted`, `Unicast`).
+    AllocatorIgnoresLinkRates,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::MissingNetwork => {
+                write!(
+                    f,
+                    "scenario needs a network source (network(..) or random_networks(..))"
+                )
+            }
+            ScenarioError::ConfigShape { expected, got } => write!(
+                f,
+                "link-rate config covers {got} sessions but the network has {expected}"
+            ),
+            ScenarioError::ExplicitConfigOnRandom => write!(
+                f,
+                "explicit link-rate configs don't compose with random-network sweeps; \
+                 use LinkRates::Efficient or LinkRates::Uniform"
+            ),
+            ScenarioError::AllocatorIgnoresLinkRates => write!(
+                f,
+                "this allocator has no link-rate parameterization; configure link \
+                 rates with MultiRate, SingleRate, or Hybrid"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Builder for [`Scenario`]. Obtain via [`Scenario::builder`].
+pub struct ScenarioBuilder {
+    label: String,
+    source: Option<NetworkSource>,
+    link_rates: LinkRates,
+    allocator: Box<dyn Allocator>,
+    layering: Option<LayerSchedule>,
+    check_properties: bool,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            label: "scenario".to_string(),
+            source: None,
+            link_rates: LinkRates::Efficient,
+            allocator: Box::new(Hybrid::as_declared()),
+            layering: None,
+            check_properties: true,
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Name the scenario (shows up in reports).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Solve this fixed network.
+    pub fn network(mut self, net: Network) -> Self {
+        self.source = Some(NetworkSource::Fixed(net));
+        self
+    }
+
+    /// Sweep over `random_network(seed, nodes, sessions, max_receivers)`
+    /// topologies, one per seed.
+    pub fn random_networks(mut self, nodes: usize, sessions: usize, max_receivers: usize) -> Self {
+        self.source = Some(NetworkSource::Random {
+            nodes,
+            sessions,
+            max_receivers,
+        });
+        self
+    }
+
+    /// Choose the link-rate models (default: every session efficient).
+    pub fn link_rates(mut self, rates: LinkRates) -> Self {
+        self.link_rates = rates;
+        self
+    }
+
+    /// Choose the allocation regime (default:
+    /// [`Hybrid::as_declared`] — each session's declared type).
+    pub fn allocator(mut self, allocator: impl Allocator + 'static) -> Self {
+        self.allocator = Box::new(allocator);
+        self
+    }
+
+    /// Quantize fair rates onto a layer ladder and report the fit.
+    pub fn layering(mut self, schedule: LayerSchedule) -> Self {
+        self.layering = Some(schedule);
+        self
+    }
+
+    /// Audit the four Section 2 fairness properties on every run
+    /// (default: on).
+    pub fn check_properties(mut self, check: bool) -> Self {
+        self.check_properties = check;
+        self
+    }
+
+    /// Validate and assemble the scenario.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let source = self.source.ok_or(ScenarioError::MissingNetwork)?;
+        if !matches!(self.link_rates, LinkRates::Efficient) && !self.allocator.supports_link_rates()
+        {
+            return Err(ScenarioError::AllocatorIgnoresLinkRates);
+        }
+        if let LinkRates::Explicit(cfg) = &self.link_rates {
+            match &source {
+                NetworkSource::Fixed(net) => {
+                    if cfg.len() != net.session_count() {
+                        return Err(ScenarioError::ConfigShape {
+                            expected: net.session_count(),
+                            got: cfg.len(),
+                        });
+                    }
+                }
+                NetworkSource::Random { .. } => {
+                    return Err(ScenarioError::ExplicitConfigOnRandom);
+                }
+            }
+        }
+        Ok(Scenario {
+            label: self.label,
+            source,
+            link_rates: self.link_rates,
+            allocator: self.allocator,
+            layering: self.layering,
+            check_properties: self.check_properties,
+            ws: SolverWorkspace::new(),
+        })
+    }
+}
+
+/// A declarative experiment: topology × link-rate model × allocation regime
+/// × (optional) layering × reporting, with solver scratch reused across
+/// every run it performs.
+pub struct Scenario {
+    label: String,
+    source: NetworkSource,
+    link_rates: LinkRates,
+    allocator: Box<dyn Allocator>,
+    layering: Option<LayerSchedule>,
+    check_properties: bool,
+    ws: SolverWorkspace,
+}
+
+impl Scenario {
+    /// Start building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The scenario's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The fixed network, when the source is fixed.
+    pub fn network(&self) -> Option<&Network> {
+        match &self.source {
+            NetworkSource::Fixed(net) => Some(net),
+            NetworkSource::Random { .. } => None,
+        }
+    }
+
+    /// How many solves this scenario's workspace has served.
+    pub fn solves(&self) -> u64 {
+        self.ws.solves()
+    }
+
+    /// Solve the scenario once (seed 0 for random sources).
+    pub fn run(&mut self) -> ScenarioReport {
+        self.run_seeded(0)
+    }
+
+    /// Solve the scenario for one seed (ignored by fixed sources).
+    pub fn run_seeded(&mut self, seed: u64) -> ScenarioReport {
+        self.run_inner(seed, None)
+    }
+
+    fn run_inner(&mut self, seed: u64, model_override: Option<LinkRateModel>) -> ScenarioReport {
+        let owned;
+        let net = match &self.source {
+            NetworkSource::Fixed(net) => net,
+            NetworkSource::Random {
+                nodes,
+                sessions,
+                max_receivers,
+            } => {
+                owned = random_network(seed, *nodes, *sessions, *max_receivers);
+                &owned
+            }
+        };
+        let cfg = match model_override {
+            Some(m) => LinkRateConfig::uniform(net.session_count(), m),
+            None => self.link_rates.resolve(net.session_count()),
+        };
+        // The allocator solves under the scenario's link-rate config — the
+        // same one the property audit uses. Allocators without link-rate
+        // parameterization (Weighted, Unicast) only compose with efficient
+        // link rates, enforced at build()/sweep_grid() time.
+        let solution =
+            if matches!(self.link_rates, LinkRates::Efficient) && model_override.is_none() {
+                self.allocator.solve(net, &mut self.ws)
+            } else {
+                self.allocator
+                    .solve_with(net, &cfg, &mut self.ws)
+                    .expect("allocator link-rate support was validated at build time")
+            };
+        let fairness = self
+            .check_properties
+            .then(|| properties::check_all(net, &cfg, &solution.allocation));
+        let layering = self
+            .layering
+            .as_ref()
+            .map(|s| LayeringSummary::new(s, net, &solution));
+        let metrics = ScenarioMetrics::measure(net, &solution);
+        ScenarioReport {
+            label: self.label.clone(),
+            seed,
+            solution,
+            fairness,
+            metrics,
+            layering,
+        }
+    }
+
+    /// Run one solve per seed, reusing the workspace throughout. The result
+    /// is a pure function of the seeds (and the scenario spec): two sweeps
+    /// with equal seeds produce equal points.
+    pub fn sweep<I: IntoIterator<Item = u64>>(&mut self, seeds: I) -> SweepReport {
+        let points = seeds
+            .into_iter()
+            .map(|seed| SweepPoint::from_report(self.run_seeded(seed), None))
+            .collect();
+        SweepReport {
+            label: self.label.clone(),
+            points,
+        }
+    }
+
+    /// Run the full `seeds × models` grid (the Figure 4/5/6 pattern:
+    /// the same topologies under different redundancy models).
+    pub fn sweep_grid(&mut self, grid: &SweepGrid) -> SweepReport {
+        assert!(
+            grid.models.is_empty() || self.allocator.supports_link_rates(),
+            "{}",
+            ScenarioError::AllocatorIgnoresLinkRates
+        );
+        let mut points = Vec::with_capacity(grid.seeds.len() * grid.models.len().max(1));
+        if grid.models.is_empty() {
+            for &seed in &grid.seeds {
+                points.push(SweepPoint::from_report(self.run_seeded(seed), None));
+            }
+        } else {
+            for &model in &grid.models {
+                for &seed in &grid.seeds {
+                    let report = self.run_inner(seed, Some(model));
+                    points.push(SweepPoint::from_report(report, Some(model)));
+                }
+            }
+        }
+        SweepReport {
+            label: self.label.clone(),
+            points,
+        }
+    }
+}
+
+/// A parameter grid for [`Scenario::sweep_grid`]: topology seeds crossed
+/// with uniform link-rate models (empty `models` = use the scenario's own).
+#[derive(Debug, Clone, Default)]
+pub struct SweepGrid {
+    /// Topology seeds (one network per seed for random sources).
+    pub seeds: Vec<u64>,
+    /// Uniform link-rate models to apply, each across the whole grid.
+    pub models: Vec<LinkRateModel>,
+}
+
+impl SweepGrid {
+    /// A seeds-only grid.
+    pub fn seeds(seeds: impl IntoIterator<Item = u64>) -> Self {
+        SweepGrid {
+            seeds: seeds.into_iter().collect(),
+            models: Vec::new(),
+        }
+    }
+
+    /// Cross the grid with uniform link-rate models.
+    pub fn with_models(mut self, models: impl IntoIterator<Item = LinkRateModel>) -> Self {
+        self.models = models.into_iter().collect();
+        self
+    }
+}
+
+/// Scalar metrics of one solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioMetrics {
+    /// Jain's fairness index of the receiver rates.
+    pub jain_index: f64,
+    /// The smallest receiver rate.
+    pub min_rate: f64,
+    /// Sum of receiver rates.
+    pub total_rate: f64,
+    /// Mean satisfaction (rate / isolated rate) across receivers.
+    pub satisfaction: f64,
+    /// Water-filling iterations the solve performed.
+    pub iterations: usize,
+}
+
+impl ScenarioMetrics {
+    fn measure(net: &Network, solution: &MaxMinSolution) -> Self {
+        ScenarioMetrics {
+            jain_index: metrics::jain_index(&solution.allocation),
+            min_rate: solution.allocation.min_rate(),
+            total_rate: solution.allocation.total_rate(),
+            satisfaction: metrics::satisfaction(net, &solution.allocation),
+            iterations: solution.iterations,
+        }
+    }
+}
+
+/// How one receiver's fair rate fits the scenario's layer ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerFit {
+    /// The receiver.
+    pub receiver: ReceiverId,
+    /// Its max-min fair rate.
+    pub fair_rate: f64,
+    /// The deepest layer prefix whose cumulative rate fits under the fair
+    /// rate.
+    pub level: usize,
+    /// That prefix's cumulative rate.
+    pub fixed_rate: f64,
+    /// The fraction of the fair rate the fixed prefix leaves on the table
+    /// (recoverable by quantum join/leave scheduling).
+    pub deficit: f64,
+}
+
+/// The layering report of one run: per-receiver ladder fits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeringSummary {
+    /// Per-receiver fits, session-major.
+    pub fits: Vec<LayerFit>,
+}
+
+impl LayeringSummary {
+    fn new(schedule: &LayerSchedule, net: &Network, solution: &MaxMinSolution) -> Self {
+        let fits = net
+            .receivers()
+            .map(|r| {
+                let fair = solution.allocation.rate(r);
+                let level = schedule.level_for_rate(fair);
+                let fixed = schedule.cumulative_rate(level);
+                LayerFit {
+                    receiver: r,
+                    fair_rate: fair,
+                    level,
+                    fixed_rate: fixed,
+                    deficit: (fair - fixed) / fair.max(1e-12),
+                }
+            })
+            .collect();
+        LayeringSummary { fits }
+    }
+
+    /// Mean deficit across receivers (0 when every fair rate sits exactly
+    /// on a ladder step).
+    pub fn mean_deficit(&self) -> f64 {
+        if self.fits.is_empty() {
+            return 0.0;
+        }
+        self.fits.iter().map(|f| f.deficit).sum::<f64>() / self.fits.len() as f64
+    }
+}
+
+/// Everything one [`Scenario::run`] produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario's label.
+    pub label: String,
+    /// The topology seed this run used (0 for fixed networks' `run()`).
+    pub seed: u64,
+    /// The full solver output (allocation + freeze diagnostics).
+    pub solution: MaxMinSolution,
+    /// The Section 2 property audit, unless disabled.
+    pub fairness: Option<FairnessReport>,
+    /// Scalar metrics.
+    pub metrics: ScenarioMetrics,
+    /// Ladder fits, when a layering schedule was configured.
+    pub layering: Option<LayeringSummary>,
+}
+
+/// One point of a sweep, compressed to comparable scalars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The topology seed.
+    pub seed: u64,
+    /// The uniform link-rate model applied, for grid sweeps.
+    pub model: Option<LinkRateModel>,
+    /// Scalar metrics of the solve.
+    pub metrics: ScenarioMetrics,
+    /// How many of the four fairness properties held (when audited).
+    pub properties_holding: Option<usize>,
+}
+
+impl SweepPoint {
+    fn from_report(report: ScenarioReport, model: Option<LinkRateModel>) -> Self {
+        SweepPoint {
+            seed: report.seed,
+            model,
+            metrics: report.metrics,
+            properties_holding: report.fairness.as_ref().map(|f| f.count_holding()),
+        }
+    }
+}
+
+/// The outcome of a sweep: one [`SweepPoint`] per (seed, model) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The scenario's label.
+    pub label: String,
+    /// The points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// Mean of a per-point metric.
+    pub fn mean_of(&self, f: impl Fn(&SweepPoint) -> f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(f).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean Jain index across points.
+    pub fn mean_jain(&self) -> f64 {
+        self.mean_of(|p| p.metrics.jain_index)
+    }
+
+    /// Mean minimum rate across points.
+    pub fn mean_min_rate(&self) -> f64 {
+        self.mean_of(|p| p.metrics.min_rate)
+    }
+
+    /// Fraction of points where all four properties held.
+    pub fn all_properties_rate(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points
+            .iter()
+            .filter(|p| p.properties_holding == Some(4))
+            .count() as f64
+            / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlf_core::allocator::{MultiRate, SingleRate, Weighted};
+    use mlf_net::{Graph, Session};
+
+    fn two_branch_network() -> Network {
+        let mut g = Graph::new();
+        let (src, hub) = (g.add_node(), g.add_node());
+        let (a, b) = (g.add_node(), g.add_node());
+        g.add_link(src, hub, 10.0).unwrap();
+        g.add_link(hub, a, 2.0).unwrap();
+        g.add_link(hub, b, 6.0).unwrap();
+        Network::new(
+            g,
+            vec![
+                Session::multi_rate(src, vec![a, b]),
+                Session::unicast(src, b),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert_eq!(
+            Scenario::builder().build().err(),
+            Some(ScenarioError::MissingNetwork)
+        );
+        let err = Scenario::builder()
+            .network(two_branch_network())
+            .link_rates(LinkRates::Explicit(LinkRateConfig::efficient(5)))
+            .build()
+            .err();
+        assert_eq!(
+            err,
+            Some(ScenarioError::ConfigShape {
+                expected: 2,
+                got: 5
+            })
+        );
+        let err = Scenario::builder()
+            .random_networks(10, 3, 3)
+            .link_rates(LinkRates::Explicit(LinkRateConfig::efficient(3)))
+            .build()
+            .err();
+        assert_eq!(err, Some(ScenarioError::ExplicitConfigOnRandom));
+    }
+
+    #[test]
+    fn fixed_run_reports_paper_numbers() {
+        let mut s = Scenario::builder()
+            .label("fixture")
+            .network(two_branch_network())
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap();
+        let report = s.run();
+        assert_eq!(
+            report.solution.allocation.rates(),
+            &[vec![2.0, 3.0], vec![3.0]]
+        );
+        assert!(report.fairness.unwrap().all_hold());
+        assert!((report.metrics.total_rate - 8.0).abs() < 1e-9);
+        assert_eq!(s.network().unwrap().session_count(), 2);
+        assert_eq!(s.solves(), 1);
+    }
+
+    #[test]
+    fn regime_comparison_through_scenarios() {
+        let net = two_branch_network();
+        let multi = Scenario::builder()
+            .network(net.clone())
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap()
+            .run();
+        let single = Scenario::builder()
+            .network(net)
+            .allocator(SingleRate::new())
+            .build()
+            .unwrap()
+            .run();
+        // Multi-rate is strictly fairer by Jain's index on this network
+        // (2,3,3 vs 2,2,4) and no receiver is worse off at the bottom.
+        assert!(multi.metrics.jain_index > single.metrics.jain_index);
+        assert!(multi.metrics.min_rate >= single.metrics.min_rate);
+    }
+
+    #[test]
+    fn sweeps_are_deterministic_and_reuse_the_workspace() {
+        let mut s = Scenario::builder()
+            .random_networks(12, 4, 4)
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap();
+        let a = s.sweep(0..10);
+        let b = s.sweep(0..10);
+        assert_eq!(a, b);
+        assert_eq!(s.solves(), 20);
+        assert_eq!(a.points.len(), 10);
+        // Theorem 1 holds at every point of an all-multi-rate sweep.
+        assert_eq!(a.all_properties_rate(), 1.0);
+    }
+
+    #[test]
+    fn grid_sweeps_cross_models_with_seeds() {
+        let mut s = Scenario::builder()
+            .random_networks(10, 3, 3)
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap();
+        let grid = SweepGrid::seeds(0..4)
+            .with_models([LinkRateModel::Efficient, LinkRateModel::Scaled(2.0)]);
+        let report = s.sweep_grid(&grid);
+        assert_eq!(report.points.len(), 8);
+        // Lemma 4's direction in aggregate: redundancy shrinks min rates.
+        let eff: Vec<&SweepPoint> = report
+            .points
+            .iter()
+            .filter(|p| p.model == Some(LinkRateModel::Efficient))
+            .collect();
+        let red: Vec<&SweepPoint> = report
+            .points
+            .iter()
+            .filter(|p| p.model == Some(LinkRateModel::Scaled(2.0)))
+            .collect();
+        for (e, r) in eff.iter().zip(&red) {
+            assert!(r.metrics.min_rate <= e.metrics.min_rate + 1e-9);
+        }
+        // And the redundancy model must actually bite somewhere: at least
+        // one seed's allocation strictly shrinks (guards against the model
+        // override silently not reaching the allocator).
+        assert!(
+            eff.iter()
+                .zip(&red)
+                .any(|(e, r)| r.metrics.total_rate < e.metrics.total_rate - 1e-9),
+            "Scaled(2.0) never changed any allocation across the grid"
+        );
+    }
+
+    #[test]
+    fn link_rates_reach_the_allocator() {
+        // A Uniform(Scaled) scenario must produce a *different* allocation
+        // from the efficient default on a network where redundancy binds.
+        let net = two_branch_network();
+        let efficient = Scenario::builder()
+            .network(net.clone())
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap()
+            .run();
+        let scaled = Scenario::builder()
+            .network(net)
+            .allocator(MultiRate::new())
+            .link_rates(LinkRates::Uniform(LinkRateModel::Scaled(4.0)))
+            .build()
+            .unwrap()
+            .run();
+        assert!(scaled.metrics.total_rate < efficient.metrics.total_rate - 1e-9);
+    }
+
+    #[test]
+    fn weighted_rejects_non_efficient_link_rates() {
+        let err = Scenario::builder()
+            .network(two_branch_network())
+            .allocator(Weighted::uniform())
+            .link_rates(LinkRates::Uniform(LinkRateModel::Sum))
+            .build()
+            .err();
+        assert_eq!(err, Some(ScenarioError::AllocatorIgnoresLinkRates));
+    }
+
+    #[test]
+    fn layering_summary_reports_ladder_fits() {
+        let mut s = Scenario::builder()
+            .network(two_branch_network())
+            .allocator(MultiRate::new())
+            .layering(LayerSchedule::exponential(4)) // cumulative 1,2,4,8
+            .build()
+            .unwrap();
+        let report = s.run();
+        let summary = report.layering.unwrap();
+        assert_eq!(summary.fits.len(), 3);
+        // r1,1 fair rate 2 sits exactly on the ladder (level 2); r1,2 at 3
+        // fits level 2 (cumulative 2) with deficit 1/3.
+        assert_eq!(summary.fits[0].level, 2);
+        assert!((summary.fits[0].deficit).abs() < 1e-9);
+        assert!((summary.fits[1].deficit - 1.0 / 3.0).abs() < 1e-9);
+        assert!(summary.mean_deficit() > 0.0);
+    }
+
+    #[test]
+    fn weighted_allocator_composes_with_scenarios() {
+        let mut g = Graph::new();
+        let n = g.add_nodes(2);
+        g.add_link(n[0], n[1], 9.0).unwrap();
+        let net = Network::new(
+            g,
+            vec![Session::unicast(n[0], n[1]), Session::unicast(n[0], n[1])],
+        )
+        .unwrap();
+        let mut s = Scenario::builder()
+            .network(net)
+            .allocator(Weighted::new(mlf_core::Weights::from_values(vec![
+                vec![2.0],
+                vec![1.0],
+            ])))
+            .build()
+            .unwrap();
+        let report = s.run();
+        assert_eq!(report.solution.allocation.rates(), &[vec![6.0], vec![3.0]]);
+    }
+}

@@ -248,8 +248,8 @@ pub fn run_star<C: ReceiverController, M: MarkerSource>(
     let mut shared_loss = cfg.shared_loss.clone();
     let mut fanout_loss = cfg.fanout_loss.clone();
 
-    let mut membership = MembershipTable::new(n, m, 1)
-        .with_latencies(cfg.join_latency, cfg.leave_latency);
+    let mut membership =
+        MembershipTable::new(n, m, 1).with_latencies(cfg.join_latency, cfg.leave_latency);
     let mut interleaver = LayerInterleaver::new(&cfg.layer_rates);
 
     let mut report = StarReport {

@@ -133,7 +133,8 @@ impl MembershipTable {
             // applied past) is dropped.
             if change.seq >= self.latest_seq[change.receiver] {
                 self.effective[change.receiver] = change.level;
-            } else if change.seq > 0 && self.effective[change.receiver] != self.requested[change.receiver]
+            } else if change.seq > 0
+                && self.effective[change.receiver] != self.requested[change.receiver]
             {
                 // A superseded *pending* change may still move the effective
                 // level toward an even newer pending one; conservatively

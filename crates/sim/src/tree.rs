@@ -106,7 +106,10 @@ pub fn run_tree<C: ReceiverController, M: MarkerSource>(
 
     // Downstream receiver sets per link (R_{1,j}).
     let downstream: Vec<Vec<usize>> = (0..n_links)
-        .map(|j| net.receivers_of_session_on_link(LinkId(j), session).to_vec())
+        .map(|j| {
+            net.receivers_of_session_on_link(LinkId(j), session)
+                .to_vec()
+        })
         .collect();
 
     let base = SimRng::seed_from_u64(seed);
@@ -159,10 +162,7 @@ pub fn run_tree<C: ReceiverController, M: MarkerSource>(
             }
             // End-to-end fate: OR of the losses on the receiver's path.
             let rid = ReceiverId::new(0, r);
-            let lost = net
-                .route(rid)
-                .iter()
-                .any(|&l| link_lost[l.0] == Some(true));
+            let lost = net.route(rid).iter().any(|&l| link_lost[l.0] == Some(true));
             if lost {
                 report.congestion_events[r] += 1;
             } else {
@@ -235,7 +235,13 @@ mod tests {
     fn lossless_cfg(net: &Network, layers: usize) -> TreeConfig {
         TreeConfig {
             layer_rates: (0..layers)
-                .map(|i| if i == 0 { 1.0 } else { (1u64 << (i - 1)) as f64 })
+                .map(|i| {
+                    if i == 0 {
+                        1.0
+                    } else {
+                        (1u64 << (i - 1)) as f64
+                    }
+                })
                 .collect(),
             link_loss: vec![LossProcess::bernoulli(0.0); net.link_count()],
             join_latency: 0,
@@ -247,7 +253,7 @@ mod tests {
     fn per_link_usage_follows_subtree_maxima() {
         let net = two_level_tree();
         let cfg = lossless_cfg(&net, 4); // rates 1,1,2,4; total 8
-        // Levels: r0=4, r1=1 (A side); r2=2, r3=2 (B side).
+                                         // Levels: r0=4, r1=1 (A side); r2=2, r3=2 (B side).
         let mut ctls = vec![Pin(4), Pin(1), Pin(2), Pin(2)];
         let report = run_tree(&net, &cfg, &mut ctls, &mut NoMarkers, 80_000, 1);
         // Steady state: l0 (A trunk) carries level 4 = all slots; l1 (B

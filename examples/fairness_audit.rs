@@ -1,7 +1,8 @@
 //! A fairness audit of a mixed single-rate/multi-rate network: which of the
 //! four Section 2 properties hold, for whom, and how the picture changes as
 //! single-rate sessions are progressively "replaced" by multi-rate ones
-//! (Lemma 3 / Corollary 1).
+//! (Lemma 3 / Corollary 1) — scenarios over the same topology with
+//! different allocators.
 //!
 //! Run with `cargo run --example fairness_audit`.
 
@@ -10,34 +11,50 @@ use multicast_fairness::prelude::*;
 
 fn main() {
     // The paper's Figure 2 network: the canonical audit target.
-    let example = mlf_net::paper::figure2();
+    let example = multicast_fairness::net::paper::figure2();
     let net = example.network;
     let cfg = LinkRateConfig::efficient(net.session_count());
 
     println!("=== Figure 2: S1 single-rate (3 receivers), S2 unicast ===\n");
-    audit(&net, &cfg);
+    let declared = audit(&net, &cfg, Hybrid::as_declared());
 
     // Replace S1 by its multi-rate twin (Lemma 3's operation).
-    let flipped = net.with_session_kind(SessionId(0), SessionType::MultiRate);
     println!("\n=== After replacing S1 with an identical multi-rate session ===\n");
-    audit(&flipped, &cfg);
+    let flipped = audit(
+        &net,
+        &cfg,
+        Hybrid::new(vec![SessionType::MultiRate, SessionType::MultiRate]),
+    );
 
     // The ordering verdict.
-    let before = max_min_allocation(&net).ordered_vector();
-    let after = max_min_allocation(&flipped).ordered_vector();
-    println!("\nOrdered vectors: {before:?} ≤m {after:?} (Lemma 3 verified: {})",
-        mlf_core::is_min_unfavorable(&before, &after));
+    let before = declared.ordered_vector();
+    let after = flipped.ordered_vector();
+    println!(
+        "\nOrdered vectors: {before:?} ≤m {after:?} (Lemma 3 verified: {})",
+        multicast_fairness::core::is_min_unfavorable(&before, &after)
+    );
 
     // And a machine-checked pass over the theorems for this network.
-    println!("\nTheorem 1 (all-multi-rate): all four properties hold: {}",
-        theory::check_theorem1(&net).all_hold());
+    println!(
+        "\nTheorem 1 (all-multi-rate): all four properties hold: {}",
+        theory::check_theorem1(&net).all_hold()
+    );
     let t2 = theory::check_theorem2(&net);
-    println!("Theorem 2 on the mixed network: a={} b={} c={} d={} e={}",
-        t2.part_a, t2.part_b, t2.part_c, t2.part_d, t2.part_e);
+    println!(
+        "Theorem 2 on the mixed network: a={} b={} c={} d={} e={}",
+        t2.part_a, t2.part_b, t2.part_c, t2.part_d, t2.part_e
+    );
 }
 
-fn audit(net: &Network, cfg: &LinkRateConfig) {
-    let alloc = max_min_allocation(net);
+fn audit(net: &Network, cfg: &LinkRateConfig, allocator: impl Allocator + 'static) -> Allocation {
+    let mut scenario = Scenario::builder()
+        .label("fairness-audit")
+        .network(net.clone())
+        .allocator(allocator)
+        .build()
+        .unwrap();
+    let report = scenario.run();
+    let alloc = report.solution.allocation;
     for (r, rate) in alloc.iter() {
         println!("  {r}: rate {rate:.2}");
     }
@@ -45,14 +62,43 @@ fn audit(net: &Network, cfg: &LinkRateConfig) {
         let link = LinkId(j);
         let u = alloc.link_rate(net, cfg, link);
         let c = net.graph().capacity(link);
-        let mark = if alloc.is_fully_utilized(net, cfg, link) { " (full)" } else { "" };
+        let mark = if alloc.is_fully_utilized(net, cfg, link) {
+            " (full)"
+        } else {
+            ""
+        };
         println!("  {link}: {u:.2}/{c:.2}{mark}");
     }
     let report = properties::check_all(net, cfg, &alloc);
-    println!("  1. fully-utilized-receiver-fair: {}", verdict(report.fully_utilized_receiver_fair(), &format!("{:?}", report.fully_utilized_violations)));
-    println!("  2. same-path-receiver-fair:      {}", verdict(report.same_path_receiver_fair(), &format!("{:?}", report.same_path_violations)));
-    println!("  3. per-receiver-link-fair:       {}", verdict(report.per_receiver_link_fair(), &format!("{:?}", report.per_receiver_link_violations)));
-    println!("  4. per-session-link-fair:        {}", verdict(report.per_session_link_fair(), &format!("{:?}", report.per_session_link_violations)));
+    println!(
+        "  1. fully-utilized-receiver-fair: {}",
+        verdict(
+            report.fully_utilized_receiver_fair(),
+            &format!("{:?}", report.fully_utilized_violations)
+        )
+    );
+    println!(
+        "  2. same-path-receiver-fair:      {}",
+        verdict(
+            report.same_path_receiver_fair(),
+            &format!("{:?}", report.same_path_violations)
+        )
+    );
+    println!(
+        "  3. per-receiver-link-fair:       {}",
+        verdict(
+            report.per_receiver_link_fair(),
+            &format!("{:?}", report.per_receiver_link_violations)
+        )
+    );
+    println!(
+        "  4. per-session-link-fair:        {}",
+        verdict(
+            report.per_session_link_fair(),
+            &format!("{:?}", report.per_session_link_violations)
+        )
+    );
+    alloc
 }
 
 fn verdict(ok: bool, detail: &str) -> String {

@@ -43,25 +43,29 @@ fn main() {
     )
     .unwrap();
 
-    let alloc = max_min_allocation(&net);
     let ladder = LayerSchedule::exponential(6); // rates 1,1,2,4,8,16
+    let mut scenario = Scenario::builder()
+        .label("layered-video")
+        .network(net.clone())
+        .layering(ladder.clone())
+        .build()
+        .unwrap();
+    let report = scenario.run();
     println!("Layer ladder (cumulative): {:?}", ladder.cumulative_rates());
     println!();
     println!("viewer   fair rate   best fixed prefix   fixed rate   deficit");
     let mut fair_rates = Vec::new();
-    for k in 0..viewers.len() {
-        let r = ReceiverId::new(0, k);
-        let fair = alloc.rate(r);
-        fair_rates.push(fair);
-        let level = ladder.level_for_rate(fair);
-        let fixed = ladder.cumulative_rate(level);
+    let fits = &report.layering.as_ref().unwrap().fits;
+    for (k, fit) in fits.iter().take(viewers.len()).enumerate() {
+        // Session 0's receivers come first (fits are session-major).
+        fair_rates.push(fit.fair_rate);
         println!(
             "  r1,{}   {:>7.2}       level {}             {:>6.2}      {:>5.1}%",
             k + 1,
-            fair,
-            level,
-            fixed,
-            100.0 * (fair - fixed) / fair.max(1e-9)
+            fit.fair_rate,
+            fit.level,
+            fit.fixed_rate,
+            100.0 * fit.deficit
         );
     }
 

@@ -19,7 +19,10 @@ fn main() {
         "Star: {} receivers, {} layers, shared loss {}, independent loss {}",
         params.receivers, params.layers, params.shared_loss, params.independent_loss
     );
-    println!("{} packets x {} trials per protocol\n", params.packets, params.trials);
+    println!(
+        "{} packets x {} trials per protocol\n",
+        params.packets, params.trials
+    );
 
     println!("protocol        redundancy (mean ± 95% CI)   mean level   goodput");
     for kind in ProtocolKind::ALL {
@@ -38,7 +41,11 @@ fn main() {
     println!("\nExact 2-receiver Markov redundancy (Figure 7a):");
     for kind in ProtocolKind::ALL {
         let model = markov::two_receiver_chain(kind, 8, 0.0001, 0.05, 0.05);
-        println!("  {:<14} {:>6.3}", kind.label(), model.stationary_redundancy());
+        println!(
+            "  {:<14} {:>6.3}",
+            kind.label(),
+            model.stationary_redundancy()
+        );
     }
 
     println!("\nSender coordination keeps redundancy lowest; uncoordinated");

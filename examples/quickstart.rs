@@ -1,5 +1,6 @@
-//! Quickstart: build a network, compute the max-min fair allocation, audit
-//! the four fairness properties, and see the single-rate penalty.
+//! Quickstart: declare a scenario, run it, audit the four fairness
+//! properties, and see the single-rate penalty — the `Scenario` builder
+//! version of the paper's core comparison.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -27,42 +28,42 @@ fn main() {
         Session::unicast(source, b),                // S2: bulk transfer
     ];
     let net = Network::new(g, sessions).unwrap();
-    let cfg = LinkRateConfig::efficient(net.session_count());
 
     // ---- Multi-rate (layered) allocation --------------------------------
-    let multi = max_min_allocation(&net);
+    let mut multi_scenario = Scenario::builder()
+        .label("quickstart/multi-rate")
+        .network(net.clone())
+        .allocator(MultiRate::new())
+        .build()
+        .unwrap();
+    let multi = multi_scenario.run();
     println!("Multi-rate (layered) max-min fair allocation:");
-    print_alloc(&net, &multi);
-    let report = check_all(&net, &cfg, &multi);
-    println!(
-        "  fairness properties holding: {}/4 (Theorem 1 says 4)\n",
-        report.count_holding()
-    );
+    print_report(&net, &multi);
 
     // ---- Single-rate counterfactual --------------------------------------
-    let single_net = net.with_uniform_kind(SessionType::SingleRate);
-    let single = max_min_allocation(&single_net);
+    let mut single_scenario = Scenario::builder()
+        .label("quickstart/single-rate")
+        .network(net.clone())
+        .allocator(SingleRate::new())
+        .build()
+        .unwrap();
+    let single = single_scenario.run();
     println!("Single-rate counterfactual (same members, chi flipped):");
-    print_alloc(&single_net, &single);
-    let sreport = check_all(&single_net, &cfg, &single);
-    println!(
-        "  fairness properties holding: {}/4",
-        sreport.count_holding()
-    );
+    print_report(&net, &single);
 
     // ---- The ordering verdict (Lemma 3 / Corollary 1) ---------------------
-    let worse = single.ordered_vector();
-    let better = multi.ordered_vector();
-    assert!(mlf_core::is_min_unfavorable(&worse, &better));
-    println!(
-        "\nOrdered rate vectors: single-rate {worse:?} ≤m multi-rate {better:?}"
-    );
+    let worse = single.solution.allocation.ordered_vector();
+    let better = multi.solution.allocation.ordered_vector();
+    assert!(multicast_fairness::core::is_min_unfavorable(
+        &worse, &better
+    ));
+    println!("\nOrdered rate vectors: single-rate {worse:?} ≤m multi-rate {better:?}");
     println!("=> layering makes the allocation strictly more max-min fair, and");
     println!("   every viewer's rate is independent of the slowest branch.");
 }
 
-fn print_alloc(net: &Network, alloc: &Allocation) {
-    for (r, rate) in alloc.iter() {
+fn print_report(net: &Network, report: &ScenarioReport) {
+    for (r, rate) in report.solution.allocation.iter() {
         let kind = if net.session(r.session).kind.is_multi_rate() {
             "multi-rate"
         } else {
@@ -70,4 +71,10 @@ fn print_alloc(net: &Network, alloc: &Allocation) {
         };
         println!("  {r} ({kind}): {rate:.2}");
     }
+    println!(
+        "  fairness properties holding: {}/4  (Jain {:.3}, satisfaction {:.3})\n",
+        report.fairness.as_ref().expect("audited").count_holding(),
+        report.metrics.jain_index,
+        report.metrics.satisfaction,
+    );
 }

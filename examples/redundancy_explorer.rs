@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --release --example redundancy_explorer`.
 
-use mlf_core::{max_min_allocation_with, redundancy};
+use mlf_core::redundancy;
 use mlf_layering::randomjoin::{self, Figure5Config};
 use multicast_fairness::prelude::*;
 
@@ -41,9 +41,13 @@ fn main() {
     let capacity = 100.0;
     let n = 10;
     println!("redundant sessions m   measured fair rate   c/((n-m)+m*v)");
+    let mut ws = SolverWorkspace::new();
     for m in [0usize, 1, 3, 5, 10] {
         let (net, cfg) = bottleneck_network(capacity, n, m, 3.0);
-        let alloc = max_min_allocation_with(&net, &cfg);
+        let alloc = Hybrid::as_declared()
+            .with_config(cfg.clone())
+            .solve(&net, &mut ws)
+            .allocation;
         let measured = alloc.min_rate();
         let predicted = mlf_core::bottleneck_fair_rate(capacity, n, m, 3.0);
         println!("  {m:>10}            {measured:>10.3}         {predicted:>10.3}");

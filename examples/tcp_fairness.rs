@@ -17,7 +17,7 @@
 //!
 //! Run with `cargo run --example tcp_fairness`.
 
-use mlf_core::{metrics, weighted::{weighted_max_min, Weights}};
+use mlf_core::metrics;
 use multicast_fairness::prelude::*;
 
 fn main() {
@@ -26,7 +26,11 @@ fn main() {
     g.add_link(src, hub, 40.0).unwrap(); // the contested core
 
     // Three unicast flows terminate at the hub side (ample egress).
-    let flows = [("metro 10ms", 0.010), ("continental 80ms", 0.080), ("satellite 300ms", 0.300)];
+    let flows = [
+        ("metro 10ms", 0.010),
+        ("continental 80ms", 0.080),
+        ("satellite 300ms", 0.300),
+    ];
 
     // The multicast session fans out behind the hub: a slow DSL tail and a
     // fast fiber tail.
@@ -41,7 +45,9 @@ fn main() {
     }
     let net = Network::new(g, sessions).unwrap();
 
-    let unweighted = max_min_allocation(&net);
+    // Both regimes through the Allocator trait, sharing one workspace.
+    let mut ws = SolverWorkspace::new();
+    let unweighted = MultiRate::new().solve(&net, &mut ws).allocation;
     // Session receivers at a common 50 ms RTT; unicasts per their spec.
     let weights = Weights::from_values(vec![
         vec![1.0 / 0.050, 1.0 / 0.050],
@@ -49,7 +55,7 @@ fn main() {
         vec![1.0 / flows[1].1],
         vec![1.0 / flows[2].1],
     ]);
-    let weighted = weighted_max_min(&net, &weights);
+    let weighted = Weighted::new(weights).solve(&net, &mut ws).allocation;
 
     println!("flow / receiver        unweighted   RTT-weighted");
     println!(
@@ -74,9 +80,11 @@ fn main() {
 
     let cfg = LinkRateConfig::efficient(net.session_count());
     assert!(weighted.is_feasible(&net, &cfg));
-    println!("\ncore link load: unweighted {:.1}/40, weighted {:.1}/40",
+    println!(
+        "\ncore link load: unweighted {:.1}/40, weighted {:.1}/40",
         unweighted.link_rate(&net, &cfg, LinkId(0)),
-        weighted.link_rate(&net, &cfg, LinkId(0)));
+        weighted.link_rate(&net, &cfg, LinkId(0))
+    );
 
     println!("\nmetric            unweighted   RTT-weighted");
     println!(

@@ -2,17 +2,22 @@
 //!
 //! A full reproduction of **Rubenstein, Kurose & Towsley, "The Impact of
 //! Multicast Layering on Network Fairness", ACM SIGCOMM 1999** as a Rust
-//! workspace. This umbrella crate re-exports the four library crates:
+//! workspace. This umbrella crate re-exports the six library crates:
 //!
 //! | Crate | Paper section | Contents |
 //! |-------|---------------|----------|
 //! | [`net`] (`mlf-net`) | §2 model | graphs, links, routing, sessions, topologies, the paper's example networks |
-//! | [`core`] (`mlf-core`) | §2–§3 theory | the max-min allocator, fairness properties, min-unfavorable ordering, redundancy |
+//! | [`core`] (`mlf-core`) | §2–§3 theory | the unified `Allocator` trait + `SolverWorkspace`, fairness properties, min-unfavorable ordering, redundancy |
+//! | [`scenario`] (`mlf-scenario`) | everything | the declarative `Scenario` builder composing topology × link rates × allocator × layering × reporting, with `run()`/`sweep()` |
 //! | [`layering`] (`mlf-layering`) | §3 | layer schedules, fixed-layer analysis, quantum join/leave scheduling, random-join redundancy |
 //! | [`sim`] (`mlf-sim`) | §4 substrate | deterministic packet-level star simulator, loss processes, statistics |
 //! | [`protocols`] (`mlf-protocols`) | §4 | the Uncoordinated/Deterministic/Coordinated protocols, the Figure 8 harness, the Figure 7(a) Markov model |
 //!
 //! ## Quickstart
+//!
+//! Declare an experiment as a [`Scenario`](mlf_scenario::Scenario): the
+//! topology, the allocation regime, and the reporting come back as one
+//! `run()`:
 //!
 //! ```
 //! use multicast_fairness::prelude::*;
@@ -31,14 +36,42 @@
 //!     Session::unicast(src, b),
 //! ]).unwrap();
 //!
-//! // The multi-rate max-min fair allocation…
-//! let alloc = max_min_allocation(&net);
-//! assert_eq!(alloc.rates(), &[vec![2.0, 3.0], vec![3.0]]); // b splits its 6-link with the unicast
+//! let mut scenario = Scenario::builder()
+//!     .network(net)
+//!     .allocator(MultiRate::new())
+//!     .build()
+//!     .unwrap();
+//! let report = scenario.run();
 //!
+//! // The multi-rate max-min fair allocation…
+//! assert_eq!(report.solution.allocation.rates(), &[vec![2.0, 3.0], vec![3.0]]);
 //! // …satisfies all four fairness properties (Theorem 1).
-//! let cfg = LinkRateConfig::efficient(net.session_count());
-//! assert!(check_all(&net, &cfg, &alloc).all_hold());
+//! assert!(report.fairness.unwrap().all_hold());
 //! ```
+//!
+//! For one-off solves without a scenario, use the
+//! [`Allocator`](mlf_core::allocator::Allocator) trait directly; a shared
+//! [`SolverWorkspace`](mlf_core::allocator::SolverWorkspace) makes repeated
+//! solves allocation-free:
+//!
+//! ```
+//! use multicast_fairness::prelude::*;
+//!
+//! let example = mlf_net::paper::figure2();
+//! let mut ws = SolverWorkspace::new();
+//! let declared = Hybrid::as_declared().solve(&example.network, &mut ws);
+//! let multi = MultiRate::new().solve(&example.network, &mut ws);
+//! assert!(multi.allocation.min_rate() >= declared.allocation.min_rate());
+//! ```
+//!
+//! ## Migration note (0.2)
+//!
+//! The old free functions — `max_min_allocation`,
+//! `max_min_allocation_with`, `multi_rate_max_min`, `single_rate_max_min`,
+//! `weighted_max_min`, `unicast_max_min` — are now thin `#[deprecated]`
+//! shims delegating to the `Allocator` implementations, kept so downstream
+//! code compiles unchanged. Migrate call sites to
+//! [`mlf_core::allocator`] or [`mlf_scenario::Scenario`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,16 +80,23 @@ pub use mlf_core as core;
 pub use mlf_layering as layering;
 pub use mlf_net as net;
 pub use mlf_protocols as protocols;
+pub use mlf_scenario as scenario;
 pub use mlf_sim as sim;
 
 /// The most commonly used items across all crates, for glob import.
 pub mod prelude {
+    pub use mlf_core::allocator::{
+        Allocator, Hybrid, MultiRate, SingleRate, SolverWorkspace, Unicast, Weighted,
+    };
     pub use mlf_core::{
-        check_all, max_min_allocation, max_min_allocation_with, multi_rate_max_min,
-        single_rate_max_min, Allocation, FairnessReport, LinkRateConfig, LinkRateModel,
+        check_all, Allocation, FairnessReport, LinkRateConfig, LinkRateModel, MaxMinSolution,
+        Weights,
     };
     pub use mlf_layering::LayerSchedule;
-    pub use mlf_net::{Graph, LinkId, Network, NodeId, ReceiverId, Session, SessionId, SessionType};
+    pub use mlf_net::{
+        Graph, LinkId, Network, NodeId, ReceiverId, Session, SessionId, SessionType,
+    };
     pub use mlf_protocols::{ExperimentParams, ProtocolKind};
+    pub use mlf_scenario::{LinkRates, Scenario, ScenarioReport, SweepGrid, SweepReport};
     pub use mlf_sim::{LossProcess, RunningStats, SimRng};
 }

@@ -3,7 +3,7 @@
 
 use mlf_core::{
     linkrate::{LinkRateConfig, LinkRateModel},
-    max_min_allocation, max_min_allocation_with, redundancy,
+    redundancy,
 };
 use mlf_layering::{layers::LayerSchedule, quantum, randomjoin};
 use mlf_net::{paper, topology, ReceiverId, Session, SessionId};
@@ -16,7 +16,7 @@ use multicast_fairness::prelude::*;
 #[test]
 fn fair_rates_are_attainable_by_quantum_scheduling() {
     let ex = paper::figure1();
-    let alloc = max_min_allocation(&ex.network);
+    let alloc = Hybrid::as_declared().allocate(&ex.network);
     // Session 3 (multi-rate, receivers at 1 and 2) shares link l2 upstream.
     let rates = [
         alloc.rate(ReceiverId::new(2, 0)),
@@ -38,9 +38,14 @@ fn fair_rates_are_attainable_by_quantum_scheduling() {
     }
 
     // Random: long-term redundancy matches σ(1 − ∏(1 − a/σ)) / max a.
-    let measured =
-        quantum::long_term_redundancy(&quotas, quantum_packets, 600, quantum::SelectionMode::Random, 9)
-            .unwrap();
+    let measured = quantum::long_term_redundancy(
+        &quotas,
+        quantum_packets,
+        600,
+        quantum::SelectionMode::Random,
+        9,
+    )
+    .unwrap();
     let predicted = randomjoin::analytic_redundancy(&rates, sigma);
     assert!(
         (measured - predicted).abs() / predicted < 0.03,
@@ -55,10 +60,18 @@ fn fair_rates_are_attainable_by_quantum_scheduling() {
 fn random_join_model_is_less_fair_than_efficient() {
     let ex = paper::figure4();
     let eff = LinkRateConfig::efficient(2);
-    let rj = LinkRateConfig::efficient(2)
-        .with_session(0, LinkRateModel::RandomJoin { sigma: 8.0 });
-    let a_eff = max_min_allocation_with(&ex.network, &eff).ordered_vector();
-    let a_rj = max_min_allocation_with(&ex.network, &rj).ordered_vector();
+    let rj = LinkRateConfig::efficient(2).with_session(0, LinkRateModel::RandomJoin { sigma: 8.0 });
+    let mut ws = SolverWorkspace::new();
+    let a_eff = Hybrid::as_declared()
+        .with_config(eff)
+        .solve(&ex.network, &mut ws)
+        .allocation
+        .ordered_vector();
+    let a_rj = Hybrid::as_declared()
+        .with_config(rj)
+        .solve(&ex.network, &mut ws)
+        .allocation
+        .ordered_vector();
     assert!(mlf_core::is_min_unfavorable(&a_rj, &a_eff));
 }
 
@@ -79,7 +92,7 @@ fn protocols_reach_the_fair_rate_when_unconstrained() {
         .collect();
     let net = mlf_net::Network::with_routes(net.graph().clone(), sessions, net.routes().to_vec())
         .unwrap();
-    let alloc = max_min_allocation(&net);
+    let alloc = Hybrid::as_declared().allocate(&net);
     for (_, rate) in alloc.iter() {
         assert_eq!(rate, ladder.total_rate());
     }
@@ -137,10 +150,13 @@ fn umbrella_prelude_end_to_end() {
     )
     .unwrap();
     let cfg = LinkRateConfig::efficient(3);
-    let alloc = max_min_allocation(&net);
+    let alloc = Hybrid::as_declared().allocate(&net);
     assert!(alloc.is_feasible(&net, &cfg));
     // Single-rate session pinned by the 2-capacity branch.
-    assert_eq!(alloc.rate(ReceiverId::new(1, 0)), alloc.rate(ReceiverId::new(1, 1)));
+    assert_eq!(
+        alloc.rate(ReceiverId::new(1, 0)),
+        alloc.rate(ReceiverId::new(1, 1))
+    );
     assert_eq!(alloc.rate(ReceiverId::new(1, 0)), 2.0);
     // Theorem 2(c): per-session-link-fairness holds for everyone.
     let report = check_all(&net, &cfg, &alloc);
@@ -176,7 +192,9 @@ fn figure6_model_allocator_and_measure_agree() {
     for i in 0..m {
         cfg = cfg.with_session(i, LinkRateModel::Scaled(v));
     }
-    let alloc = max_min_allocation_with(&net, &cfg);
+    let alloc = Hybrid::as_declared()
+        .with_config(cfg.clone())
+        .allocate(&net);
     let predicted = mlf_core::bottleneck_fair_rate(capacity, n, m, v);
     for (_, rate) in alloc.iter() {
         assert!((rate - predicted).abs() < 1e-9);

@@ -12,7 +12,7 @@ fn params(shared: f64, independent: f64) -> ExperimentParams {
         independent_loss: independent,
         packets: 30_000,
         trials: 4,
-        seed: 0xF16_8,
+        seed: 0xF168,
         join_latency: 0,
         leave_latency: 0,
     }

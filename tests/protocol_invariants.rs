@@ -122,8 +122,7 @@ proptest! {
 fn simulation_agrees_with_markov_for_uncoordinated() {
     let (p_s, p_i) = (0.001, 0.04);
     let layers = 6;
-    let model =
-        markov::two_receiver_chain(ProtocolKind::Uncoordinated, layers, p_s, p_i, p_i);
+    let model = markov::two_receiver_chain(ProtocolKind::Uncoordinated, layers, p_s, p_i, p_i);
     let exact = model.stationary_redundancy();
 
     let params = ExperimentParams {

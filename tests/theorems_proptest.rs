@@ -5,9 +5,10 @@
 //! test are exercised, not the routing tie-breaks) with random multicast
 //! sessions; session types and κ caps are randomized per case.
 
+use mlf_core::allocator::{Allocator, Hybrid};
 use mlf_core::{
     linkrate::{LinkRateConfig, LinkRateModel},
-    maxmin, ordering, theory,
+    ordering, theory,
 };
 use mlf_net::topology::random_network;
 use mlf_net::{Network, SessionId, SessionType};
@@ -53,7 +54,7 @@ proptest! {
     #[test]
     fn allocator_output_is_feasible_and_blocked(net in arb_network()) {
         let cfg = LinkRateConfig::efficient(net.session_count());
-        let alloc = maxmin::max_min_allocation_with(&net, &cfg);
+        let alloc = Hybrid::as_declared().with_config(cfg.clone()).allocate(&net);
         prop_assert!(alloc.is_feasible(&net, &cfg),
             "violation: {:?}", alloc.feasibility_violation(&net, &cfg));
         prop_assert!(theory::spot_check_maxmin(&net, &cfg, &alloc));
@@ -110,8 +111,8 @@ proptest! {
     /// re-solving (idempotence of the fixed point).
     #[test]
     fn allocator_is_deterministic(net in arb_network()) {
-        let a = maxmin::max_min_allocation(&net);
-        let b = maxmin::max_min_allocation(&net);
+        let a = Hybrid::as_declared().allocate(&net);
+        let b = Hybrid::as_declared().allocate(&net);
         prop_assert_eq!(a.rates(), b.rates());
     }
 

@@ -7,9 +7,8 @@
 //! other (and with Unicast Property 1) on *every* allocation — not just the
 //! max-min one — and the max-min allocation must satisfy all of them.
 
-use mlf_core::{
-    linkrate::LinkRateConfig, max_min_allocation, properties, theory, unicast::unicast_max_min,
-};
+use mlf_core::allocator::{Allocator, Hybrid, Unicast};
+use mlf_core::{linkrate::LinkRateConfig, properties, theory};
 use mlf_net::topology::{random_tree, SplitMix64};
 use mlf_net::{Network, NodeId, Session};
 use proptest::prelude::*;
@@ -67,8 +66,8 @@ proptest! {
     #[test]
     fn unicast_max_min_satisfies_everything(net in arb_unicast_network()) {
         let cfg = LinkRateConfig::efficient(net.session_count());
-        let bg = unicast_max_min(&net);
-        let general = max_min_allocation(&net);
+        let bg = Unicast::new().allocate(&net);
+        let general = Hybrid::as_declared().allocate(&net);
         for (a, b) in bg.rates().iter().flatten().zip(general.rates().iter().flatten()) {
             prop_assert!((a - b).abs() < 1e-9);
         }

@@ -1,0 +1,301 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the API subset this workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim measures wall-clock time with `std::time::Instant`:
+//! each benchmark is warmed up briefly, then sampled for a fixed measurement
+//! window, and the mean time per iteration is printed in criterion's
+//! familiar one-line format. There are no statistical comparisons, plots, or
+//! saved baselines.
+//!
+//! Benchmarks registered with these macros use `harness = false` bench
+//! targets, exactly like real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration workload magnitude, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts plain
+/// strings as real criterion does.
+pub trait IntoBenchmarkId {
+    /// Convert into an id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration) -> Self {
+        Bencher {
+            mean_ns: f64::NAN,
+            iters: 0,
+            warm_up,
+            measurement,
+        }
+    }
+
+    /// Time `f`, storing the mean wall-clock nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement: run whole iterations until the window elapses.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        let total = start.elapsed();
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{label:<48} time: [{}]   ({} iterations)",
+        format_time(b.mean_ns),
+        b.iters
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if b.mean_ns > 0.0 {
+            let per_sec = count as f64 / (b.mean_ns * 1e-9);
+            line.push_str(&format!("   thrpt: {per_sec:.0} {unit}/s"));
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark manager: registers and immediately runs benchmarks.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep the windows short: these benches run in CI smoke jobs, not
+        // for statistically rigorous comparisons.
+        Criterion {
+            warm_up: Duration::from_millis(60),
+            measurement: Duration::from_millis(250),
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the warm-up window.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Override the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher::new(self.warm_up, self.measurement);
+        f(&mut b);
+        report(&id.label, &b, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput magnitude.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let label = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measurement);
+        f(&mut b);
+        report(&label, &b, self.throughput);
+        self
+    }
+
+    /// Run a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measurement);
+        f(&mut b, input);
+        report(&label, &b, self.throughput);
+        self
+    }
+
+    /// Close the group (reporting already happened inline).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke/sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_with_input(BenchmarkId::new("sum", 1000), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("build", 8).label, "build/8");
+        assert_eq!(BenchmarkId::from_parameter("10n_4s").label, "10n_4s");
+    }
+}
