@@ -40,7 +40,7 @@ fn bench_paper_examples(c: &mut Criterion) {
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocator/scaling");
     for &(nodes, sessions) in &[(10usize, 4usize), (30, 10), (100, 30), (300, 100)] {
-        let net = random_network(42, nodes, sessions, 6);
+        let net = random_network(42, nodes, sessions, 6).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{nodes}n_{sessions}s")),
             &net,
@@ -56,7 +56,7 @@ fn bench_scaling(c: &mut Criterion) {
 
 fn bench_session_types(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocator/session_types");
-    let net = random_network(7, 60, 20, 6);
+    let net = random_network(7, 60, 20, 6).unwrap();
     let multi = net.with_uniform_kind(SessionType::MultiRate);
     let single = net.with_uniform_kind(SessionType::SingleRate);
     let allocator = Hybrid::as_declared();
@@ -72,7 +72,7 @@ fn bench_session_types(c: &mut Criterion) {
 
 fn bench_link_rate_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("allocator/link_rate_models");
-    let net = random_network(9, 60, 20, 6);
+    let net = random_network(9, 60, 20, 6).unwrap();
     let m = net.session_count();
     for (name, cfg) in [
         ("efficient", LinkRateConfig::efficient(m)),
@@ -96,7 +96,7 @@ fn bench_link_rate_models(c: &mut Criterion) {
 }
 
 fn bench_property_checks(c: &mut Criterion) {
-    let net = random_network(11, 60, 20, 6);
+    let net = random_network(11, 60, 20, 6).unwrap();
     let cfg = LinkRateConfig::efficient(net.session_count());
     let alloc = Hybrid::as_declared().allocate(&net);
     c.bench_function("properties/check_all_60n_20s", |b| {

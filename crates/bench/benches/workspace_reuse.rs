@@ -50,7 +50,9 @@ fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
 /// The sweep corpus: one network per seed, all sessions under the Appendix B
 /// random-join model (Figure 5's setting, fed back into the allocator).
 fn sweep_corpus() -> (Vec<Network>, LinkRateConfig) {
-    let nets: Vec<Network> = (0..24u64).map(|s| random_network(s, 30, 8, 5)).collect();
+    let nets: Vec<Network> = (0..24u64)
+        .map(|s| random_network(s, 30, 8, 5).unwrap())
+        .collect();
     let cfg = LinkRateConfig::uniform(8, LinkRateModel::RandomJoin { sigma: 6.0 });
     (nets, cfg)
 }
@@ -106,7 +108,7 @@ fn bench_sweep(c: &mut Criterion) {
 
 fn bench_single_network_resolve(c: &mut Criterion) {
     // The simulation-loop shape: the same network solved over and over.
-    let net = random_network(7, 40, 10, 5);
+    let net = random_network(7, 40, 10, 5).unwrap();
     let cfg = LinkRateConfig::efficient(10);
     let allocator = Hybrid::as_declared().with_config(cfg.clone());
     let mut ws = SolverWorkspace::new();

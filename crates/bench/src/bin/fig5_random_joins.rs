@@ -1,12 +1,19 @@
 //! Figure 5 regenerator: redundancy of a single layer with random joins,
 //! for the paper's five receiver-rate configurations, 1 to 100 receivers
-//! (analytic closed form + Monte-Carlo confirmation at selected points).
+//! (analytic closed form + Monte-Carlo confirmation at selected points),
+//! plus a network-level random-join sweep across the four topology
+//! families, executed through the parallel sweep engine.
 //!
 //! `cargo run --release -p mlf-bench --bin fig5_random_joins
-//!    [--max-receivers 100] [--mc-quanta 200] [--mc-sigma 100]`
+//!    [--max-receivers 100] [--mc-quanta 200] [--mc-sigma 100]
+//!    [--sweep-seeds 64] [--threads 0]`
 
 use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
+use mlf_core::allocator::MultiRate;
+use mlf_core::LinkRateModel;
 use mlf_layering::randomjoin::{self, Figure5Config};
+use mlf_net::TopologyFamily;
+use mlf_scenario::{LinkRates, Scenario};
 
 const KNOBS: &[cli::Knob] = &[
     knob(
@@ -24,6 +31,16 @@ const KNOBS: &[cli::Knob] = &[
         "100",
         "packets per quantum in the Monte-Carlo runs",
     ),
+    knob(
+        "sweep-seeds",
+        "64",
+        "random topologies per family in the network sweep",
+    ),
+    knob(
+        "threads",
+        "0",
+        "sweep worker threads (0 = available parallelism)",
+    ),
 ];
 
 fn main() {
@@ -35,6 +52,8 @@ fn main() {
     let max_receivers: usize = or_exit(args.get("max-receivers", 100));
     let mc_quanta: usize = or_exit(args.get("mc-quanta", 200));
     let mc_sigma: usize = or_exit(args.get("mc-sigma", 100));
+    let sweep_seeds: u64 = or_exit(args.get("sweep-seeds", 64));
+    let threads: usize = or_exit(args.get("threads", 0));
 
     // Log-spaced x-axis like the paper's log plot.
     let mut xs = vec![1usize, 2, 3, 4, 5, 7, 10, 14, 20, 30, 50, 70];
@@ -83,4 +102,53 @@ fn main() {
 
     let path = write_csv(".", "fig5_random_joins", &t.records()).expect("csv");
     println!("\nseries written to {}", path.display());
+
+    // ---- Network-level sweep through the parallel engine -----------------
+    // The same random-join redundancy model, now inside whole networks:
+    // every session of every random topology carries RandomJoin link rates
+    // and the multi-rate allocator solves the resulting fixed point. Each
+    // family's seeds are sharded across `threads` workers by `sweep_par`,
+    // whose merge order makes the output independent of the thread count.
+    // sweep_par resolves 0 to available parallelism and clamps to the job
+    // count internally; the banner reports what was requested.
+    println!(
+        "\nNetwork sweep (random-join model, {sweep_seeds} seeds/family, \
+         requested worker threads: {}):\n",
+        if threads == 0 {
+            "auto".to_string()
+        } else {
+            threads.to_string()
+        }
+    );
+    let families = [
+        TopologyFamily::FlatTree,
+        TopologyFamily::KaryTree { arity: 3 },
+        TopologyFamily::TransitStub { transit: 4 },
+        TopologyFamily::Dumbbell,
+    ];
+    let mut sweep_table = Table::new([
+        "family",
+        "mean Jain",
+        "mean min rate",
+        "mean satisfaction",
+        "all-props rate",
+    ]);
+    for family in families {
+        let scenario = Scenario::builder()
+            .label(format!("fig5-sweep/{}", family.label()))
+            .random_networks_with(family, 30, 8, 5)
+            .link_rates(LinkRates::Uniform(LinkRateModel::RandomJoin { sigma: 6.0 }))
+            .allocator(MultiRate::new())
+            .build()
+            .expect("family sweep scenario");
+        let report = scenario.sweep_par(0..sweep_seeds, threads);
+        sweep_table.row([
+            family.label().to_string(),
+            format!("{:.4}", report.mean_jain()),
+            format!("{:.4}", report.mean_min_rate()),
+            format!("{:.4}", report.mean_of(|p| p.metrics.satisfaction)),
+            format!("{:.3}", report.all_properties_rate()),
+        ]);
+    }
+    print!("{sweep_table}");
 }

@@ -85,7 +85,11 @@ impl Args {
             let val = it
                 .next()
                 .ok_or_else(|| CliError(format!("missing value for --{key}")))?;
-            values.insert(key.to_string(), val);
+            if values.insert(key.to_string(), val).is_some() {
+                // A repeated flag is almost always a copy-paste mistake;
+                // silently letting the last value win hides it.
+                return Err(CliError(format!("duplicate option --{key}")));
+            }
         }
         Ok(Args {
             values,
@@ -194,6 +198,43 @@ mod tests {
         args.known = vec!["trials", "packets"];
         let err = args.check_unknown().unwrap_err();
         assert!(err.to_string().contains("unknown option --tirals"));
+    }
+
+    #[test]
+    fn negative_value_for_a_positive_knob_is_an_error() {
+        // usize knobs reject negatives at parse time, with the exact
+        // message the binaries print before exiting 2.
+        let args = parse(&["--trials", "-3"]).unwrap();
+        let err = args.get("trials", 30usize).unwrap_err();
+        // The prefix is ours and exact; the parenthesized suffix is std's
+        // ParseIntError Debug output, which is not a stable format.
+        assert!(
+            err.to_string()
+                .starts_with("bad value for --trials: \"-3\" ("),
+            "{err}"
+        );
+        // Negative floats parse fine where the knob's domain allows them.
+        assert_eq!(args.get("trials", 0.0f64).unwrap(), -3.0);
+    }
+
+    #[test]
+    fn repeated_flags_are_an_error() {
+        let err = parse(&["--trials", "7", "--trials", "9"]).unwrap_err();
+        assert_eq!(err.to_string(), "duplicate option --trials");
+    }
+
+    #[test]
+    fn missing_value_message_is_exact() {
+        let err = parse(&["--packets", "5", "--trials"]).unwrap_err();
+        assert_eq!(err.to_string(), "missing value for --trials");
+    }
+
+    #[test]
+    fn unknown_flag_message_is_exact() {
+        let mut args = parse(&["--nope", "1"]).unwrap();
+        args.known = vec!["trials"];
+        let err = args.check_unknown().unwrap_err();
+        assert_eq!(err.to_string(), "unknown option --nope");
     }
 
     #[test]

@@ -166,7 +166,9 @@ impl Allocation {
     /// the min-unfavorable ordering of Definition 2 compares.
     pub fn ordered_vector(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.rates.iter().flatten().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        // total_cmp keeps the sort NaN-safe: a non-finite rate produced by
+        // an upstream model sorts last instead of panicking the sweep.
+        v.sort_by(f64::total_cmp);
         v
     }
 

@@ -161,8 +161,11 @@ impl Regimes {
 /// Implementations are cheap, immutable specs; all mutable state lives in
 /// the caller's [`SolverWorkspace`], so one allocator can serve many
 /// networks concurrently (one workspace per thread) and sweeps can reuse
-/// scratch across solves.
-pub trait Allocator {
+/// scratch across solves. The `Send + Sync` bound makes that concurrency
+/// real: a `&dyn Allocator` can be shared across `std::thread::scope`
+/// workers, each solving with its own workspace — the substrate of
+/// `mlf-scenario`'s parallel sweep executor.
+pub trait Allocator: Send + Sync {
     /// Compute the regime's unique max-min fair allocation of `net`,
     /// with per-receiver freeze diagnostics.
     fn solve(&self, net: &Network, ws: &mut SolverWorkspace) -> MaxMinSolution;
@@ -485,7 +488,7 @@ mod tests {
     fn workspace_reuse_is_transparent() {
         let mut ws = SolverWorkspace::new();
         for seed in 0..10u64 {
-            let net = random_network(seed, 12, 4, 4);
+            let net = random_network(seed, 12, 4, 4).unwrap();
             let warm = Hybrid::as_declared().solve(&net, &mut ws);
             let cold = Hybrid::as_declared().allocate(&net);
             assert_eq!(warm.allocation.rates(), cold.rates(), "seed {seed}");
@@ -497,7 +500,7 @@ mod tests {
     fn workspace_survives_shape_changes() {
         let mut ws = SolverWorkspace::new();
         let small = tree();
-        let big = random_network(3, 20, 6, 5);
+        let big = random_network(3, 20, 6, 5).unwrap();
         let a1 = MultiRate::new().solve(&small, &mut ws).allocation;
         let _ = MultiRate::new().solve(&big, &mut ws);
         let a2 = MultiRate::new().solve(&small, &mut ws).allocation;
@@ -508,7 +511,7 @@ mod tests {
     fn weighted_uniform_matches_multi_rate() {
         let mut ws = SolverWorkspace::new();
         for seed in 0..10u64 {
-            let net = random_network(seed, 10, 4, 4);
+            let net = random_network(seed, 10, 4, 4).unwrap();
             let w = Weighted::uniform().solve(&net, &mut ws).allocation;
             let m = MultiRate::new().solve(&net, &mut ws).allocation;
             for (a, b) in w.rates().iter().flatten().zip(m.rates().iter().flatten()) {
@@ -537,6 +540,35 @@ mod tests {
         assert_eq!(bg.allocation.rates(), &[vec![3.0], vec![7.0], vec![3.0]]);
         let general = Hybrid::as_declared().solve(&net, &mut ws);
         assert_eq!(bg.allocation.rates(), general.allocation.rates());
+    }
+
+    /// The parallel sweep substrate: workspaces move into worker threads,
+    /// allocators are shared across them by reference.
+    #[test]
+    fn workspaces_are_send_and_allocators_are_shareable() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync + ?Sized>() {}
+        assert_send::<SolverWorkspace>();
+        assert_sync::<dyn Allocator>();
+        assert_send::<Box<dyn Allocator>>();
+
+        // One shared allocator, one workspace per scoped thread; every
+        // thread's result is bitwise identical to the serial one.
+        let allocator = Hybrid::as_declared();
+        let net = random_network(5, 16, 5, 4).unwrap();
+        let serial = allocator.solve(&net, &mut SolverWorkspace::new());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (a, n) = (&allocator, &net);
+                    scope.spawn(move || a.solve(n, &mut SolverWorkspace::new()))
+                })
+                .collect();
+            for h in handles {
+                let parallel = h.join().expect("worker");
+                assert_eq!(parallel.allocation.rates(), serial.allocation.rates());
+            }
+        });
     }
 
     #[test]

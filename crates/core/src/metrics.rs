@@ -139,6 +139,30 @@ mod tests {
         assert_eq!(min_max_spread(&single), 1.0);
     }
 
+    /// Regression: a non-finite rate leaking out of an upstream model must
+    /// flow through the metrics path (ordered vector, Jain, spread) without
+    /// panicking — the old `partial_cmp(..).expect("finite")` sorts brought
+    /// the whole sweep down on the first NaN.
+    #[test]
+    fn non_finite_rates_do_not_panic_the_metrics_path() {
+        let alloc = Allocation::from_rates(vec![vec![1.0, f64::NAN], vec![f64::INFINITY, 2.0]]);
+        let ordered = alloc.ordered_vector();
+        assert_eq!(ordered.len(), 4);
+        // total_cmp's order: finite values ascending, +inf, then NaN last.
+        assert_eq!(ordered[0], 1.0);
+        assert_eq!(ordered[1], 2.0);
+        assert_eq!(ordered[2], f64::INFINITY);
+        assert!(ordered[3].is_nan());
+        // Scalar metrics propagate or absorb the NaN instead of panicking:
+        // the min/max folds skip NaN, so spread = min / max = 1.0 / inf.
+        assert!(jain_index(&alloc).is_nan());
+        assert_eq!(min_max_spread(&alloc), 0.0);
+        // The Definition 2 ordering helper tolerates NaNs too.
+        let v = crate::ordering::ordered(&[f64::NAN, 0.5]);
+        assert_eq!(v[0], 0.5);
+        assert!(v[1].is_nan());
+    }
+
     #[test]
     fn isolated_rates_respect_kappa_and_bottlenecks() {
         let mut g = Graph::new();

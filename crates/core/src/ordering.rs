@@ -24,9 +24,11 @@ use std::cmp::Ordering;
 pub const ORD_EPS: f64 = 1e-9;
 
 /// Sort a rate vector ascending (the "ordered vector" of Definition 2).
+/// Uses [`f64::total_cmp`], so non-finite rates (a NaN leaking out of an
+/// upstream model) sort deterministically instead of panicking.
 pub fn ordered(rates: &[f64]) -> Vec<f64> {
     let mut v = rates.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    v.sort_by(f64::total_cmp);
     v
 }
 

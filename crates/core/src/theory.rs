@@ -303,7 +303,7 @@ mod tests {
     #[test]
     fn theorem1_on_random_trees() {
         for seed in 0..25u64 {
-            let net = random_network(seed, 12, 4, 4);
+            let net = random_network(seed, 12, 4, 4).unwrap();
             let report = check_theorem1(&net);
             assert!(
                 report.all_hold(),
@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn theorem2_on_random_mixed_networks() {
         for seed in 0..25u64 {
-            let mut net = random_network(seed, 12, 5, 4);
+            let mut net = random_network(seed, 12, 5, 4).unwrap();
             // Flip sessions 0 and 2 single-rate.
             net = net.with_session_kind(mlf_net::SessionId(0), SessionType::SingleRate);
             net = net.with_session_kind(mlf_net::SessionId(2), SessionType::SingleRate);
@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn lemma1_on_random_networks() {
         for seed in 0..10u64 {
-            let net = random_network(seed, 10, 3, 3);
+            let net = random_network(seed, 10, 3, 3).unwrap();
             let cfg = LinkRateConfig::efficient(net.session_count());
             assert!(check_lemma1(&net, &cfg, 50, seed * 7 + 1), "seed {seed}");
         }
@@ -337,6 +337,7 @@ mod tests {
     fn lemma1_with_single_rate_sessions() {
         for seed in 0..10u64 {
             let net = random_network(seed, 10, 3, 3)
+                .unwrap()
                 .with_session_kind(mlf_net::SessionId(0), SessionType::SingleRate);
             let cfg = LinkRateConfig::efficient(net.session_count());
             assert!(check_lemma1(&net, &cfg, 50, seed + 99), "seed {seed}");
@@ -347,6 +348,7 @@ mod tests {
     fn lemma3_on_random_networks() {
         for seed in 0..15u64 {
             let net = random_network(seed, 10, 4, 4)
+                .unwrap()
                 .with_session_kind(mlf_net::SessionId(0), SessionType::SingleRate)
                 .with_session_kind(mlf_net::SessionId(1), SessionType::SingleRate);
             assert!(check_lemma3(&net), "seed {seed}");
@@ -356,7 +358,7 @@ mod tests {
     #[test]
     fn lemma4_scaled_vs_efficient() {
         for seed in 0..15u64 {
-            let net = random_network(seed, 10, 4, 4);
+            let net = random_network(seed, 10, 4, 4).unwrap();
             let low = LinkRateConfig::efficient(net.session_count());
             let high = LinkRateConfig::uniform(net.session_count(), LinkRateModel::Scaled(2.0));
             assert!(check_lemma4(&net, &low, &high), "seed {seed}");
@@ -369,6 +371,7 @@ mod tests {
     fn single_session_flip_monotonicity() {
         for seed in 0..15u64 {
             let net = random_network(seed, 10, 4, 4)
+                .unwrap()
                 .with_session_kind(mlf_net::SessionId(0), SessionType::SingleRate);
             assert!(check_single_session_flip_monotonicity(&net), "seed {seed}");
         }
@@ -376,7 +379,7 @@ mod tests {
 
     #[test]
     fn spot_check_accepts_allocator_output_and_rejects_slack() {
-        let net = random_network(3, 10, 3, 3);
+        let net = random_network(3, 10, 3, 3).unwrap();
         let cfg = LinkRateConfig::efficient(net.session_count());
         let alloc = solve(&net, &cfg).allocation;
         assert!(spot_check_maxmin(&net, &cfg, &alloc));
@@ -396,6 +399,7 @@ mod tests {
         let mut rng = SplitMix64(5);
         for seed in 0..10u64 {
             let net = random_network(seed, 10, 3, 3)
+                .unwrap()
                 .with_session_kind(mlf_net::SessionId(0), SessionType::SingleRate);
             let cfg = LinkRateConfig::efficient(net.session_count());
             for _ in 0..20 {

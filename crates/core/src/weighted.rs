@@ -176,8 +176,8 @@ pub(crate) fn weighted_solve_in(
             ws.breakpoints.extend(terms.iter().map(|&(b, _)| b));
             ws.breakpoints.push(phi);
             ws.breakpoints.push(upper);
-            ws.breakpoints
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            // total_cmp: never panic on a NaN breakpoint mid-sweep.
+            ws.breakpoints.sort_by(f64::total_cmp);
             ws.breakpoints.dedup();
             let mut lo = phi;
             let mut sat = upper;
@@ -269,7 +269,7 @@ mod tests {
     fn uniform_weights_match_unweighted() {
         let mut ws = SolverWorkspace::new();
         for seed in 0..15u64 {
-            let net = random_network(seed, 10, 4, 4);
+            let net = random_network(seed, 10, 4, 4).unwrap();
             let weighted = Weighted::uniform().solve(&net, &mut ws).allocation;
             let plain = Hybrid::as_declared().solve(&net, &mut ws).allocation;
             for (a, b) in weighted.rates().iter().zip(plain.rates()) {
@@ -382,7 +382,7 @@ mod tests {
     fn results_are_feasible_on_random_networks() {
         let mut ws = SolverWorkspace::new();
         for seed in 20..40u64 {
-            let net = random_network(seed, 12, 4, 4);
+            let net = random_network(seed, 12, 4, 4).unwrap();
             // Pseudo-random but deterministic weights.
             let w = Weights::from_values(
                 net.sessions()
@@ -409,7 +409,7 @@ mod tests {
     fn legacy_shim_matches_the_trait() {
         #[allow(deprecated)]
         for seed in 0..5u64 {
-            let net = random_network(seed, 10, 3, 3);
+            let net = random_network(seed, 10, 3, 3).unwrap();
             let w = Weights::uniform(&net);
             #[allow(deprecated)]
             let legacy = weighted_max_min(&net, &w);
@@ -417,7 +417,7 @@ mod tests {
             assert_eq!(legacy.rates(), new.rates(), "seed {seed}");
         }
         // And uniform weighting equals plain multi-rate max-min.
-        let net = random_network(7, 10, 3, 3);
+        let net = random_network(7, 10, 3, 3).unwrap();
         assert_eq!(
             Weighted::uniform().allocate(&net).rates(),
             MultiRate::new().allocate(&net).rates()

@@ -55,3 +55,4 @@ pub use ids::{LinkId, NodeId, ReceiverId, SessionId};
 pub use network::Network;
 pub use routing::{shortest_path, validate_route, Route};
 pub use session::{Session, SessionType};
+pub use topology::{TopologyError, TopologyFamily};

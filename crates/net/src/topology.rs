@@ -3,14 +3,32 @@
 //! The paper's quantitative experiments all run on "modified star" networks
 //! (Figure 7): a sender behind one shared link feeding a hub that fans out to
 //! the receivers over independent links. The theory sections use small
-//! hand-built trees. Property tests additionally need randomized tree
-//! topologies; [`random_tree`] produces those deterministically from a seed
-//! (its own tiny SplitMix64 generator keeps this crate dependency-free).
+//! hand-built trees. Property tests and sweeps additionally need randomized
+//! topologies; [`random_tree`] and the [`TopologyFamily`] generators produce
+//! those deterministically from a seed (their own tiny SplitMix64 generator
+//! keeps this crate dependency-free).
+//!
+//! Random sweeps pick a structural family via [`TopologyFamily`]:
+//!
+//! * [`TopologyFamily::FlatTree`] — uniform random-attachment trees (the
+//!   original property-test family);
+//! * [`TopologyFamily::KaryTree`] — balanced `arity`-ary trees with random
+//!   per-link capacities;
+//! * [`TopologyFamily::TransitStub`] — a two-level transit–stub hierarchy in
+//!   the GT-ITM style: a high-capacity random core, stub domains hanging off
+//!   each core node;
+//! * [`TopologyFamily::Dumbbell`] — a dumbbell mesh: leaves randomly
+//!   assigned to the two sides of a shared bottleneck.
+//!
+//! Every family generates trees, so routes stay unique and allocator
+//! behaviour depends only on the fairness logic under test, never on
+//! routing tie-breaks.
 
 use crate::graph::Graph;
 use crate::ids::{LinkId, NodeId};
 use crate::network::Network;
 use crate::session::Session;
+use std::fmt;
 
 /// A star (Figure 7): `sender --shared--> hub --fanout_k--> receiver_k`.
 #[derive(Debug, Clone)]
@@ -221,6 +239,17 @@ pub fn random_tree(seed: u64, node_count: usize, cap_lo: f64, cap_hi: f64) -> Gr
 /// `1..=max_receivers` receivers on distinct nodes) to a graph. Sessions with
 /// one receiver are unicast. Deterministic in `seed`. Session types are
 /// multi-rate; callers flip types as needed for their experiment.
+///
+/// Receivers are drawn by a seeded partial Fisher–Yates shuffle over the
+/// non-sender nodes, so every session gets *exactly* the drawn receiver
+/// count — the earlier rejection-sampling implementation could silently
+/// underfill (even down to zero receivers) on small graphs.
+///
+/// # Panics
+///
+/// Asserts `graph.node_count() >= 2` and `max_receivers >= 1` — violating
+/// either is a caller bug. [`random_network_with`] validates the same
+/// parameters up front and returns a [`TopologyError`] instead.
 pub fn random_sessions(
     graph: &Graph,
     seed: u64,
@@ -232,46 +261,304 @@ pub fn random_sessions(
     let mut rng = SplitMix64(seed ^ 0xA5A5_A5A5_DEAD_BEEF);
     let n = graph.node_count();
     let mut sessions = Vec::with_capacity(session_count);
+    let mut candidates: Vec<NodeId> = Vec::with_capacity(n - 1);
     for _ in 0..session_count {
         let sender = NodeId(rng.below(n));
         let want = 1 + rng.below(max_receivers.min(n - 1));
-        let mut receivers = Vec::with_capacity(want);
-        let mut guard = 0;
-        while receivers.len() < want && guard < 16 * n {
-            guard += 1;
-            let cand = NodeId(rng.below(n));
-            if cand != sender && !receivers.contains(&cand) {
-                receivers.push(cand);
-            }
-        }
-        if receivers.is_empty() {
-            // Degenerate tiny graph: fall back to the single non-sender node.
-            let fallback = if sender == NodeId(0) {
-                NodeId(1)
-            } else {
-                NodeId(0)
-            };
-            receivers.push(fallback);
-        }
-        sessions.push(Session::multi_rate(sender, receivers));
+        sessions.push(Session::multi_rate(
+            sender,
+            sample_receivers(&mut rng, n, sender, want, &mut candidates),
+        ));
     }
     sessions
 }
 
-/// A fully-assembled random multicast network on a random tree. This is the
-/// canonical generator used by the cross-crate property tests: trees make
+/// Draw exactly `want` distinct non-sender nodes by a partial Fisher–Yates
+/// shuffle of the candidate list. Requires `want <= n - 1`.
+fn sample_receivers(
+    rng: &mut SplitMix64,
+    n: usize,
+    sender: NodeId,
+    want: usize,
+    candidates: &mut Vec<NodeId>,
+) -> Vec<NodeId> {
+    debug_assert!(want < n, "cannot draw {want} receivers from {n} nodes");
+    candidates.clear();
+    candidates.extend((0..n).map(NodeId).filter(|&c| c != sender));
+    for k in 0..want {
+        let j = k + rng.below(candidates.len() - k);
+        candidates.swap(k, j);
+    }
+    candidates[..want].to_vec()
+}
+
+/// Why a random-network request could not be honoured. Earlier versions
+/// silently clamped bad parameters (`node_count.max(2)`,
+/// `session_count.max(1)`), handing callers a *different experiment* than
+/// they asked for; now the request is rejected instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The family needs more nodes than were requested.
+    TooFewNodes {
+        /// The family that rejected the request.
+        family: &'static str,
+        /// Nodes requested.
+        requested: usize,
+        /// The family's minimum.
+        minimum: usize,
+    },
+    /// A random network with zero sessions is not an experiment.
+    NoSessions,
+    /// Sessions need at least one receiver (`max_receivers >= 1`).
+    NoReceivers,
+    /// A k-ary tree needs `arity >= 1`.
+    BadArity,
+    /// A transit–stub hierarchy needs at least one transit node.
+    NoTransitNodes,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::TooFewNodes {
+                family,
+                requested,
+                minimum,
+            } => write!(
+                f,
+                "{family} topology needs at least {minimum} nodes, got {requested}"
+            ),
+            TopologyError::NoSessions => write!(f, "random network needs at least one session"),
+            TopologyError::NoReceivers => {
+                write!(f, "random sessions need max_receivers >= 1")
+            }
+            TopologyError::BadArity => write!(f, "k-ary tree needs arity >= 1"),
+            TopologyError::NoTransitNodes => {
+                write!(f, "transit-stub hierarchy needs at least one transit node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Capacity multiplier for transit-core links relative to stub links: the
+/// classic transit–stub assumption that backbone links are provisioned an
+/// order of magnitude above access links.
+pub const TRANSIT_CAPACITY_SCALE: f64 = 8.0;
+
+/// A structural family of random topologies, selectable per sweep. Every
+/// family is generated deterministically from a seed and produces a tree
+/// (unique routes, always connected).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyFamily {
+    /// Uniform random-attachment tree (node `k` links to a uniformly chosen
+    /// earlier node) — the original property-test family.
+    FlatTree,
+    /// Balanced `arity`-ary tree filled level by level, with random
+    /// per-link capacities.
+    KaryTree {
+        /// Children per interior node (`>= 1`).
+        arity: usize,
+    },
+    /// Two-level transit–stub hierarchy: the first `transit` nodes form a
+    /// high-capacity random core ([`TRANSIT_CAPACITY_SCALE`]× the stub
+    /// capacity range); the remaining nodes are stub nodes assigned
+    /// round-robin to per-core-node stub domains and attached by random
+    /// attachment *within* their domain.
+    TransitStub {
+        /// Number of transit (core) nodes (`>= 1`).
+        transit: usize,
+    },
+    /// Dumbbell mesh: two hubs joined by a drawn bottleneck link, every
+    /// other node a leaf randomly assigned to one of the two sides (each
+    /// side gets at least one leaf). Access links are drawn ×2 above the
+    /// bottleneck range so the shared link tends to bind.
+    Dumbbell,
+}
+
+impl TopologyFamily {
+    /// A short label for reports and benches.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopologyFamily::FlatTree => "flat-tree",
+            TopologyFamily::KaryTree { .. } => "kary-tree",
+            TopologyFamily::TransitStub { .. } => "transit-stub",
+            TopologyFamily::Dumbbell => "dumbbell",
+        }
+    }
+
+    /// The smallest node count the family can realize.
+    pub fn min_nodes(&self) -> usize {
+        match self {
+            TopologyFamily::FlatTree | TopologyFamily::KaryTree { .. } => 2,
+            // Core, plus at least one stub node (and never below two nodes).
+            TopologyFamily::TransitStub { transit } => (transit + 1).max(2),
+            // Two hubs and one leaf per side.
+            TopologyFamily::Dumbbell => 4,
+        }
+    }
+
+    /// Validate a full random-network request — family shape, node count,
+    /// session count, receiver bound. This is the single source of truth
+    /// for what [`random_network_with`] accepts; front-ends (like
+    /// `mlf-scenario`'s builder) call it to reject bad requests early with
+    /// the same errors the generator would raise.
+    pub fn validate_request(
+        &self,
+        node_count: usize,
+        session_count: usize,
+        max_receivers: usize,
+    ) -> Result<(), TopologyError> {
+        self.validate(node_count)?;
+        if session_count == 0 {
+            return Err(TopologyError::NoSessions);
+        }
+        if max_receivers == 0 {
+            return Err(TopologyError::NoReceivers);
+        }
+        Ok(())
+    }
+
+    /// Check that this family can build a graph of `node_count` nodes.
+    pub fn validate(&self, node_count: usize) -> Result<(), TopologyError> {
+        match self {
+            TopologyFamily::KaryTree { arity } if *arity == 0 => {
+                return Err(TopologyError::BadArity)
+            }
+            TopologyFamily::TransitStub { transit } if *transit == 0 => {
+                return Err(TopologyError::NoTransitNodes)
+            }
+            _ => {}
+        }
+        if node_count < self.min_nodes() {
+            return Err(TopologyError::TooFewNodes {
+                family: self.label(),
+                requested: node_count,
+                minimum: self.min_nodes(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Build a random graph of this family, deterministically in `seed`,
+    /// with (stub-level) capacities drawn uniformly from `[cap_lo, cap_hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Asserts `0 < cap_lo < cap_hi` (the same contract as
+    /// [`random_tree`]); capacity bounds are chosen by code, not by
+    /// experiment parameters, so a bad range is a caller bug rather than a
+    /// rejectable request.
+    pub fn build_graph(
+        &self,
+        seed: u64,
+        node_count: usize,
+        cap_lo: f64,
+        cap_hi: f64,
+    ) -> Result<Graph, TopologyError> {
+        self.validate(node_count)?;
+        assert!(cap_lo > 0.0 && cap_hi > cap_lo);
+        Ok(match *self {
+            TopologyFamily::FlatTree => random_tree(seed, node_count, cap_lo, cap_hi),
+            TopologyFamily::KaryTree { arity } => {
+                let mut rng = SplitMix64(seed);
+                let mut g = Graph::new();
+                let nodes = g.add_nodes(node_count);
+                for k in 1..node_count {
+                    let parent = nodes[(k - 1) / arity];
+                    let cap = rng.range_f64(cap_lo, cap_hi);
+                    g.add_link(parent, nodes[k], cap).expect("kary link");
+                }
+                g
+            }
+            TopologyFamily::TransitStub { transit } => {
+                let mut rng = SplitMix64(seed);
+                let mut g = Graph::new();
+                let nodes = g.add_nodes(node_count);
+                // High-capacity random core over the transit nodes.
+                for k in 1..transit {
+                    let parent = nodes[rng.below(k)];
+                    let cap = TRANSIT_CAPACITY_SCALE * rng.range_f64(cap_lo, cap_hi);
+                    g.add_link(parent, nodes[k], cap).expect("core link");
+                }
+                // Stub domains: domain d starts at its transit node and
+                // grows by random attachment within itself.
+                let mut domains: Vec<Vec<NodeId>> = (0..transit).map(|d| vec![nodes[d]]).collect();
+                for (i, &stub) in nodes.iter().enumerate().skip(transit) {
+                    let domain = &mut domains[(i - transit) % transit];
+                    let parent = domain[rng.below(domain.len())];
+                    let cap = rng.range_f64(cap_lo, cap_hi);
+                    g.add_link(parent, stub, cap).expect("stub link");
+                    domain.push(stub);
+                }
+                g
+            }
+            TopologyFamily::Dumbbell => {
+                let mut rng = SplitMix64(seed);
+                let mut g = Graph::new();
+                let hub_l = g.add_node();
+                let hub_r = g.add_node();
+                g.add_link(hub_l, hub_r, rng.range_f64(cap_lo, cap_hi))
+                    .expect("bottleneck");
+                for leaf in 2..node_count {
+                    // First two leaves pin one per side; the rest coin-flip.
+                    let left = match leaf {
+                        2 => true,
+                        3 => false,
+                        _ => rng.below(2) == 0,
+                    };
+                    let hub = if left { hub_l } else { hub_r };
+                    let n = g.add_node();
+                    let cap = 2.0 * rng.range_f64(cap_lo, cap_hi);
+                    g.add_link(hub, n, cap).expect("access link");
+                }
+                g
+            }
+        })
+    }
+}
+
+/// A fully-assembled random multicast network drawn from a
+/// [`TopologyFamily`]. Deterministic in `seed`; capacities come from the
+/// canonical `[1, 10)` stub range. Rejects degenerate requests instead of
+/// silently adjusting them.
+pub fn random_network_with(
+    family: TopologyFamily,
+    seed: u64,
+    node_count: usize,
+    session_count: usize,
+    max_receivers: usize,
+) -> Result<Network, TopologyError> {
+    family.validate_request(node_count, session_count, max_receivers)?;
+    let graph = family.build_graph(seed, node_count, 1.0, 10.0)?;
+    let sessions = random_sessions(&graph, seed, session_count, max_receivers);
+    Ok(Network::new(graph, sessions).expect("family graphs are trees, hence routable"))
+}
+
+/// A fully-assembled random multicast network on a flat random tree. This is
+/// the canonical generator used by the cross-crate property tests: trees make
 /// routes unique, so the allocator's behaviour depends only on the fairness
 /// logic under test and not on routing tie-breaks.
+///
+/// # Errors
+///
+/// [`TopologyError`] on degenerate requests (fewer than two nodes, zero
+/// sessions, zero receivers) — earlier versions silently clamped these,
+/// running a different experiment than the caller asked for.
 pub fn random_network(
     seed: u64,
     node_count: usize,
     session_count: usize,
     max_receivers: usize,
-) -> Network {
-    let node_count = node_count.max(2);
-    let graph = random_tree(seed, node_count, 1.0, 10.0);
-    let sessions = random_sessions(&graph, seed, session_count.max(1), max_receivers);
-    Network::new(graph, sessions).expect("tree networks are always routable")
+) -> Result<Network, TopologyError> {
+    random_network_with(
+        TopologyFamily::FlatTree,
+        seed,
+        node_count,
+        session_count,
+        max_receivers,
+    )
 }
 
 #[cfg(test)]
@@ -345,8 +632,8 @@ mod tests {
 
     #[test]
     fn random_network_is_valid_and_deterministic() {
-        let n1 = random_network(42, 15, 4, 5);
-        let n2 = random_network(42, 15, 4, 5);
+        let n1 = random_network(42, 15, 4, 5).unwrap();
+        let n2 = random_network(42, 15, 4, 5).unwrap();
         assert_eq!(n1.routes(), n2.routes());
         assert_eq!(n1.session_count(), 4);
         for r in n1.receivers() {
@@ -371,6 +658,175 @@ mod tests {
                         assert_ne!(a, b);
                     }
                 }
+            }
+        }
+    }
+
+    /// Regression for the rejection-sampling shortfall: on tiny graphs with
+    /// large `max_receivers`, every session must still hold exactly the
+    /// drawn receiver count — in particular, sampling can fill the whole
+    /// non-sender node set, which the old `guard < 16 * n` bailout could
+    /// silently fail to do.
+    #[test]
+    fn sample_receivers_always_fills_the_exact_draw() {
+        let mut rng = SplitMix64(99);
+        let mut scratch = Vec::new();
+        for n in 2..=8usize {
+            for want in 1..n {
+                for sender in 0..n {
+                    let got = sample_receivers(&mut rng, n, NodeId(sender), want, &mut scratch);
+                    assert_eq!(got.len(), want, "n={n} want={want} sender={sender}");
+                    for (i, a) in got.iter().enumerate() {
+                        assert_ne!(*a, NodeId(sender));
+                        assert!(a.0 < n);
+                        assert!(!got[i + 1..].contains(a), "duplicate receiver");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_sessions_on_tiny_graphs_cover_every_receiver_count() {
+        // n = 3: receiver counts can only be 1 or 2; with a huge
+        // max_receivers both must actually occur, and 2-receiver sessions
+        // must span the full non-sender set (the old code could underfill).
+        let g = random_tree(5, 3, 1.0, 2.0);
+        let mut seen = [false; 3];
+        for seed in 0..40 {
+            for s in random_sessions(&g, seed, 4, 64) {
+                seen[s.receivers.len()] = true;
+                if s.receivers.len() == 2 {
+                    let mut nodes: Vec<usize> = s.receivers.iter().map(|r| r.0).collect();
+                    nodes.push(s.sender.0);
+                    nodes.sort_unstable();
+                    assert_eq!(nodes, vec![0, 1, 2]);
+                }
+            }
+        }
+        assert!(seen[1] && seen[2], "both draw sizes occur: {seen:?}");
+    }
+
+    /// Regression for the silent clamping: degenerate requests are rejected,
+    /// not quietly rewritten into a different experiment.
+    #[test]
+    fn degenerate_random_network_requests_are_rejected() {
+        assert_eq!(
+            random_network(1, 1, 3, 3).unwrap_err(),
+            TopologyError::TooFewNodes {
+                family: "flat-tree",
+                requested: 1,
+                minimum: 2,
+            }
+        );
+        assert_eq!(
+            random_network(1, 10, 0, 3).unwrap_err(),
+            TopologyError::NoSessions
+        );
+        assert_eq!(
+            random_network(1, 10, 3, 0).unwrap_err(),
+            TopologyError::NoReceivers
+        );
+        assert_eq!(
+            random_network_with(TopologyFamily::KaryTree { arity: 0 }, 1, 10, 3, 3).unwrap_err(),
+            TopologyError::BadArity
+        );
+        assert_eq!(
+            random_network_with(TopologyFamily::TransitStub { transit: 0 }, 1, 10, 3, 3)
+                .unwrap_err(),
+            TopologyError::NoTransitNodes
+        );
+        assert_eq!(
+            random_network_with(TopologyFamily::Dumbbell, 1, 3, 2, 2).unwrap_err(),
+            TopologyError::TooFewNodes {
+                family: "dumbbell",
+                requested: 3,
+                minimum: 4,
+            }
+        );
+        let msg = random_network(1, 1, 3, 3).unwrap_err().to_string();
+        assert!(msg.contains("at least 2 nodes"), "{msg}");
+    }
+
+    #[test]
+    fn every_family_builds_connected_trees_deterministically() {
+        let families = [
+            TopologyFamily::FlatTree,
+            TopologyFamily::KaryTree { arity: 3 },
+            TopologyFamily::TransitStub { transit: 4 },
+            TopologyFamily::Dumbbell,
+        ];
+        for family in families {
+            for seed in 0..6u64 {
+                let g1 = family.build_graph(seed, 17, 1.0, 10.0).unwrap();
+                let g2 = family.build_graph(seed, 17, 1.0, 10.0).unwrap();
+                assert_eq!(g1, g2, "{} seed {seed} deterministic", family.label());
+                assert_eq!(g1.node_count(), 17);
+                assert_eq!(g1.link_count(), 16, "{} is a tree", family.label());
+                for k in 0..17 {
+                    assert!(
+                        crate::routing::shortest_path(&g1, NodeId(0), NodeId(k)).is_some(),
+                        "{} node {k} reachable",
+                        family.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transit_stub_core_outcapacitates_stub_links() {
+        let family = TopologyFamily::TransitStub { transit: 5 };
+        let g = family.build_graph(11, 30, 1.0, 10.0).unwrap();
+        // Core links connect transit nodes (ids < 5) to each other.
+        let (mut core_min, mut stub_max) = (f64::INFINITY, 0.0_f64);
+        for (_, l) in g.links() {
+            if l.a.0 < 5 && l.b.0 < 5 {
+                core_min = core_min.min(l.capacity);
+            } else {
+                stub_max = stub_max.max(l.capacity);
+            }
+        }
+        assert!(
+            core_min >= stub_max / 2.0,
+            "core links ({core_min}) are provisioned above typical stub links ({stub_max})"
+        );
+    }
+
+    #[test]
+    fn dumbbell_family_splits_leaves_across_the_bottleneck() {
+        let g = TopologyFamily::Dumbbell
+            .build_graph(3, 12, 1.0, 10.0)
+            .unwrap();
+        // Hubs are nodes 0 and 1; every leaf hangs off exactly one hub.
+        let mut left = 0usize;
+        let mut right = 0usize;
+        for (_, l) in g.links() {
+            match (l.a.0, l.b.0) {
+                (0, 1) | (1, 0) => {}
+                (0, _) | (_, 0) => left += 1,
+                (1, _) | (_, 1) => right += 1,
+                other => panic!("leaf-to-leaf link {other:?}"),
+            }
+        }
+        assert_eq!(left + right, 10);
+        assert!(left >= 1 && right >= 1, "both sides populated");
+    }
+
+    #[test]
+    fn random_network_with_families_yields_routable_sessions() {
+        for family in [
+            TopologyFamily::FlatTree,
+            TopologyFamily::KaryTree { arity: 2 },
+            TopologyFamily::TransitStub { transit: 3 },
+            TopologyFamily::Dumbbell,
+        ] {
+            let net = random_network_with(family, 21, 16, 5, 4).unwrap();
+            assert_eq!(net.session_count(), 5);
+            // Receivers never share the sender's node, so tree routes are
+            // always non-empty.
+            for r in net.receivers() {
+                assert!(!net.route(r).is_empty());
             }
         }
     }

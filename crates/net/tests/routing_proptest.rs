@@ -54,7 +54,7 @@ proptest! {
         nodes in 3usize..20,
         sessions in 1usize..5,
     ) {
-        let net = random_network(seed, nodes, sessions, 4);
+        let net = random_network(seed, nodes, sessions, 4).unwrap();
         for r in net.receivers() {
             for &l in net.route(r) {
                 prop_assert!(net.crosses(r, l));
@@ -81,7 +81,7 @@ proptest! {
     /// (the Figure 3 experiments depend on this).
     #[test]
     fn removal_preserves_other_routes(seed in any::<u64>()) {
-        let net = random_network(seed, 12, 3, 4);
+        let net = random_network(seed, 12, 3, 4).unwrap();
         // Find a session with >= 2 receivers.
         let Some((sid, s)) = net
             .sessions_iter()

@@ -11,7 +11,23 @@
 //!
 //! A scenario owns one [`SolverWorkspace`], so a sweep's repeated solves
 //! reuse scratch buffers instead of re-allocating per call — the hot-path
-//! win the Figure 5/8 sweeps need.
+//! win the Figure 5/8 sweeps need. For multi-core machines,
+//! [`Scenario::sweep_par`] and [`Scenario::sweep_grid_par`] shard the
+//! seed/grid space across `std::thread::scope` workers (one workspace per
+//! worker) and merge the points back in deterministic seed order, so the
+//! parallel output is **bitwise identical** to the serial one at any thread
+//! count.
+//!
+//! ## Topology families
+//!
+//! Random sweeps draw their topologies from a [`TopologyFamily`]:
+//! [`ScenarioBuilder::random_networks`] uses the flat random-attachment
+//! tree, and [`ScenarioBuilder::random_networks_with`] selects any family —
+//! balanced k-ary trees, GT-ITM-style transit–stub hierarchies, or dumbbell
+//! meshes — so sweeps cover structurally diverse networks instead of one
+//! tree shape. Degenerate requests (one node, zero sessions) are rejected
+//! at [`ScenarioBuilder::build`] time via [`ScenarioError::Topology`]
+//! rather than silently rewritten.
 //!
 //! ## Example
 //!
@@ -43,18 +59,22 @@
 //! assert!(report.fairness.unwrap().all_hold()); // Theorem 1
 //! ```
 //!
-//! Sweeps over random topologies are deterministic in their seeds:
+//! Sweeps over random topologies are deterministic in their seeds, and the
+//! parallel executor reproduces the serial points exactly:
 //!
 //! ```
+//! use mlf_net::TopologyFamily;
 //! use mlf_scenario::Scenario;
 //!
 //! let mut s = Scenario::builder()
-//!     .random_networks(12, 4, 4)
+//!     .random_networks_with(TopologyFamily::TransitStub { transit: 3 }, 12, 4, 4)
 //!     .build()
 //!     .unwrap();
 //! let once = s.sweep(0..8);
 //! let again = s.sweep(0..8);
 //! assert_eq!(once.points, again.points);
+//! let parallel = s.sweep_par(0..8, 4);
+//! assert_eq!(once.points, parallel.points);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -65,18 +85,19 @@ use mlf_core::{
     metrics, properties, FairnessReport, LinkRateConfig, LinkRateModel, MaxMinSolution,
 };
 use mlf_layering::LayerSchedule;
-use mlf_net::topology::random_network;
-use mlf_net::{Network, ReceiverId};
+use mlf_net::topology::random_network_with;
+use mlf_net::{Network, ReceiverId, TopologyError, TopologyFamily};
 
 /// Where a scenario's networks come from.
 #[derive(Debug, Clone)]
 pub enum NetworkSource {
     /// One fixed network (e.g. a paper figure).
     Fixed(Network),
-    /// The `mlf_net::topology::random_network` family, one network per
-    /// sweep seed.
+    /// A `mlf_net::topology` random family, one network per sweep seed.
     Random {
-        /// Number of nodes in the random tree.
+        /// The structural family the topologies are drawn from.
+        family: TopologyFamily,
+        /// Number of nodes in the random graph.
         nodes: usize,
         /// Number of multicast sessions.
         sessions: usize,
@@ -128,6 +149,10 @@ pub enum ScenarioError {
     /// Non-efficient link rates were configured for an allocator whose
     /// regime has no link-rate parameterization (`Weighted`, `Unicast`).
     AllocatorIgnoresLinkRates,
+    /// A random-network source was configured with parameters its topology
+    /// family rejects (too few nodes, zero sessions, zero receivers, …).
+    /// Earlier versions silently clamped these into a different experiment.
+    Topology(TopologyError),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -153,6 +178,7 @@ impl std::fmt::Display for ScenarioError {
                 "this allocator has no link-rate parameterization; configure link \
                  rates with MultiRate, SingleRate, or Hybrid"
             ),
+            ScenarioError::Topology(e) => write!(f, "bad random-network source: {e}"),
         }
     }
 }
@@ -195,10 +221,27 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sweep over `random_network(seed, nodes, sessions, max_receivers)`
-    /// topologies, one per seed.
-    pub fn random_networks(mut self, nodes: usize, sessions: usize, max_receivers: usize) -> Self {
+    /// Sweep over flat random-tree topologies
+    /// (`random_network(seed, nodes, sessions, max_receivers)`), one per
+    /// seed. Shorthand for [`ScenarioBuilder::random_networks_with`] with
+    /// [`TopologyFamily::FlatTree`].
+    pub fn random_networks(self, nodes: usize, sessions: usize, max_receivers: usize) -> Self {
+        self.random_networks_with(TopologyFamily::FlatTree, nodes, sessions, max_receivers)
+    }
+
+    /// Sweep over random topologies of an explicit [`TopologyFamily`]
+    /// (balanced k-ary trees, transit–stub hierarchies, dumbbell meshes, …),
+    /// one network per seed. Parameters the family cannot realize are
+    /// rejected at [`ScenarioBuilder::build`] time.
+    pub fn random_networks_with(
+        mut self,
+        family: TopologyFamily,
+        nodes: usize,
+        sessions: usize,
+        max_receivers: usize,
+    ) -> Self {
         self.source = Some(NetworkSource::Random {
+            family,
             nodes,
             sessions,
             max_receivers,
@@ -238,6 +281,19 @@ impl ScenarioBuilder {
         if !matches!(self.link_rates, LinkRates::Efficient) && !self.allocator.supports_link_rates()
         {
             return Err(ScenarioError::AllocatorIgnoresLinkRates);
+        }
+        if let NetworkSource::Random {
+            family,
+            nodes,
+            sessions,
+            max_receivers,
+        } = &source
+        {
+            // The same validation random_network_with performs, surfaced at
+            // build time so sweeps never panic mid-run on a bad request.
+            family
+                .validate_request(*nodes, *sessions, *max_receivers)
+                .map_err(ScenarioError::Topology)?;
         }
         if let LinkRates::Explicit(cfg) = &self.link_rates {
             match &source {
@@ -314,15 +370,36 @@ impl Scenario {
     }
 
     fn run_inner(&mut self, seed: u64, model_override: Option<LinkRateModel>) -> ScenarioReport {
+        // Detach the owned workspace so the shared solve path can borrow
+        // `self` immutably (the same path the parallel workers use).
+        let mut ws = std::mem::take(&mut self.ws);
+        let report = self.solve_with_ws(seed, model_override, &mut ws);
+        self.ws = ws;
+        report
+    }
+
+    /// Solve one point against an explicit workspace. This is the whole
+    /// solve path: serial sweeps call it with the scenario's own workspace,
+    /// parallel workers with their per-thread one — which is why the two
+    /// executors agree bitwise (a solve's result never depends on workspace
+    /// history).
+    fn solve_with_ws(
+        &self,
+        seed: u64,
+        model_override: Option<LinkRateModel>,
+        ws: &mut SolverWorkspace,
+    ) -> ScenarioReport {
         let owned;
         let net = match &self.source {
             NetworkSource::Fixed(net) => net,
             NetworkSource::Random {
+                family,
                 nodes,
                 sessions,
                 max_receivers,
             } => {
-                owned = random_network(seed, *nodes, *sessions, *max_receivers);
+                owned = random_network_with(*family, seed, *nodes, *sessions, *max_receivers)
+                    .expect("random-source parameters were validated at build time");
                 &owned
             }
         };
@@ -336,10 +413,10 @@ impl Scenario {
         // link rates, enforced at build()/sweep_grid() time.
         let solution =
             if matches!(self.link_rates, LinkRates::Efficient) && model_override.is_none() {
-                self.allocator.solve(net, &mut self.ws)
+                self.allocator.solve(net, ws)
             } else {
                 self.allocator
-                    .solve_with(net, &cfg, &mut self.ws)
+                    .solve_with(net, &cfg, ws)
                     .expect("allocator link-rate support was validated at build time")
             };
         let fairness = self
@@ -377,28 +454,120 @@ impl Scenario {
     /// Run the full `seeds × models` grid (the Figure 4/5/6 pattern:
     /// the same topologies under different redundancy models).
     pub fn sweep_grid(&mut self, grid: &SweepGrid) -> SweepReport {
+        self.check_grid(grid);
+        let points = Self::grid_jobs(grid)
+            .into_iter()
+            .map(|(model, seed)| SweepPoint::from_report(self.run_inner(seed, model), model))
+            .collect();
+        SweepReport {
+            label: self.label.clone(),
+            points,
+        }
+    }
+
+    /// The canonical job order of a grid — models-major, then seeds. Both
+    /// the serial and the parallel grid executor consume this one
+    /// expansion, so their point order can never diverge.
+    fn grid_jobs(grid: &SweepGrid) -> Vec<(Option<LinkRateModel>, u64)> {
+        let mut jobs = Vec::with_capacity(grid.seeds.len() * grid.models.len().max(1));
+        if grid.models.is_empty() {
+            jobs.extend(grid.seeds.iter().map(|&s| (None, s)));
+        } else {
+            for &model in &grid.models {
+                jobs.extend(grid.seeds.iter().map(|&s| (Some(model), s)));
+            }
+        }
+        jobs
+    }
+
+    fn check_grid(&self, grid: &SweepGrid) {
         assert!(
             grid.models.is_empty() || self.allocator.supports_link_rates(),
             "{}",
             ScenarioError::AllocatorIgnoresLinkRates
         );
-        let mut points = Vec::with_capacity(grid.seeds.len() * grid.models.len().max(1));
-        if grid.models.is_empty() {
-            for &seed in &grid.seeds {
-                points.push(SweepPoint::from_report(self.run_seeded(seed), None));
-            }
-        } else {
-            for &model in &grid.models {
-                for &seed in &grid.seeds {
-                    let report = self.run_inner(seed, Some(model));
-                    points.push(SweepPoint::from_report(report, Some(model)));
-                }
-            }
-        }
+    }
+
+    /// [`Scenario::sweep`], sharded across `threads` scoped worker threads.
+    ///
+    /// Each worker solves a contiguous shard of the seed list with its own
+    /// [`SolverWorkspace`]; shards are merged back in seed order, so the
+    /// result is **bitwise identical** to the serial [`Scenario::sweep`]
+    /// for the same seeds, at any thread count (a solve's output never
+    /// depends on workspace history). `threads == 0` means "use
+    /// `std::thread::available_parallelism`". The scenario's own workspace
+    /// is untouched, so [`Scenario::solves`] does not count parallel solves.
+    pub fn sweep_par<I: IntoIterator<Item = u64>>(&self, seeds: I, threads: usize) -> SweepReport {
+        let jobs: Vec<(Option<LinkRateModel>, u64)> =
+            seeds.into_iter().map(|s| (None, s)).collect();
         SweepReport {
             label: self.label.clone(),
-            points,
+            points: self.run_jobs_par(&jobs, threads),
         }
+    }
+
+    /// [`Scenario::sweep_grid`], sharded across `threads` scoped worker
+    /// threads. Point order (models-major, then seeds) and every point's
+    /// bits match the serial executor exactly.
+    pub fn sweep_grid_par(&self, grid: &SweepGrid, threads: usize) -> SweepReport {
+        self.check_grid(grid);
+        SweepReport {
+            label: self.label.clone(),
+            points: self.run_jobs_par(&Self::grid_jobs(grid), threads),
+        }
+    }
+
+    /// Run a job list across scoped workers and merge the points back in
+    /// job order. The deterministic-merge contract lives here: jobs are
+    /// split into contiguous shards, each worker returns its shard's points
+    /// in order, and shards are concatenated in shard order.
+    fn run_jobs_par(
+        &self,
+        jobs: &[(Option<LinkRateModel>, u64)],
+        threads: usize,
+    ) -> Vec<SweepPoint> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let threads = threads.clamp(1, jobs.len().max(1));
+        let solve_shard = |shard: &[(Option<LinkRateModel>, u64)]| -> Vec<SweepPoint> {
+            let mut ws = SolverWorkspace::new();
+            shard
+                .iter()
+                .map(|&(model, seed)| {
+                    SweepPoint::from_report(self.solve_with_ws(seed, model, &mut ws), model)
+                })
+                .collect()
+        };
+        if threads == 1 {
+            return solve_shard(jobs);
+        }
+        // Balanced partition: the first `jobs % threads` shards take one
+        // extra job, so every requested worker gets work (a plain
+        // `chunks(div_ceil)` can leave whole workers idle — e.g. 9 jobs on
+        // 8 threads would spawn only 5).
+        let base = jobs.len() / threads;
+        let extra = jobs.len() % threads;
+        let mut points = Vec::with_capacity(jobs.len());
+        let solve_shard = &solve_shard;
+        std::thread::scope(|scope| {
+            let mut rest = jobs;
+            let workers: Vec<_> = (0..threads)
+                .map(|i| {
+                    let (shard, tail) = rest.split_at(base + usize::from(i < extra));
+                    rest = tail;
+                    scope.spawn(move || solve_shard(shard))
+                })
+                .collect();
+            for worker in workers {
+                points.extend(worker.join().expect("sweep worker panicked"));
+            }
+        });
+        points
     }
 }
 
@@ -694,6 +863,107 @@ mod tests {
         assert_eq!(a.points.len(), 10);
         // Theorem 1 holds at every point of an all-multi-rate sweep.
         assert_eq!(a.all_properties_rate(), 1.0);
+    }
+
+    #[test]
+    fn sweep_par_is_bitwise_identical_to_serial_at_any_thread_count() {
+        for family in [
+            TopologyFamily::FlatTree,
+            TopologyFamily::KaryTree { arity: 2 },
+            TopologyFamily::TransitStub { transit: 3 },
+            TopologyFamily::Dumbbell,
+        ] {
+            let mut s = Scenario::builder()
+                .label(family.label())
+                .random_networks_with(family, 14, 4, 4)
+                .allocator(MultiRate::new())
+                .build()
+                .unwrap();
+            let serial = s.sweep(0..12);
+            for threads in [1, 2, 3, 5, 8, 64] {
+                let parallel = s.sweep_par(0..12, threads);
+                assert_eq!(serial, parallel, "{} at {threads} threads", family.label());
+            }
+            // threads == 0 delegates to available_parallelism.
+            assert_eq!(serial, s.sweep_par(0..12, 0));
+        }
+    }
+
+    #[test]
+    fn sweep_grid_par_matches_serial_order_and_bits() {
+        let mut s = Scenario::builder()
+            .random_networks(12, 4, 4)
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap();
+        let grid = SweepGrid::seeds(0..5)
+            .with_models([LinkRateModel::Efficient, LinkRateModel::Scaled(2.0)]);
+        let serial = s.sweep_grid(&grid);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                serial,
+                s.sweep_grid_par(&grid, threads),
+                "{threads} threads"
+            );
+        }
+        // Seeds-only grids go through the same job path.
+        let seeds_only = SweepGrid::seeds(3..9);
+        assert_eq!(s.sweep_grid(&seeds_only), s.sweep_grid_par(&seeds_only, 3));
+    }
+
+    #[test]
+    fn degenerate_random_sources_are_rejected_at_build_time() {
+        let err = Scenario::builder().random_networks(1, 3, 3).build().err();
+        assert_eq!(
+            err,
+            Some(ScenarioError::Topology(
+                mlf_net::TopologyError::TooFewNodes {
+                    family: "flat-tree",
+                    requested: 1,
+                    minimum: 2,
+                }
+            ))
+        );
+        let err = Scenario::builder().random_networks(10, 0, 3).build().err();
+        assert_eq!(
+            err,
+            Some(ScenarioError::Topology(mlf_net::TopologyError::NoSessions))
+        );
+        let err = Scenario::builder().random_networks(10, 3, 0).build().err();
+        assert_eq!(
+            err,
+            Some(ScenarioError::Topology(mlf_net::TopologyError::NoReceivers))
+        );
+        let err = Scenario::builder()
+            .random_networks_with(TopologyFamily::Dumbbell, 3, 2, 2)
+            .build()
+            .err();
+        assert!(matches!(
+            err,
+            Some(ScenarioError::Topology(
+                mlf_net::TopologyError::TooFewNodes { .. }
+            ))
+        ));
+        let msg = err.unwrap().to_string();
+        assert!(msg.contains("bad random-network source"), "{msg}");
+    }
+
+    #[test]
+    fn family_sweeps_produce_structurally_distinct_points() {
+        // The same seeds through two different families must not produce
+        // identical sweeps (otherwise the family never reached the
+        // generator).
+        let sweep_for = |family| {
+            Scenario::builder()
+                .random_networks_with(family, 16, 4, 4)
+                .allocator(MultiRate::new())
+                .build()
+                .unwrap()
+                .sweep(0..8)
+        };
+        let flat = sweep_for(TopologyFamily::FlatTree);
+        let dumbbell = sweep_for(TopologyFamily::Dumbbell);
+        assert_ne!(flat.points, dumbbell.points);
     }
 
     #[test]

@@ -94,7 +94,8 @@ pub mod prelude {
     };
     pub use mlf_layering::LayerSchedule;
     pub use mlf_net::{
-        Graph, LinkId, Network, NodeId, ReceiverId, Session, SessionId, SessionType,
+        Graph, LinkId, Network, NodeId, ReceiverId, Session, SessionId, SessionType, TopologyError,
+        TopologyFamily,
     };
     pub use mlf_protocols::{ExperimentParams, ProtocolKind};
     pub use mlf_scenario::{LinkRates, Scenario, ScenarioReport, SweepGrid, SweepReport};

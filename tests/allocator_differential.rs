@@ -221,7 +221,7 @@ fn shims_and_trait_also_agree_on_random_networks() {
     // Beyond the paper corpus: 25 random mixed networks.
     let mut ws = SolverWorkspace::new();
     for seed in 0..25u64 {
-        let net = mlf_net::topology::random_network(seed, 14, 5, 4);
+        let net = mlf_net::topology::random_network(seed, 14, 5, 4).unwrap();
         assert_bitwise(
             &format!("random-{seed}"),
             &max_min_allocation(&net),

@@ -27,7 +27,7 @@ fn arb_network() -> impl Strategy<Value = Network> {
         proptest::collection::vec(any::<bool>(), 6),
     )
         .prop_map(|(seed, nodes, sessions, maxrecv, single, caps, capped)| {
-            let mut net = random_network(seed, nodes, sessions, maxrecv);
+            let mut net = random_network(seed, nodes, sessions, maxrecv).unwrap();
             let m = net.session_count();
             for i in 0..m {
                 if single[i % single.len()] {
