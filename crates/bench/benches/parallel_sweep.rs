@@ -3,25 +3,30 @@
 //! random-join link-rate model) across scoped worker threads, versus the
 //! serial `sweep_grid` on one workspace.
 //!
-//! Two things are recorded:
+//! Three things are recorded:
 //!
 //! 1. **Correctness, always**: the parallel points are asserted bitwise
 //!    identical to the serial ones at 2, 4, and 8 threads before any timing
 //!    runs — a determinism regression fails the bench run itself, which is
 //!    why CI executes this bench.
-//! 2. **Speedup**: a hand-timed serial-vs-parallel comparison over the full
+//! 2. **Throughput artifact**: the serial sweep's points-per-second is
+//!    written as `BENCH_parallel_sweep.json` for the CI regression gate
+//!    (`bench_gate` fails the job on a >30% drop below the committed
+//!    baseline in `crates/bench/baselines/`).
+//! 3. **Speedup**: a hand-timed serial-vs-parallel comparison over the full
 //!    256-seed sweep, printed as `parallel speedup at N threads: X.XXx`.
 //!    On multi-core hardware the 4-thread sweep runs ≥ 2x faster than
 //!    serial; on a single-core container the ratio degrades to ~1x (the
 //!    report prints the detected parallelism so the number can be read in
-//!    context).
+//!    context). Skipped in `MLF_BENCH_CHECK=1` mode, along with criterion
+//!    sampling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mlf_bench::regression::{check_mode, measure_and_emit, time_best_of_three};
 use mlf_core::allocator::MultiRate;
 use mlf_core::LinkRateModel;
 use mlf_scenario::{LinkRates, Scenario, SweepGrid};
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Figure-5 scale: 30-node trees, 8 sessions, up to 5 receivers each, all
 /// sessions under the random-join redundancy model.
@@ -53,26 +58,23 @@ fn assert_parallel_matches_serial(scenario: &mut Scenario) {
     );
 }
 
-fn report_wall_clock_speedup(scenario: &Scenario) {
-    let time = |f: &dyn Fn() -> usize| {
-        // Best of three keeps the report stable without a stats stack.
-        (0..3)
-            .map(|_| {
-                let start = Instant::now();
-                black_box(f());
-                start.elapsed()
-            })
-            .min()
-            .expect("three runs")
-    };
-    let serial = time(&|| scenario.sweep_par(0..FULL_SWEEP_SEEDS, 1).points.len());
+/// Time the serial sweep and write `BENCH_parallel_sweep.json` for the CI
+/// regression gate (serial points-per-second tracks per-solve cost without
+/// parallel scheduling noise).
+fn emit_artifact(scenario: &Scenario) -> std::time::Duration {
+    measure_and_emit("parallel_sweep", FULL_SWEEP_SEEDS, || {
+        scenario.sweep_par(0..FULL_SWEEP_SEEDS, 1).points.len()
+    })
+}
+
+fn report_wall_clock_speedup(scenario: &Scenario, serial: std::time::Duration) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "wall-clock over {FULL_SWEEP_SEEDS} seeds (available parallelism {cores}): \
          serial {serial:?}"
     );
     for threads in [2usize, 4] {
-        let par = time(&|| {
+        let par = time_best_of_three(|| {
             scenario
                 .sweep_par(0..FULL_SWEEP_SEEDS, threads)
                 .points
@@ -88,7 +90,12 @@ fn report_wall_clock_speedup(scenario: &Scenario) {
 fn bench_parallel_sweep(c: &mut Criterion) {
     let mut scenario = fig5_scale_scenario();
     assert_parallel_matches_serial(&mut scenario);
-    report_wall_clock_speedup(&scenario);
+    let serial = emit_artifact(&scenario);
+    if check_mode() {
+        println!("MLF_BENCH_CHECK=1: skipping speedup report and criterion sampling");
+        return;
+    }
+    report_wall_clock_speedup(&scenario, serial);
 
     // Criterion samples on a smaller grid so the measured windows stay
     // short; the full-size comparison above is the headline number.

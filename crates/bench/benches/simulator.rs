@@ -12,7 +12,7 @@ fn bench_protocol_throughput(c: &mut Criterion) {
         receivers: 50,
         packets: 20_000,
         trials: 1,
-        ..ExperimentParams::quick(0.0001, 0.03)
+        ..ExperimentParams::quick(0.0001, 0.03).unwrap()
     };
     group.throughput(Throughput::Elements(base.packets));
     for kind in ProtocolKind::ALL {
@@ -30,7 +30,7 @@ fn bench_receiver_scaling(c: &mut Criterion) {
             receivers,
             packets: 10_000,
             trials: 1,
-            ..ExperimentParams::quick(0.0001, 0.03)
+            ..ExperimentParams::quick(0.0001, 0.03).unwrap()
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(receivers),

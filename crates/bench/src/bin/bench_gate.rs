@@ -1,0 +1,90 @@
+//! The CI bench-regression gate: compare a freshly emitted
+//! `BENCH_<name>.json` against its committed baseline and fail (exit 1)
+//! when points-per-second regressed more than the allowed fraction.
+//!
+//! ```text
+//! cargo run -p mlf-bench --bin bench_gate -- \
+//!     --baseline crates/bench/baselines/BENCH_protocol_sweep.json \
+//!     --current  crates/bench/BENCH_protocol_sweep.json \
+//!     --max-regress 0.30
+//! ```
+//!
+//! Exit status: 0 within band (or faster), 1 on regression, 2 on bad
+//! input/unreadable records. Faster-than-baseline runs always pass; the
+//! baselines only need re-seeding when the measured hot path genuinely
+//! changes (the gate also rejects silently shrunken workloads — a points
+//! mismatch is an error, not a pass).
+
+use mlf_bench::regression::{check_regression, BenchRecord, GateOutcome};
+use mlf_bench::{cli, knob, or_exit, Args};
+
+const KNOBS: &[cli::Knob] = &[
+    knob("baseline", "(required)", "committed baseline BENCH_*.json"),
+    knob("current", "(required)", "freshly emitted BENCH_*.json"),
+    knob(
+        "max-regress",
+        "0.30",
+        "maximum tolerated fractional throughput drop",
+    ),
+];
+
+fn main() {
+    let args = Args::for_binary(
+        "bench_gate",
+        "CI gate: fail when a bench's points-per-second regresses beyond the baseline band",
+        KNOBS,
+    );
+    let baseline_path: String = or_exit(args.get("baseline", String::new()));
+    let current_path: String = or_exit(args.get("current", String::new()));
+    let max_regress: f64 = or_exit(args.get("max-regress", 0.30));
+    if baseline_path.is_empty() || current_path.is_empty() {
+        eprintln!("error: --baseline and --current are required");
+        std::process::exit(2);
+    }
+    if !(0.0..1.0).contains(&max_regress) {
+        eprintln!("error: --max-regress must be in [0, 1), got {max_regress}");
+        std::process::exit(2);
+    }
+
+    let read = |path: &str| -> BenchRecord {
+        match BenchRecord::read(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+
+    match check_regression(&baseline, &current, max_regress) {
+        Ok(GateOutcome::Pass(ratio)) => {
+            println!(
+                "PASS {}: {:.3} points/s vs baseline {:.3} ({:.0}% of baseline, \
+                 floor {:.0}%)",
+                current.bench,
+                current.points_per_second,
+                baseline.points_per_second,
+                ratio * 100.0,
+                (1.0 - max_regress) * 100.0
+            );
+        }
+        Ok(GateOutcome::Regressed(ratio)) => {
+            eprintln!(
+                "REGRESSION {}: {:.3} points/s is {:.0}% of the baseline {:.3} \
+                 (allowed floor {:.0}%)",
+                current.bench,
+                current.points_per_second,
+                ratio * 100.0,
+                baseline.points_per_second,
+                (1.0 - max_regress) * 100.0
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

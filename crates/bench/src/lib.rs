@@ -8,14 +8,26 @@
 //!
 //! The binaries compose their experiments through the `mlf-scenario`
 //! crate's `Scenario` builder and the `mlf-core` `Allocator` trait.
+//!
+//! ## The CI bench-regression gate
+//!
+//! The `parallel_sweep` and `protocol_sweep` benches emit
+//! `BENCH_<name>.json` records ([`regression::BenchRecord`]) with their
+//! serial points-per-second; committed baselines live in
+//! `crates/bench/baselines/` and the `bench_gate` binary fails CI when a
+//! run regresses more than 30% against them. Setting `MLF_BENCH_CHECK=1`
+//! runs the benches in check mode (determinism asserts + one timed
+//! measurement, no sampling loops).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod csvout;
+pub mod regression;
 pub mod table;
 
 pub use cli::{knob, or_exit, usage, Args, CliError, Knob};
 pub use csvout::write_csv;
+pub use regression::{check_regression, BenchRecord, GateOutcome};
 pub use table::Table;

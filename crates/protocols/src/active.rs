@@ -193,7 +193,7 @@ mod tests {
             receivers: 20,
             packets: 40_000,
             trials: 1,
-            ..ExperimentParams::quick(0.0001, 0.05)
+            ..ExperimentParams::quick(0.0001, 0.05).unwrap()
         };
         let report = run_trial_active(&params, 0);
         let red = report.shared_redundancy().unwrap();
@@ -213,7 +213,7 @@ mod tests {
             receivers: 4,
             packets: 60_000,
             trials: 1,
-            ..ExperimentParams::quick(0.0, 0.0)
+            ..ExperimentParams::quick(0.0, 0.0).unwrap()
         };
         let report = run_trial_active(&params, 0);
         assert!(report.final_levels.iter().all(|&l| l == 8));

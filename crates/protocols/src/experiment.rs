@@ -15,6 +15,62 @@ use mlf_sim::{
     StarReport, Tick,
 };
 
+/// A loss probability that cannot parameterize an experiment.
+///
+/// The Bernoulli loss processes of the star (`StarConfig::figure8`) need
+/// probabilities in `[0, 1)` — a loss of exactly 1 starves every trial and
+/// a non-finite value silently poisons every [`RunningStats`] the
+/// experiment aggregates (NaN redundancy means a whole Figure 8 point
+/// quietly plots as a gap). [`ExperimentParams::paper`] and
+/// [`ExperimentParams::quick`] therefore reject such inputs up front with
+/// this typed error instead of producing NaN trial stats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExperimentParamError {
+    /// A loss rate was NaN or infinite.
+    NonFiniteLoss {
+        /// Which knob was bad (`"shared"` or `"independent"`).
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A loss rate was outside the half-open interval `[0, 1)`.
+    LossOutOfRange {
+        /// Which knob was bad (`"shared"` or `"independent"`).
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ExperimentParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentParamError::NonFiniteLoss { which, value } => {
+                write!(f, "{which} loss rate must be finite, got {value}")
+            }
+            ExperimentParamError::LossOutOfRange { which, value } => {
+                write!(f, "{which} loss rate {value} is outside [0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentParamError {}
+
+/// Validate one Bernoulli loss probability: finite and in `[0, 1)`.
+///
+/// `which` names the knob in the error (`"shared"`, `"independent"`, …) so
+/// a sweep over many losses can say which point was bad.
+pub fn validate_loss(which: &'static str, value: f64) -> Result<(), ExperimentParamError> {
+    if !value.is_finite() {
+        return Err(ExperimentParamError::NonFiniteLoss { which, value });
+    }
+    if !(0.0..1.0).contains(&value) {
+        return Err(ExperimentParamError::LossOutOfRange { which, value });
+    }
+    Ok(())
+}
+
 /// Parameters of one Figure 8 experiment point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentParams {
@@ -41,8 +97,9 @@ pub struct ExperimentParams {
 
 impl ExperimentParams {
     /// The paper's Figure 8 configuration at one `(shared, independent)`
-    /// loss point.
-    pub fn paper(shared_loss: f64, independent_loss: f64) -> Self {
+    /// loss point. Rejects non-finite or out-of-`[0,1)` loss probabilities
+    /// (which would otherwise surface only as NaN trial stats).
+    pub fn paper(shared_loss: f64, independent_loss: f64) -> Result<Self, ExperimentParamError> {
         ExperimentParams {
             layers: 8,
             receivers: 100,
@@ -54,11 +111,13 @@ impl ExperimentParams {
             join_latency: 0,
             leave_latency: 0,
         }
+        .validated()
     }
 
     /// A scaled-down configuration for fast tests/benches: same shapes,
-    /// fewer receivers, packets and trials.
-    pub fn quick(shared_loss: f64, independent_loss: f64) -> Self {
+    /// fewer receivers, packets and trials. Loss probabilities are
+    /// validated like [`ExperimentParams::paper`].
+    pub fn quick(shared_loss: f64, independent_loss: f64) -> Result<Self, ExperimentParamError> {
         ExperimentParams {
             layers: 8,
             receivers: 20,
@@ -70,11 +129,42 @@ impl ExperimentParams {
             join_latency: 0,
             leave_latency: 0,
         }
+        .validated()
+    }
+
+    /// Check both loss probabilities (finite, in `[0, 1)`).
+    ///
+    /// The fields are public (struct-update syntax is how the binaries and
+    /// tests tweak shapes), so a hand-built value can still carry a bad
+    /// loss; call this before running it.
+    pub fn validate(&self) -> Result<(), ExperimentParamError> {
+        validate_loss("shared", self.shared_loss)?;
+        validate_loss("independent", self.independent_loss)
+    }
+
+    /// [`ExperimentParams::validate`], by value (builder-style).
+    pub fn validated(self) -> Result<Self, ExperimentParamError> {
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// This configuration with a different independent (fanout-link) loss,
+    /// validated — how a sweep derives its per-point parameters from one
+    /// template.
+    pub fn with_independent_loss(self, loss: f64) -> Result<Self, ExperimentParamError> {
+        ExperimentParams {
+            independent_loss: loss,
+            ..self
+        }
+        .validated()
     }
 }
 
 /// Aggregated outcome of one experiment point.
-#[derive(Debug, Clone)]
+///
+/// Equality is bitwise on every statistic, which is what the serial/parallel
+/// differential tests compare.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointOutcome {
     /// Which protocol ran.
     pub kind: ProtocolKind,
@@ -85,6 +175,10 @@ pub struct PointOutcome {
     pub mean_level: RunningStats,
     /// Mean receiver goodput in packets/slot across trials (diagnostic).
     pub goodput: RunningStats,
+    /// Mean observed loss rate among requested packets across trials — the
+    /// loss-regime statistic: how much loss receivers actually saw under
+    /// the configured shared/independent mix.
+    pub observed_loss: RunningStats,
 }
 
 enum Markers {
@@ -128,6 +222,7 @@ pub fn run_point(kind: ProtocolKind, params: &ExperimentParams) -> PointOutcome 
     let mut redundancy = RunningStats::new();
     let mut mean_level = RunningStats::new();
     let mut goodput = RunningStats::new();
+    let mut observed_loss = RunningStats::new();
     for t in 0..params.trials {
         let report = run_trial(kind, params, t);
         if let Some(r) = report.shared_redundancy() {
@@ -146,18 +241,25 @@ pub fn run_point(kind: ProtocolKind, params: &ExperimentParams) -> PointOutcome 
                 .sum::<f64>()
                 / n,
         );
+        observed_loss.push(
+            (0..params.receivers)
+                .map(|r| report.loss_rate(r))
+                .sum::<f64>()
+                / n,
+        );
     }
     PointOutcome {
         kind,
         redundancy,
         mean_level,
         goodput,
+        observed_loss,
     }
 }
 
 /// One x-axis point of Figure 8: all three protocols at one independent-loss
 /// value.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure8Point {
     /// The fanout-link loss rate (x-axis).
     pub independent_loss: f64,
@@ -201,7 +303,7 @@ mod tests {
                 trials: 3,
                 packets: 20_000,
                 receivers: 10,
-                ..ExperimentParams::quick(0.0001, 0.02)
+                ..ExperimentParams::quick(0.0001, 0.02).unwrap()
             };
             let out = run_point(kind, &params);
             let r = out.redundancy.mean();
@@ -222,7 +324,7 @@ mod tests {
             trials: 4,
             packets: 30_000,
             receivers: 24,
-            ..ExperimentParams::quick(0.0001, 0.05)
+            ..ExperimentParams::quick(0.0001, 0.05).unwrap()
         };
         let coord = run_point(ProtocolKind::Coordinated, &params);
         let uncoord = run_point(ProtocolKind::Uncoordinated, &params);
@@ -242,7 +344,7 @@ mod tests {
                 trials: 3,
                 packets: 30_000,
                 receivers: 16,
-                ..ExperimentParams::quick(0.0001, 0.01)
+                ..ExperimentParams::quick(0.0001, 0.01).unwrap()
             },
         );
         let hi = run_point(
@@ -251,7 +353,7 @@ mod tests {
                 trials: 3,
                 packets: 30_000,
                 receivers: 16,
-                ..ExperimentParams::quick(0.0001, 0.08)
+                ..ExperimentParams::quick(0.0001, 0.08).unwrap()
             },
         );
         assert!(
@@ -268,7 +370,7 @@ mod tests {
         // Deterministic receivers then move in lockstep: redundancy ≈ 1.
         let params = ExperimentParams {
             trials: 3,
-            ..ExperimentParams::quick(0.02, 0.0)
+            ..ExperimentParams::quick(0.02, 0.0).unwrap()
         };
         let out = run_point(ProtocolKind::Deterministic, &params);
         let r = out.redundancy.mean();
@@ -276,8 +378,77 @@ mod tests {
     }
 
     #[test]
+    fn bad_loss_probabilities_are_rejected_with_typed_errors() {
+        // NaN payloads can't be compared with ==; match the variant.
+        assert!(matches!(
+            ExperimentParams::quick(f64::NAN, 0.05).unwrap_err(),
+            ExperimentParamError::NonFiniteLoss {
+                which: "shared",
+                value,
+            } if value.is_nan()
+        ));
+        assert_eq!(
+            ExperimentParams::paper(0.0001, f64::INFINITY).unwrap_err(),
+            ExperimentParamError::NonFiniteLoss {
+                which: "independent",
+                value: f64::INFINITY,
+            }
+        );
+        assert_eq!(
+            ExperimentParams::quick(-0.1, 0.05).unwrap_err(),
+            ExperimentParamError::LossOutOfRange {
+                which: "shared",
+                value: -0.1,
+            }
+        );
+        // Loss of exactly 1 starves every trial: rejected (half-open range).
+        assert_eq!(
+            ExperimentParams::paper(0.0001, 1.0).unwrap_err(),
+            ExperimentParamError::LossOutOfRange {
+                which: "independent",
+                value: 1.0,
+            }
+        );
+        // Boundary: 0 is a valid (lossless) probability.
+        assert!(ExperimentParams::quick(0.0, 0.0).is_ok());
+        let msg = ExperimentParams::quick(0.0001, 2.0)
+            .unwrap_err()
+            .to_string();
+        assert_eq!(msg, "independent loss rate 2 is outside [0, 1)");
+    }
+
+    #[test]
+    fn hand_built_params_validate_and_rederive() {
+        let template = ExperimentParams::quick(0.0001, 0.0).unwrap();
+        let swept = template.with_independent_loss(0.07).unwrap();
+        assert_eq!(swept.independent_loss, 0.07);
+        assert_eq!(swept.shared_loss, template.shared_loss);
+        assert!(template.with_independent_loss(f64::NAN).is_err());
+        let bad = ExperimentParams {
+            shared_loss: 3.0,
+            ..template
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn observed_loss_tracks_the_configured_regime() {
+        // With 2% shared loss only, receivers should observe ~2% loss.
+        let params = ExperimentParams {
+            trials: 3,
+            ..ExperimentParams::quick(0.02, 0.0).unwrap()
+        };
+        let out = run_point(ProtocolKind::Deterministic, &params);
+        let seen = out.observed_loss.mean();
+        assert!(
+            (seen - 0.02).abs() < 0.01,
+            "observed loss {seen} far from configured 0.02"
+        );
+    }
+
+    #[test]
     fn trials_are_reproducible() {
-        let params = ExperimentParams::quick(0.001, 0.03);
+        let params = ExperimentParams::quick(0.001, 0.03).unwrap();
         let a = run_trial(ProtocolKind::Deterministic, &params, 0);
         let b = run_trial(ProtocolKind::Deterministic, &params, 0);
         assert_eq!(a.shared_carried, b.shared_carried);
@@ -292,7 +463,7 @@ mod tests {
             trials: 2,
             packets: 10_000,
             receivers: 8,
-            ..ExperimentParams::quick(0.0001, 0.0)
+            ..ExperimentParams::quick(0.0001, 0.0).unwrap()
         };
         let series = figure8_series(&template, &[0.01, 0.05]);
         assert_eq!(series.len(), 2);

@@ -18,6 +18,20 @@
 //! that redundancy peaks when receivers share identical end-to-end loss
 //! rates.
 //!
+//! ## Sweep entry points
+//!
+//! [`run_point`] is the unit of work: one `(protocol, loss point)` cell,
+//! all trials aggregated into a [`PointOutcome`] (shared-link redundancy,
+//! mean subscription level, goodput, and the observed loss regime). It is
+//! a pure function of its [`ExperimentParams`], which is what lets
+//! `mlf-scenario`'s `ProtocolScenario` shard whole
+//! `(protocol × loss × seed)` grids across worker threads with bitwise
+//! serial/parallel agreement. [`figure8_series`] remains the serial
+//! reference for one full Figure 8 panel; parallel callers should prefer
+//! the scenario path. [`ExperimentParams::paper`]/[`ExperimentParams::quick`]
+//! reject non-finite or out-of-`[0,1)` loss probabilities with a typed
+//! [`ExperimentParamError`] instead of producing NaN trial statistics.
+//!
 //! ## Example
 //!
 //! ```
@@ -26,7 +40,7 @@
 //! // One scaled-down Figure 8 point.
 //! let params = experiment::ExperimentParams {
 //!     trials: 2, packets: 10_000, receivers: 8,
-//!     ..experiment::ExperimentParams::quick(0.0001, 0.05)
+//!     ..experiment::ExperimentParams::quick(0.0001, 0.05).unwrap()
 //! };
 //! let out = experiment::run_point(ProtocolKind::Coordinated, &params);
 //! assert!(out.redundancy.mean() >= 1.0);
@@ -44,7 +58,10 @@ pub mod sender;
 
 pub use active::{active_node_controllers, run_trial_active, ActiveNodeReceiver};
 pub use config::{join_probability, join_threshold, ProtocolConfig, ProtocolKind};
-pub use experiment::{figure8_series, run_point, run_trial, ExperimentParams, PointOutcome};
+pub use experiment::{
+    figure8_series, run_point, run_trial, validate_loss, ExperimentParamError, ExperimentParams,
+    PointOutcome,
+};
 pub use markov::{two_receiver_chain, DenseChain, TwoReceiverModel};
 pub use receiver::{
     make_receiver, CoordinatedReceiver, DeterministicReceiver, UncoordinatedReceiver,

@@ -18,6 +18,19 @@
 //! parallel output is **bitwise identical** to the serial one at any thread
 //! count.
 //!
+//! ## The shared executor
+//!
+//! The shard/merge machinery itself lives in [`executor::run_jobs_par`],
+//! generic over the job and output types: balanced contiguous partition,
+//! one worker-local state per thread, in-order merge. Allocator sweeps
+//! instantiate it with `(model, seed)` jobs and per-worker
+//! [`SolverWorkspace`]s; [`protocol`] instantiates it with
+//! `(protocol, loss, seed)` jobs and stateless workers, which is how the
+//! Figure 8 protocol comparisons ([`ProtocolScenario`] over a
+//! [`ProtocolSweepGrid`]) get the same parallel, bitwise-deterministic
+//! treatment as allocator sweeps. See the [`executor`] module docs for the
+//! exact determinism contract.
+//!
 //! ## Topology families
 //!
 //! Random sweeps draw their topologies from a [`TopologyFamily`]:
@@ -79,6 +92,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod executor;
+pub mod protocol;
+
+pub use protocol::{
+    ProtocolScenario, ProtocolScenarioBuilder, ProtocolScenarioError, ProtocolSweepGrid,
+    ProtocolSweepPoint, ProtocolSweepReport,
+};
 
 use mlf_core::allocator::{Allocator, Hybrid, SolverWorkspace};
 use mlf_core::{
@@ -517,57 +538,17 @@ impl Scenario {
         }
     }
 
-    /// Run a job list across scoped workers and merge the points back in
-    /// job order. The deterministic-merge contract lives here: jobs are
-    /// split into contiguous shards, each worker returns its shard's points
-    /// in order, and shards are concatenated in shard order.
+    /// Run a job list through the shared deterministic executor
+    /// ([`executor::run_jobs_par`]): balanced contiguous shards, one
+    /// [`SolverWorkspace`] per worker, outputs merged back in job order.
     fn run_jobs_par(
         &self,
         jobs: &[(Option<LinkRateModel>, u64)],
         threads: usize,
     ) -> Vec<SweepPoint> {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            threads
-        };
-        let threads = threads.clamp(1, jobs.len().max(1));
-        let solve_shard = |shard: &[(Option<LinkRateModel>, u64)]| -> Vec<SweepPoint> {
-            let mut ws = SolverWorkspace::new();
-            shard
-                .iter()
-                .map(|&(model, seed)| {
-                    SweepPoint::from_report(self.solve_with_ws(seed, model, &mut ws), model)
-                })
-                .collect()
-        };
-        if threads == 1 {
-            return solve_shard(jobs);
-        }
-        // Balanced partition: the first `jobs % threads` shards take one
-        // extra job, so every requested worker gets work (a plain
-        // `chunks(div_ceil)` can leave whole workers idle — e.g. 9 jobs on
-        // 8 threads would spawn only 5).
-        let base = jobs.len() / threads;
-        let extra = jobs.len() % threads;
-        let mut points = Vec::with_capacity(jobs.len());
-        let solve_shard = &solve_shard;
-        std::thread::scope(|scope| {
-            let mut rest = jobs;
-            let workers: Vec<_> = (0..threads)
-                .map(|i| {
-                    let (shard, tail) = rest.split_at(base + usize::from(i < extra));
-                    rest = tail;
-                    scope.spawn(move || solve_shard(shard))
-                })
-                .collect();
-            for worker in workers {
-                points.extend(worker.join().expect("sweep worker panicked"));
-            }
-        });
-        points
+        executor::run_jobs_par(jobs, threads, SolverWorkspace::new, |ws, &(model, seed)| {
+            SweepPoint::from_report(self.solve_with_ws(seed, model, ws), model)
+        })
     }
 }
 

@@ -1,0 +1,594 @@
+//! Protocol experiments as first-class sweep citizens.
+//!
+//! The Figure 8 protocol comparison — RLM-style uncoordinated joins versus
+//! deterministic and sender-coordinated join/leave behaviour under shared
+//! and independent loss — used to run only through the serial
+//! `mlf_protocols::experiment::figure8_series` loop, while allocator
+//! experiments already had the seed-sharded parallel engine. This module
+//! gives protocol grids the same treatment: a [`ProtocolScenario`] declares
+//! the experiment template (star shape, packets, trials, latencies) once,
+//! a [`ProtocolSweepGrid`] spans `(protocol kind × independent-loss grid ×
+//! trial seeds)`, and [`ProtocolScenario::sweep_par`] shards the grid's
+//! jobs across worker threads through the shared
+//! [`executor::run_jobs_par`] — with the same **bitwise serial/parallel
+//! agreement** contract the allocator sweeps have, because every point is a
+//! pure function of its `(kind, loss, seed)` job (the simulator re-seeds
+//! its RNGs from the job; workers hold no cross-job state).
+//!
+//! [`ProtocolScenario::figure8`] regroups sweep points back into the
+//! `Figure8Point` shape, bitwise identical to the serial
+//! [`figure8_series`] for the same template and loss axis.
+//!
+//! ## Example
+//!
+//! ```
+//! use mlf_protocols::ExperimentParams;
+//! use mlf_scenario::{ProtocolScenario, ProtocolSweepGrid};
+//!
+//! let scenario = ProtocolScenario::builder()
+//!     .label("quick-panel")
+//!     .template(ExperimentParams {
+//!         receivers: 8,
+//!         packets: 5_000,
+//!         trials: 2,
+//!         ..ExperimentParams::quick(0.0001, 0.0).unwrap()
+//!     })
+//!     .build()
+//!     .unwrap();
+//! let grid = ProtocolSweepGrid::independent_losses([0.01, 0.05]);
+//! let serial = scenario.sweep(&grid);
+//! let parallel = scenario.sweep_par(&grid, 4);
+//! assert_eq!(serial, parallel); // bitwise, at any thread count
+//! assert_eq!(serial.points.len(), 6); // 2 losses × 3 protocols
+//! ```
+
+use crate::executor;
+use mlf_protocols::experiment::{
+    figure8_series, run_point, validate_loss, ExperimentParamError, ExperimentParams, Figure8Point,
+    PointOutcome,
+};
+use mlf_protocols::ProtocolKind;
+use mlf_sim::Tick;
+
+/// Why a [`ProtocolScenarioBuilder`] or a [`ProtocolSweepGrid`] was
+/// rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolScenarioError {
+    /// The experiment template (or a grid loss) carries an invalid loss
+    /// probability.
+    Params(ExperimentParamError),
+    /// The grid names no protocols.
+    EmptyKinds,
+    /// The grid names no independent-loss points.
+    EmptyLossGrid,
+}
+
+impl std::fmt::Display for ProtocolScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolScenarioError::Params(e) => write!(f, "bad experiment parameters: {e}"),
+            ProtocolScenarioError::EmptyKinds => {
+                write!(f, "protocol sweep grid needs at least one protocol kind")
+            }
+            ProtocolScenarioError::EmptyLossGrid => {
+                write!(
+                    f,
+                    "protocol sweep grid needs at least one independent-loss point"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolScenarioError::Params(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExperimentParamError> for ProtocolScenarioError {
+    fn from(e: ExperimentParamError) -> Self {
+        ProtocolScenarioError::Params(e)
+    }
+}
+
+/// Builder for [`ProtocolScenario`]. Obtain via
+/// [`ProtocolScenario::builder`].
+pub struct ProtocolScenarioBuilder {
+    label: String,
+    template: ExperimentParams,
+}
+
+impl Default for ProtocolScenarioBuilder {
+    fn default() -> Self {
+        ProtocolScenarioBuilder {
+            label: "protocol-scenario".to_string(),
+            template: ExperimentParams::quick(0.0001, 0.0)
+                .expect("static default losses are valid"),
+        }
+    }
+}
+
+impl ProtocolScenarioBuilder {
+    /// Name the scenario (shows up in reports, like
+    /// [`ScenarioBuilder::label`](crate::ScenarioBuilder::label)).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The experiment template: star shape, packets, trials, base seed,
+    /// join/leave latencies, and the shared loss. The grid's independent
+    /// losses and seeds are substituted per point.
+    pub fn template(mut self, template: ExperimentParams) -> Self {
+        self.template = template;
+        self
+    }
+
+    /// Validate the template's loss probabilities and assemble the
+    /// scenario.
+    pub fn build(self) -> Result<ProtocolScenario, ProtocolScenarioError> {
+        self.template.validate()?;
+        Ok(ProtocolScenario {
+            label: self.label,
+            template: self.template,
+        })
+    }
+}
+
+/// The sweep space of a protocol comparison: which protocols, which
+/// independent-loss points, which base seeds.
+///
+/// The canonical job order is **losses-major, then kinds, then seeds** —
+/// the Figure 8 presentation order (one loss point holds all protocols'
+/// outcomes). Both the serial and the parallel executor consume this one
+/// expansion, so their point order can never diverge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolSweepGrid {
+    /// Protocols to compare (default: all three, in the paper's order).
+    pub kinds: Vec<ProtocolKind>,
+    /// Fanout-link loss rates (the Figure 8 x-axis).
+    pub independent_losses: Vec<f64>,
+    /// Base seeds; empty means "the template's seed" (one point per
+    /// `(kind, loss)`). Each point still runs the template's `trials`
+    /// trials internally at `seed + trial`.
+    pub seeds: Vec<u64>,
+}
+
+impl ProtocolSweepGrid {
+    /// A grid over the given independent losses, all three protocols, the
+    /// template's seed.
+    pub fn independent_losses(losses: impl IntoIterator<Item = f64>) -> Self {
+        ProtocolSweepGrid {
+            kinds: ProtocolKind::ALL.to_vec(),
+            independent_losses: losses.into_iter().collect(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// The paper's Figure 8 x-axis: `points` evenly spaced losses on
+    /// `[0, 0.1]`.
+    pub fn figure8_axis(points: usize) -> Self {
+        assert!(points >= 2, "a loss axis needs at least two points");
+        Self::independent_losses((0..points).map(|i| 0.1 * i as f64 / (points - 1) as f64))
+    }
+
+    /// Restrict the grid to specific protocols.
+    pub fn with_kinds(mut self, kinds: impl IntoIterator<Item = ProtocolKind>) -> Self {
+        self.kinds = kinds.into_iter().collect();
+        self
+    }
+
+    /// Cross the grid with explicit base seeds (replicates per point).
+    pub fn with_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Validate the grid: at least one kind and one loss, every loss
+    /// finite and in `[0, 1)`.
+    pub fn validate(&self) -> Result<(), ProtocolScenarioError> {
+        if self.kinds.is_empty() {
+            return Err(ProtocolScenarioError::EmptyKinds);
+        }
+        if self.independent_losses.is_empty() {
+            return Err(ProtocolScenarioError::EmptyLossGrid);
+        }
+        for &loss in &self.independent_losses {
+            validate_loss("independent", loss)?;
+        }
+        Ok(())
+    }
+
+    /// Expand the grid into its canonical job list (losses-major, then
+    /// kinds, then seeds).
+    fn jobs(&self, template: &ExperimentParams) -> Vec<(ProtocolKind, f64, u64)> {
+        let default_seeds = [template.seed];
+        let seeds: &[u64] = if self.seeds.is_empty() {
+            &default_seeds
+        } else {
+            &self.seeds
+        };
+        let mut jobs =
+            Vec::with_capacity(self.independent_losses.len() * self.kinds.len() * seeds.len());
+        for &loss in &self.independent_losses {
+            for &kind in &self.kinds {
+                for &seed in seeds {
+                    jobs.push((kind, loss, seed));
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One point of a protocol sweep: one `(protocol, independent loss, seed)`
+/// cell, with the aggregated trial statistics.
+///
+/// Equality is bitwise on every statistic — the serial/parallel
+/// differential compares whole reports with `==`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolSweepPoint {
+    /// Which protocol ran.
+    pub kind: ProtocolKind,
+    /// The template's shared-link loss rate.
+    pub shared_loss: f64,
+    /// This point's fanout-link loss rate.
+    pub independent_loss: f64,
+    /// The base seed this point's trials started from.
+    pub seed: u64,
+    /// The configured join (graft) latency in slots.
+    pub join_latency: Tick,
+    /// The configured leave (prune) latency in slots.
+    pub leave_latency: Tick,
+    /// The full trial statistics: shared-link redundancy, mean
+    /// subscription level, goodput (throughput), and the observed
+    /// loss-regime stats, straight from the `StarReport`s.
+    pub outcome: PointOutcome,
+}
+
+impl ProtocolSweepPoint {
+    /// Mean shared-link redundancy (the Figure 8 y-value).
+    pub fn redundancy(&self) -> f64 {
+        self.outcome.redundancy.mean()
+    }
+
+    /// Mean receiver goodput in packets/slot (throughput).
+    pub fn throughput(&self) -> f64 {
+        self.outcome.goodput.mean()
+    }
+
+    /// Mean observed per-receiver loss rate (the realized loss regime).
+    pub fn observed_loss(&self) -> f64 {
+        self.outcome.observed_loss.mean()
+    }
+}
+
+/// The outcome of a protocol sweep: one [`ProtocolSweepPoint`] per grid
+/// cell, in the grid's canonical order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolSweepReport {
+    /// The scenario's label.
+    pub label: String,
+    /// The points, losses-major, then kinds, then seeds.
+    pub points: Vec<ProtocolSweepPoint>,
+}
+
+impl ProtocolSweepReport {
+    /// Mean of a per-point value.
+    pub fn mean_of(&self, f: impl Fn(&ProtocolSweepPoint) -> f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(f).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Mean shared-link redundancy of one protocol across the sweep.
+    pub fn mean_redundancy(&self, kind: ProtocolKind) -> f64 {
+        let of_kind: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| p.kind == kind)
+            .map(ProtocolSweepPoint::redundancy)
+            .collect();
+        if of_kind.is_empty() {
+            return 0.0;
+        }
+        of_kind.iter().sum::<f64>() / of_kind.len() as f64
+    }
+
+    /// The points of one protocol, in sweep order.
+    pub fn points_for(&self, kind: ProtocolKind) -> impl Iterator<Item = &ProtocolSweepPoint> {
+        self.points.iter().filter(move |p| p.kind == kind)
+    }
+}
+
+/// A declarative protocol experiment: one [`ExperimentParams`] template
+/// plus a label, with serial and parallel sweep entry points over
+/// [`ProtocolSweepGrid`]s.
+///
+/// The scenario is immutable and `Sync` — unlike the allocator
+/// [`Scenario`](crate::Scenario) it needs no per-worker scratch state, so
+/// parallel workers are stateless and one scenario can serve concurrent
+/// sweeps.
+#[derive(Debug, Clone)]
+pub struct ProtocolScenario {
+    label: String,
+    template: ExperimentParams,
+}
+
+impl ProtocolScenario {
+    /// Start building a protocol scenario.
+    pub fn builder() -> ProtocolScenarioBuilder {
+        ProtocolScenarioBuilder::default()
+    }
+
+    /// The scenario's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The experiment template every point derives from.
+    pub fn template(&self) -> &ExperimentParams {
+        &self.template
+    }
+
+    /// Solve one grid cell. Pure in `(kind, loss, seed)` — this is the
+    /// function the executor shards, and why parallel sweeps are bitwise
+    /// serial-identical.
+    fn solve_job(&self, &(kind, loss, seed): &(ProtocolKind, f64, u64)) -> ProtocolSweepPoint {
+        let params = ExperimentParams {
+            seed,
+            ..self.template
+        }
+        .with_independent_loss(loss)
+        .expect("grid losses are validated at sweep entry");
+        ProtocolSweepPoint {
+            kind,
+            shared_loss: params.shared_loss,
+            independent_loss: loss,
+            seed,
+            join_latency: params.join_latency,
+            leave_latency: params.leave_latency,
+            outcome: run_point(kind, &params),
+        }
+    }
+
+    /// Run one `(protocol, independent loss, seed)` point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `independent_loss` is non-finite or outside `[0, 1)`;
+    /// sweeps validate their whole grid up front instead.
+    pub fn run_point(
+        &self,
+        kind: ProtocolKind,
+        independent_loss: f64,
+        seed: u64,
+    ) -> ProtocolSweepPoint {
+        validate_loss("independent", independent_loss).unwrap_or_else(|e| panic!("{e}"));
+        self.solve_job(&(kind, independent_loss, seed))
+    }
+
+    /// Run the full grid serially, in canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid fails [`ProtocolSweepGrid::validate`] (check it
+    /// first for a typed error).
+    pub fn sweep(&self, grid: &ProtocolSweepGrid) -> ProtocolSweepReport {
+        self.sweep_par(grid, 1)
+    }
+
+    /// [`ProtocolScenario::sweep`], sharded across `threads` scoped worker
+    /// threads through the shared deterministic executor
+    /// ([`executor::run_jobs_par`]). The result is **bitwise identical** to
+    /// the serial sweep at any thread count; `threads == 0` uses
+    /// `std::thread::available_parallelism`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid fails [`ProtocolSweepGrid::validate`].
+    pub fn sweep_par(&self, grid: &ProtocolSweepGrid, threads: usize) -> ProtocolSweepReport {
+        if let Err(e) = grid.validate() {
+            panic!("{e}");
+        }
+        let jobs = grid.jobs(&self.template);
+        ProtocolSweepReport {
+            label: self.label.clone(),
+            points: executor::run_jobs_par(&jobs, threads, || (), |(), job| self.solve_job(job)),
+        }
+    }
+
+    /// One full Figure 8 panel — all three protocols across
+    /// `independent_losses` at the template's shared loss — computed through
+    /// the parallel executor and regrouped into the classic
+    /// [`Figure8Point`] shape.
+    ///
+    /// Bitwise identical to the serial
+    /// [`figure8_series`]`(template, independent_losses)` for the same
+    /// template, at any thread count.
+    pub fn figure8(&self, independent_losses: &[f64], threads: usize) -> Vec<Figure8Point> {
+        let grid = ProtocolSweepGrid::independent_losses(independent_losses.iter().copied());
+        let report = self.sweep_par(&grid, threads);
+        report
+            .points
+            .chunks(ProtocolKind::ALL.len())
+            .map(|cell| Figure8Point {
+                independent_loss: cell[0].independent_loss,
+                outcomes: cell.iter().map(|p| p.outcome.clone()).collect(),
+            })
+            .collect()
+    }
+
+    /// The serial reference for [`ProtocolScenario::figure8`] (delegates to
+    /// [`figure8_series`] on the scenario's template).
+    pub fn figure8_serial(&self, independent_losses: &[f64]) -> Vec<Figure8Point> {
+        figure8_series(&self.template, independent_losses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> ProtocolScenario {
+        ProtocolScenario::builder()
+            .label("tiny")
+            .template(ExperimentParams {
+                receivers: 6,
+                packets: 3_000,
+                trials: 2,
+                ..ExperimentParams::quick(0.0001, 0.0).unwrap()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_invalid_templates() {
+        let err = ProtocolScenario::builder()
+            .template(ExperimentParams {
+                shared_loss: 1.5,
+                ..ExperimentParams::quick(0.0, 0.0).unwrap()
+            })
+            .build()
+            .err();
+        assert_eq!(
+            err,
+            Some(ProtocolScenarioError::Params(
+                ExperimentParamError::LossOutOfRange {
+                    which: "shared",
+                    value: 1.5,
+                }
+            ))
+        );
+    }
+
+    #[test]
+    fn grid_validation_catches_empty_and_bad_losses() {
+        let empty_kinds = ProtocolSweepGrid::independent_losses([0.01]).with_kinds([]);
+        assert_eq!(
+            empty_kinds.validate(),
+            Err(ProtocolScenarioError::EmptyKinds)
+        );
+        let empty_losses = ProtocolSweepGrid::independent_losses([]);
+        assert_eq!(
+            empty_losses.validate(),
+            Err(ProtocolScenarioError::EmptyLossGrid)
+        );
+        let bad_loss = ProtocolSweepGrid::independent_losses([0.01, 1.0]);
+        assert_eq!(
+            bad_loss.validate(),
+            Err(ProtocolScenarioError::Params(
+                ExperimentParamError::LossOutOfRange {
+                    which: "independent",
+                    value: 1.0,
+                }
+            ))
+        );
+        let msg = bad_loss.validate().unwrap_err().to_string();
+        assert!(msg.contains("outside [0, 1)"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one protocol kind")]
+    fn sweeping_an_invalid_grid_panics_with_the_typed_message() {
+        let grid = ProtocolSweepGrid::independent_losses([0.01]).with_kinds([]);
+        tiny_scenario().sweep(&grid);
+    }
+
+    #[test]
+    fn grid_order_is_losses_major_then_kinds_then_seeds() {
+        let s = tiny_scenario();
+        let grid = ProtocolSweepGrid::independent_losses([0.0, 0.05])
+            .with_kinds([ProtocolKind::Deterministic, ProtocolKind::Coordinated])
+            .with_seeds([1, 2]);
+        let report = s.sweep(&grid);
+        let cells: Vec<(ProtocolKind, f64, u64)> = report
+            .points
+            .iter()
+            .map(|p| (p.kind, p.independent_loss, p.seed))
+            .collect();
+        assert_eq!(
+            cells,
+            vec![
+                (ProtocolKind::Deterministic, 0.0, 1),
+                (ProtocolKind::Deterministic, 0.0, 2),
+                (ProtocolKind::Coordinated, 0.0, 1),
+                (ProtocolKind::Coordinated, 0.0, 2),
+                (ProtocolKind::Deterministic, 0.05, 1),
+                (ProtocolKind::Deterministic, 0.05, 2),
+                (ProtocolKind::Coordinated, 0.05, 1),
+                (ProtocolKind::Coordinated, 0.05, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bitwise_identical_to_serial() {
+        let s = tiny_scenario();
+        let grid = ProtocolSweepGrid::independent_losses([0.0, 0.03, 0.08]).with_seeds([7, 9]);
+        let serial = s.sweep(&grid);
+        assert_eq!(serial.points.len(), 3 * 3 * 2);
+        for threads in [0, 2, 3, 8, 64] {
+            assert_eq!(serial, s.sweep_par(&grid, threads), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn figure8_matches_the_serial_series_bitwise() {
+        let s = tiny_scenario();
+        let losses = [0.0, 0.04, 0.09];
+        let serial = s.figure8_serial(&losses);
+        for threads in [1, 2, 4] {
+            assert_eq!(serial, s.figure8(&losses, threads), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn points_surface_throughput_latency_and_loss_regime() {
+        let s = ProtocolScenario::builder()
+            .template(ExperimentParams {
+                receivers: 6,
+                packets: 3_000,
+                trials: 2,
+                join_latency: 3,
+                leave_latency: 5,
+                ..ExperimentParams::quick(0.02, 0.0).unwrap()
+            })
+            .build()
+            .unwrap();
+        let p = s.run_point(ProtocolKind::Deterministic, 0.0, 42);
+        assert_eq!(p.join_latency, 3);
+        assert_eq!(p.leave_latency, 5);
+        assert_eq!(p.seed, 42);
+        assert!(p.throughput() > 0.0);
+        // With nonzero join latency a receiver's *requested* rate can
+        // briefly exceed what the link carried, so redundancy may dip a
+        // little under 1; it just has to stay in a sane band.
+        assert!(
+            p.redundancy() > 0.5 && p.redundancy() < 10.0,
+            "{}",
+            p.redundancy()
+        );
+        // 2% shared loss, no independent loss: realized regime ≈ 2%.
+        assert!(
+            (p.observed_loss() - 0.02).abs() < 0.015,
+            "{}",
+            p.observed_loss()
+        );
+    }
+
+    #[test]
+    fn figure8_axis_spans_zero_to_ten_percent() {
+        let grid = ProtocolSweepGrid::figure8_axis(11);
+        assert_eq!(grid.independent_losses.len(), 11);
+        assert_eq!(grid.independent_losses[0], 0.0);
+        assert!((grid.independent_losses[10] - 0.1).abs() < 1e-12);
+        assert!(grid.validate().is_ok());
+    }
+}

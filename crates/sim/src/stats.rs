@@ -39,6 +39,31 @@ impl RunningStats {
         self.max = self.max.max(x);
     }
 
+    /// Fold another accumulator into this one (Chan et al.'s parallel
+    /// update), as if `other`'s observations had been pushed here.
+    ///
+    /// Exact for count/mean/M2 up to floating-point associativity; the
+    /// sweep binaries use it to pool per-seed replicate outcomes into one
+    /// statistic. Merging an empty accumulator is the identity in both
+    /// directions.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let delta = other.mean - self.mean;
+        let n = na + nb;
+        self.mean += delta * (nb / n);
+        self.m2 += other.m2 + delta * delta * (na * nb / n);
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Build from a slice of observations.
     pub fn from_slice(xs: &[f64]) -> Self {
         let mut s = Self::new();
@@ -147,6 +172,32 @@ mod tests {
         }
         assert!(big.ci95_half_width() < small.ci95_half_width() / 2.0);
         assert!(big.relative_ci95() < 0.1);
+    }
+
+    #[test]
+    fn merge_matches_pushing_everything_into_one_accumulator() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let whole = RunningStats::from_slice(&xs);
+        for split in 0..=xs.len() {
+            let mut left = RunningStats::from_slice(&xs[..split]);
+            let right = RunningStats::from_slice(&xs[split..]);
+            left.merge(&right);
+            assert_eq!(left.count(), whole.count(), "split {split}");
+            assert!((left.mean() - whole.mean()).abs() < 1e-12, "split {split}");
+            assert!(
+                (left.variance() - whole.variance()).abs() < 1e-12,
+                "split {split}"
+            );
+            assert_eq!(left.min(), whole.min());
+            assert_eq!(left.max(), whole.max());
+        }
+        // Empty merges are identities in both directions.
+        let mut empty = RunningStats::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        let mut pooled = whole.clone();
+        pooled.merge(&RunningStats::new());
+        assert_eq!(pooled, whole);
     }
 
     #[test]

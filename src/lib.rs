@@ -97,7 +97,10 @@ pub mod prelude {
         Graph, LinkId, Network, NodeId, ReceiverId, Session, SessionId, SessionType, TopologyError,
         TopologyFamily,
     };
-    pub use mlf_protocols::{ExperimentParams, ProtocolKind};
-    pub use mlf_scenario::{LinkRates, Scenario, ScenarioReport, SweepGrid, SweepReport};
+    pub use mlf_protocols::{ExperimentParamError, ExperimentParams, ProtocolKind};
+    pub use mlf_scenario::{
+        LinkRates, ProtocolScenario, ProtocolSweepGrid, ProtocolSweepPoint, ProtocolSweepReport,
+        Scenario, ScenarioReport, SweepGrid, SweepReport,
+    };
     pub use mlf_sim::{LossProcess, RunningStats, SimRng};
 }

@@ -102,7 +102,7 @@ fn protocols_reach_the_fair_rate_when_unconstrained() {
         receivers: 6,
         packets: 50_000,
         trials: 1,
-        ..ExperimentParams::quick(0.0, 0.0)
+        ..ExperimentParams::quick(0.0, 0.0).unwrap()
     };
     let report = mlf_protocols::run_trial(ProtocolKind::Deterministic, &params, 0);
     assert!(report.final_levels.iter().all(|&l| l == 8));
@@ -121,7 +121,7 @@ fn engine_redundancy_matches_definition_for_static_levels() {
         receivers: 4,
         packets: 100_000,
         trials: 1,
-        ..ExperimentParams::quick(0.0, 0.0)
+        ..ExperimentParams::quick(0.0, 0.0).unwrap()
     };
     let report = mlf_protocols::run_trial(ProtocolKind::Coordinated, &params, 0);
     let red = report.shared_redundancy().unwrap();

@@ -30,7 +30,7 @@ proptest! {
             packets: 6_000,
             trials: 1,
             seed,
-            ..ExperimentParams::quick(shared, independent)
+            ..ExperimentParams::quick(shared, independent).unwrap()
         };
         let report = experiment::run_trial(kind, &params, 0);
         let max_offered = *report.offered.iter().max().unwrap();
@@ -62,7 +62,7 @@ proptest! {
             packets: 120_000,
             trials: 1,
             seed,
-            ..ExperimentParams::quick(0.0, 0.0)
+            ..ExperimentParams::quick(0.0, 0.0).unwrap()
         };
         let report = experiment::run_trial(kind, &params, 0);
         match kind {

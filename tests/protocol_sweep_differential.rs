@@ -1,0 +1,100 @@
+//! Differential test for the protocol sweep engine:
+//! `ProtocolScenario::sweep_par` must be **bitwise identical** to the
+//! serial `sweep` for the same grid, at any thread count, across all
+//! `ProtocolKind`s and a loss grid — the same contract the allocator
+//! sweeps prove in `parallel_sweep_differential.rs`, now for the Figure 8
+//! path.
+//!
+//! The per-thread-count tests are named so CI can pin the 2- and 8-thread
+//! configurations explicitly:
+//! `cargo test --test protocol_sweep_differential -- two_threads eight_threads`.
+
+use multicast_fairness::prelude::*;
+
+/// A scaled-down star (8 receivers, 4k packets, 2 trials) so the full
+/// differential grid stays fast; determinism does not depend on scale.
+fn scenario() -> ProtocolScenario {
+    ProtocolScenario::builder()
+        .label("differential/protocols")
+        .template(ExperimentParams {
+            receivers: 8,
+            packets: 4_000,
+            trials: 2,
+            ..ExperimentParams::quick(0.001, 0.0).expect("valid template losses")
+        })
+        .build()
+        .expect("valid differential protocol scenario")
+}
+
+/// All three protocols × a 4-point loss grid × 2 replicate seeds = 24
+/// points per sweep. Everything a point carries (trial statistics, loss
+/// tags, seeds, latencies) must agree to the bit — `ProtocolSweepReport`
+/// equality compares raw f64s, so any divergence in merge order, shard
+/// boundaries, or per-job seeding fails the assert.
+fn grid() -> ProtocolSweepGrid {
+    ProtocolSweepGrid::independent_losses([0.0, 0.02, 0.05, 0.09]).with_seeds([11, 12])
+}
+
+fn assert_identical_at(threads: usize) {
+    let s = scenario();
+    let g = grid();
+    assert_eq!(g.kinds, ProtocolKind::ALL.to_vec());
+    let serial = s.sweep(&g);
+    assert_eq!(serial.points.len(), 3 * 4 * 2);
+    let parallel = s.sweep_par(&g, threads);
+    assert_eq!(
+        serial, parallel,
+        "protocol sweep_par({threads}) diverged from serial"
+    );
+    // Every protocol kind must actually be exercised by the grid.
+    for kind in ProtocolKind::ALL {
+        assert_eq!(serial.points_for(kind).count(), 8, "{}", kind.label());
+    }
+}
+
+#[test]
+fn protocol_sweep_matches_serial_on_two_threads() {
+    assert_identical_at(2);
+}
+
+#[test]
+fn protocol_sweep_matches_serial_on_four_threads() {
+    assert_identical_at(4);
+}
+
+#[test]
+fn protocol_sweep_matches_serial_on_eight_threads() {
+    assert_identical_at(8);
+}
+
+#[test]
+fn protocol_sweep_matches_serial_with_more_threads_than_jobs() {
+    // Thread counts beyond the job count collapse to one job per worker;
+    // the merge contract must still hold.
+    assert_identical_at(64);
+}
+
+#[test]
+fn figure8_through_the_executor_matches_the_serial_series() {
+    // The regrouped Figure 8 panel must reproduce the classic serial
+    // `figure8_series` output bit for bit at any thread count.
+    let s = scenario();
+    let losses = [0.0, 0.03, 0.07];
+    let serial = s.figure8_serial(&losses);
+    for threads in [2, 8] {
+        assert_eq!(
+            serial,
+            s.figure8(&losses, threads),
+            "figure8({threads}) diverged from figure8_series"
+        );
+    }
+}
+
+#[test]
+fn repeated_sweeps_are_reproducible() {
+    // The whole chain (grid expansion, per-job seeding, trial RNGs) is a
+    // pure function of the spec: two sweeps of the same grid are equal.
+    let s = scenario();
+    let g = grid();
+    assert_eq!(s.sweep(&g), s.sweep(&g));
+}

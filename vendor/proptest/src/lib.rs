@@ -343,7 +343,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// A size specification for [`vec`]: an exact size or a range.
+    /// A size specification for [`vec()`](fn@vec): an exact size or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
@@ -366,7 +366,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
