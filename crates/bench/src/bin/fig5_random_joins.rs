@@ -132,6 +132,7 @@ fn main() {
         "mean min rate",
         "mean satisfaction",
         "all-props rate",
+        "cache h/m/e",
     ]);
     for family in families {
         let scenario = Scenario::builder()
@@ -148,7 +149,16 @@ fn main() {
             format!("{:.4}", report.mean_min_rate()),
             format!("{:.4}", report.mean_of(|p| p.metrics.satisfaction)),
             format!("{:.3}", report.all_properties_rate()),
+            format!(
+                "{}/{}/{}",
+                report.cache.hits, report.cache.misses, report.cache.evictions
+            ),
         ]);
     }
     print!("{sweep_table}");
+    println!(
+        "\n(cache h/m/e: sweep solve-cache hits/misses/evictions — every (seed, model) cell \
+         is unique in a one-shot sweep, so cold sweeps report all misses; warm re-sweeps and \
+         model grids report hits where cells repeat)"
+    );
 }

@@ -34,6 +34,7 @@
 //! ```
 
 use crate::allocation::Allocation;
+use crate::index::NetworkIndex;
 use crate::linkrate::LinkRateConfig;
 use crate::maxmin::{solve_in, FreezeReason, MaxMinSolution};
 use crate::unicast::unicast_solve_in;
@@ -49,6 +50,26 @@ use mlf_net::{Network, SessionType};
 /// call. A workspace may be shared freely across allocators and networks of
 /// different shapes; buffers are resized, not reallocated, when shapes
 /// repeat.
+///
+/// # Incidence index and incremental aggregates
+///
+/// Each solve (`SolverWorkspace::reset`) rebuilds a [`NetworkIndex`] (CSR
+/// link → session → receiver incidence) and, per `(link, session)` *slot*,
+/// the aggregates the hot loops consume: active-receiver count,
+/// frozen-rate sum, frozen-rate maximum, and (for the weighted solver) the
+/// maximum weight among active receivers. Between freeze events the
+/// solvers never rescan `links × sessions × receivers`; when a receiver
+/// freezes, `SolverWorkspace::note_freeze` recomputes the aggregates of
+/// exactly the slots on that receiver's data-path.
+///
+/// **The incremental-load invariant**: after every freeze, each slot's
+/// aggregates equal the ascending-receiver-order fold over the live
+/// `active`/`rates` tables — the same fold the pre-index engines
+/// ([`crate::reference`]) performed at every point of use. Recomputing a
+/// dirty slot from its receiver list (rather than incrementally patching a
+/// running sum) is what keeps the floating-point results **bitwise
+/// identical** to the reference: the fold order never changes, only how
+/// often the fold runs.
 #[derive(Debug, Default)]
 pub struct SolverWorkspace {
     /// Per-receiver rates, `[session][receiver]`.
@@ -67,6 +88,23 @@ pub struct SolverWorkspace {
     pub(crate) link_used: Vec<f64>,
     /// Per-link flags (binding links in the unicast solver).
     pub(crate) link_flag: Vec<bool>,
+    /// The CSR incidence index of the network being solved.
+    pub(crate) index: NetworkIndex,
+    /// Per-slot count of active receivers.
+    pub(crate) slot_active: Vec<usize>,
+    /// Per-slot frozen-rate sum (ascending-receiver fold; `Sum` model).
+    pub(crate) slot_frozen_sum: Vec<f64>,
+    /// Per-slot frozen-rate maximum (ascending-receiver fold).
+    pub(crate) slot_frozen_max: Vec<f64>,
+    /// Per-slot maximum weight among active receivers (weighted solver
+    /// only; left zeroed by the unweighted engines).
+    pub(crate) slot_wmax: Vec<f64>,
+    /// Per-link count of active receivers crossing the link.
+    pub(crate) link_active: Vec<usize>,
+    /// Per-session count of active receivers.
+    pub(crate) session_active: Vec<usize>,
+    /// Total count of active receivers.
+    pub(crate) active_total: usize,
     solves: u64,
 }
 
@@ -102,7 +140,82 @@ impl SolverWorkspace {
         self.link_used.resize(net.link_count(), 0.0);
         self.link_flag.clear();
         self.link_flag.resize(net.link_count(), false);
+
+        // Incidence index + per-slot aggregates for the hot loops: all
+        // receivers start active, so frozen aggregates are zero and the
+        // active counts are the slot/link/session receiver totals.
+        self.index.rebuild(net);
+        let slots = self.index.slot_count();
+        self.slot_active.clear();
+        self.slot_frozen_sum.clear();
+        self.slot_frozen_sum.resize(slots, 0.0);
+        self.slot_frozen_max.clear();
+        self.slot_frozen_max.resize(slots, 0.0);
+        self.slot_wmax.clear();
+        self.slot_wmax.resize(slots, 0.0);
+        for slot in 0..slots {
+            self.slot_active.push(self.index.slot_len(slot));
+        }
+        self.link_active.clear();
+        for j in 0..net.link_count() {
+            let on_link = self
+                .index
+                .link_slots(j)
+                .map(|slot| self.index.slot_len(slot))
+                .sum();
+            self.link_active.push(on_link);
+        }
+        self.session_active.clear();
+        self.session_active
+            .extend(net.sessions().iter().map(|s| s.receivers.len()));
+        self.active_total = net.receiver_count();
         self.solves += 1;
+    }
+
+    /// Account a just-frozen receiver `(i, k)`: decrement the active
+    /// counters and recompute the frozen aggregates of every slot on the
+    /// receiver's data-path by the ascending-receiver fold (see the
+    /// incremental-load invariant in the type docs). The caller must have
+    /// already cleared `active[i][k]` and stored the final rate in
+    /// `rates[i][k]`.
+    pub(crate) fn note_freeze(&mut self, i: usize, k: usize) {
+        debug_assert!(!self.active[i][k], "freeze bookkeeping before the flag");
+        self.session_active[i] -= 1;
+        self.active_total -= 1;
+        let flat = self.index.flat(i, k);
+        for &(j, slot) in self.index.route_slots(flat) {
+            self.link_active[j] -= 1;
+            let mut active = 0usize;
+            let mut frozen_sum = 0.0_f64;
+            let mut frozen_max = 0.0_f64;
+            for &kk in self.index.slot_receivers(slot) {
+                if self.active[i][kk] {
+                    active += 1;
+                } else {
+                    frozen_sum += self.rates[i][kk];
+                    frozen_max = frozen_max.max(self.rates[i][kk]);
+                }
+            }
+            self.slot_active[slot] = active;
+            self.slot_frozen_sum[slot] = frozen_sum;
+            self.slot_frozen_max[slot] = frozen_max;
+        }
+    }
+
+    /// [`SolverWorkspace::note_freeze`] plus maintenance of the per-slot
+    /// active-weight maximum the weighted solver reads (`slot_wmax`).
+    pub(crate) fn note_freeze_weighted(&mut self, i: usize, k: usize, weights: &[Vec<f64>]) {
+        self.note_freeze(i, k);
+        let flat = self.index.flat(i, k);
+        for &(_, slot) in self.index.route_slots(flat) {
+            let mut wmax = 0.0_f64;
+            for &kk in self.index.slot_receivers(slot) {
+                if self.active[i][kk] {
+                    wmax = wmax.max(weights[i][kk]);
+                }
+            }
+            self.slot_wmax[slot] = wmax;
+        }
     }
 
     /// Package the frozen state as a [`MaxMinSolution`] (the only

@@ -12,6 +12,13 @@
 //!   algorithm) computing the unique max-min fair allocation for any mix of
 //!   single-rate and multi-rate sessions, generalized to arbitrary monotone
 //!   session link-rate models;
+//! * [`index`] — the CSR incidence structure ([`index::NetworkIndex`]) the
+//!   solver hot paths iterate instead of rescanning `links × sessions ×
+//!   receivers`, with incrementally maintained per-`(link, session)`
+//!   aggregates in the [`SolverWorkspace`];
+//! * [`mod@reference`] — the frozen pre-index engines, kept verbatim so
+//!   differential tests can assert the optimized solvers are bitwise
+//!   identical to them;
 //! * [`linkrate`] — the session link-rate ("redundancy") functions `v_i` of
 //!   Section 3: efficient (`max`), scaled, sum, and the Appendix B
 //!   random-join closed form;
@@ -71,12 +78,14 @@
 
 pub mod allocation;
 pub mod allocator;
+pub mod index;
 pub mod linkrate;
 pub mod maxmin;
 pub mod metrics;
 pub mod ordering;
 pub mod properties;
 pub mod redundancy;
+pub mod reference;
 pub mod theory;
 pub mod unicast;
 pub mod weighted;

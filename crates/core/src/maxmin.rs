@@ -39,11 +39,28 @@
 //! found exactly by scanning breakpoints; the nonlinear `RandomJoin` model
 //! falls back to bisection. Every iteration freezes at least one receiver,
 //! so the loop runs at most `#receivers` times.
+//!
+//! # Implementation: incidence index + incremental aggregates
+//!
+//! The hot loops run on the [`crate::index::NetworkIndex`] CSR incidence
+//! structure held by the workspace: per link, only the sessions that
+//! actually cross it are visited (in ascending session order), and each
+//! `(link, session)` slot's frozen-rate sum/maximum and active count are
+//! maintained incrementally — when a receiver freezes,
+//! `SolverWorkspace::note_freeze` re-folds exactly the slots on that
+//! receiver's data-path, in the same ascending-receiver order a full
+//! rescan would use. The result is **bitwise identical** to the
+//! pre-index engine preserved in [`crate::reference`] (asserted by the
+//! `incidence_differential` proptest suite); see the invariant note on
+//! [`SolverWorkspace`] for why. `Sum` and `RandomJoin` loads still re-fold
+//! their receiver lists at evaluation points — their accumulation order is
+//! part of the bitwise contract — but only over the link's own receivers,
+//! never over every session in the network.
 
 use crate::allocation::{Allocation, RATE_EPS};
 use crate::allocator::{Regimes, SolverWorkspace};
 use crate::linkrate::{LinkRateConfig, LinkRateModel};
-use mlf_net::{LinkId, Network, ReceiverId, SessionId};
+use mlf_net::{LinkId, Network, ReceiverId};
 
 /// Why a receiver's rate froze at its final value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,11 +212,11 @@ struct State<'a> {
 
 impl State<'_> {
     fn any_active(&self) -> bool {
-        self.ws.active.iter().any(|s| s.iter().any(|&a| a))
+        self.ws.active_total > 0
     }
 
     fn session_has_active(&self, i: usize) -> bool {
-        self.ws.active[i].iter().any(|&a| a)
+        self.ws.session_active[i] > 0
     }
 
     fn single_rate(&self, i: usize) -> bool {
@@ -230,7 +247,7 @@ impl State<'_> {
         // (clamped to `upper`).
         let mut next = upper;
         for j in 0..self.net.link_count() {
-            if !self.link_has_active(j) {
+            if self.ws.link_active[j] == 0 {
                 continue;
             }
             let lj = self.link_saturation_level(j, upper);
@@ -262,6 +279,7 @@ impl State<'_> {
                         self.ws.active[i][k] = false;
                         self.ws.rates[i][k] = kappa;
                         self.ws.reasons[i][k] = Some(FreezeReason::MaxRate);
+                        self.ws.note_freeze(i, k);
                         froze_any = true;
                     }
                 }
@@ -271,19 +289,19 @@ impl State<'_> {
         // Link freezes: saturated links freeze their marginal active receivers.
         for j in 0..self.net.link_count() {
             let link = LinkId(j);
-            if !self.link_has_active(j) {
+            if self.ws.link_active[j] == 0 {
                 continue;
             }
             let load = self.link_load_at(j, self.level);
             if load < self.net.graph().capacity(link) - RATE_EPS {
                 continue;
             }
-            for i in 0..self.net.session_count() {
-                let on = self.net.receivers_of_session_on_link(link, SessionId(i));
-                if on.is_empty() || !on.iter().any(|&k| self.ws.active[i][k]) {
+            for slot in self.ws.index.link_slots(j) {
+                let i = self.ws.index.slot_session(slot);
+                if self.ws.slot_active[slot] == 0 {
                     continue;
                 }
-                if !self.session_marginal_on(j, i) {
+                if !self.session_marginal_on(slot, i) {
                     continue; // free rider: keeps rising under the frozen max
                 }
                 if self.single_rate(i) {
@@ -291,19 +309,24 @@ impl State<'_> {
                     for k in 0..self.ws.rates[i].len() {
                         if self.ws.active[i][k] {
                             self.ws.active[i][k] = false;
-                            self.ws.reasons[i][k] = Some(if on.contains(&k) {
-                                FreezeReason::Link(link)
-                            } else {
-                                FreezeReason::SessionClosure
-                            });
+                            self.ws.reasons[i][k] =
+                                Some(if self.ws.index.slot_receivers(slot).contains(&k) {
+                                    FreezeReason::Link(link)
+                                } else {
+                                    FreezeReason::SessionClosure
+                                });
+                            self.ws.note_freeze(i, k);
                             froze_any = true;
                         }
                     }
                 } else {
-                    for &k in on {
+                    let on_len = self.ws.index.slot_receivers(slot).len();
+                    for t in 0..on_len {
+                        let k = self.ws.index.slot_receivers(slot)[t];
                         if self.ws.active[i][k] {
                             self.ws.active[i][k] = false;
                             self.ws.reasons[i][k] = Some(FreezeReason::Link(link));
+                            self.ws.note_freeze(i, k);
                             froze_any = true;
                         }
                     }
@@ -318,27 +341,12 @@ impl State<'_> {
         );
     }
 
-    /// Whether any active receiver's data-path crosses link `j`.
-    fn link_has_active(&self, j: usize) -> bool {
-        let link = LinkId(j);
-        (0..self.net.session_count()).any(|i| {
-            self.net
-                .receivers_of_session_on_link(link, SessionId(i))
-                .iter()
-                .any(|&k| self.ws.active[i][k])
-        })
-    }
-
-    /// Fill the workspace scratch buffer with session `i`'s rates on link
-    /// `j` if the level were `ℓ` (frozen rates stay fixed, active ones take
-    /// `ℓ`).
-    fn fill_session_rates_at(&mut self, j: usize, i: usize, level: f64) {
+    /// Fill the workspace scratch buffer with the slot session's rates if
+    /// the level were `ℓ` (frozen rates stay fixed, active ones take `ℓ`).
+    fn fill_slot_rates_at(&mut self, slot: usize, i: usize, level: f64) {
         let ws = &mut *self.ws;
         ws.scratch.clear();
-        for &k in self
-            .net
-            .receivers_of_session_on_link(LinkId(j), SessionId(i))
-        {
+        for &k in ws.index.slot_receivers(slot) {
             ws.scratch.push(if ws.active[i][k] {
                 level
             } else {
@@ -348,40 +356,65 @@ impl State<'_> {
     }
 
     /// The load `u_j(ℓ)` of link `j` at hypothetical level `ℓ`.
+    ///
+    /// `Efficient`/`Scaled` sessions read the cached slot aggregates (their
+    /// load is a max, which the incremental fold reproduces exactly);
+    /// `Sum`/`RandomJoin` sessions rescan their receivers so the
+    /// floating-point accumulation keeps the reference's ascending-receiver
+    /// order.
     fn link_load_at(&mut self, j: usize, level: f64) -> f64 {
         let mut total = 0.0;
-        for i in 0..self.net.session_count() {
-            self.fill_session_rates_at(j, i, level);
-            total += self.cfg.model(i).link_rate(&self.ws.scratch);
+        for slot in self.ws.index.link_slots(j) {
+            let i = self.ws.index.slot_session(slot);
+            match *self.cfg.model(i) {
+                LinkRateModel::Efficient => {
+                    let frozen_max = self.ws.slot_frozen_max[slot];
+                    total += if self.ws.slot_active[slot] > 0 {
+                        frozen_max.max(level.max(0.0))
+                    } else {
+                        frozen_max
+                    };
+                }
+                LinkRateModel::Scaled(factor) => {
+                    let frozen_max = self.ws.slot_frozen_max[slot];
+                    let max = if self.ws.slot_active[slot] > 0 {
+                        frozen_max.max(level.max(0.0))
+                    } else {
+                        frozen_max
+                    };
+                    total += if self.ws.index.slot_len(slot) >= 2 {
+                        factor * max
+                    } else {
+                        max
+                    };
+                }
+                LinkRateModel::Sum | LinkRateModel::RandomJoin { .. } => {
+                    self.fill_slot_rates_at(slot, i, level);
+                    total += self.cfg.model(i).link_rate(&self.ws.scratch);
+                }
+            }
         }
         total
     }
 
     /// Whether raising the level marginally above the current value would
-    /// raise session `i`'s rate on link `j` (the free-rider test).
-    fn session_marginal_on(&mut self, j: usize, i: usize) -> bool {
-        let link = LinkId(j);
-        let on = self.net.receivers_of_session_on_link(link, SessionId(i));
-        if !on.iter().any(|&k| self.ws.active[i][k]) {
+    /// raise the slot session's rate on its link (the free-rider test).
+    fn session_marginal_on(&mut self, slot: usize, i: usize) -> bool {
+        if self.ws.slot_active[slot] == 0 {
             return false;
         }
         match *self.cfg.model(i) {
             LinkRateModel::Efficient | LinkRateModel::Scaled(_) => {
                 // Marginal iff no frozen session-mate on this link holds a
                 // higher rate than the level.
-                let frozen_max = on
-                    .iter()
-                    .filter(|&&k| !self.ws.active[i][k])
-                    .map(|&k| self.ws.rates[i][k])
-                    .fold(0.0_f64, f64::max);
-                self.level >= frozen_max - RATE_EPS
+                self.level >= self.ws.slot_frozen_max[slot] - RATE_EPS
             }
             LinkRateModel::Sum => true,
             LinkRateModel::RandomJoin { .. } => {
                 let delta = (self.level.abs() + 1.0) * 1e-7;
-                self.fill_session_rates_at(j, i, self.level);
+                self.fill_slot_rates_at(slot, i, self.level);
                 let now = self.cfg.model(i).link_rate(&self.ws.scratch);
-                self.fill_session_rates_at(j, i, self.level + delta);
+                self.fill_slot_rates_at(slot, i, self.level + delta);
                 let bumped = self.cfg.model(i).link_rate(&self.ws.scratch);
                 bumped > now + RATE_EPS * delta
             }
@@ -392,11 +425,10 @@ impl State<'_> {
     fn link_saturation_level(&mut self, j: usize, upper: f64) -> f64 {
         let cap = self.net.graph().capacity(LinkId(j));
         // Sessions crossing j: are they all piecewise-linear?
-        let linear = (0..self.net.session_count()).all(|i| {
-            self.net
-                .receivers_of_session_on_link(LinkId(j), SessionId(i))
-                .is_empty()
-                || self.cfg.model(i).is_piecewise_linear()
+        let linear = self.ws.index.link_slots(j).all(|slot| {
+            self.cfg
+                .model(self.ws.index.slot_session(slot))
+                .is_piecewise_linear()
         });
         if linear {
             self.saturation_level_linear(j, upper, cap)
@@ -407,22 +439,14 @@ impl State<'_> {
 
     /// Exact solve for piecewise-linear loads `u_j(ℓ) = K + Σ w_t·max(b_t, ℓ)`.
     fn saturation_level_linear(&mut self, j: usize, upper: f64, cap: f64) -> f64 {
-        let link = LinkId(j);
         let mut constant = 0.0; // K: contributions independent of ℓ
         let ws = &mut *self.ws;
         ws.terms.clear(); // (b_t, w_t)
-        for i in 0..self.net.session_count() {
-            let on = self.net.receivers_of_session_on_link(link, SessionId(i));
-            if on.is_empty() {
-                continue;
-            }
-            let active_count = on.iter().filter(|&&k| ws.active[i][k]).count();
-            let mut frozen_sum = 0.0_f64;
-            let mut frozen_max = 0.0_f64;
-            for &k in on.iter().filter(|&&k| !ws.active[i][k]) {
-                frozen_sum += ws.rates[i][k];
-                frozen_max = frozen_max.max(ws.rates[i][k]);
-            }
+        for slot in ws.index.link_slots(j) {
+            let i = ws.index.slot_session(slot);
+            let active_count = ws.slot_active[slot];
+            let frozen_sum = ws.slot_frozen_sum[slot];
+            let frozen_max = ws.slot_frozen_max[slot];
             match *self.cfg.model(i) {
                 LinkRateModel::Efficient => {
                     if active_count > 0 {
@@ -432,7 +456,7 @@ impl State<'_> {
                     }
                 }
                 LinkRateModel::Scaled(v) => {
-                    let w = if on.len() >= 2 { v } else { 1.0 };
+                    let w = if ws.index.slot_len(slot) >= 2 { v } else { 1.0 };
                     if active_count > 0 {
                         ws.terms.push((frozen_max, w));
                     } else {
@@ -527,7 +551,7 @@ impl State<'_> {
 mod tests {
     use super::*;
     use crate::allocator::{Allocator, Hybrid, MultiRate, SingleRate};
-    use mlf_net::{Graph, Session, SessionType};
+    use mlf_net::{Graph, Session, SessionId, SessionType};
 
     fn assert_rates(alloc: &Allocation, expected: &[Vec<f64>], tol: f64) {
         for (i, exp) in expected.iter().enumerate() {

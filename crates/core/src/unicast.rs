@@ -49,11 +49,14 @@ pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMi
     let kappa = |i: usize| net.sessions()[i].max_rate;
 
     // ws.link_used[j]: bandwidth consumed by frozen flows on link j.
+    // ws.link_active[j]: count of active flows crossing link j, maintained
+    // by the freeze bookkeeping (one receiver per session, so the
+    // workspace's per-link active-receiver counter *is* the flow count —
+    // integers, hence trivially identical to the reference's rescans).
     // ws.active[i][0]: flow i still rising. ws.rates[i][0]: its rate.
     let mut iterations = 0usize;
     loop {
-        let n_active = (0..m).filter(|&i| ws.active[i][0]).count();
-        if n_active == 0 {
+        if ws.active_total == 0 {
             break;
         }
         iterations += 1;
@@ -82,14 +85,11 @@ pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMi
         }
         // Link saturation events.
         for j in 0..net.link_count() {
-            let link = LinkId(j);
-            let on = (0..m)
-                .filter(|&i| ws.active[i][0] && route(i).contains(&link))
-                .count();
+            let on = ws.link_active[j];
             if on == 0 {
                 continue;
             }
-            let share = (net.graph().capacity(link) - ws.link_used[j]) / on as f64;
+            let share = (net.graph().capacity(LinkId(j)) - ws.link_used[j]) / on as f64;
             next = next.min(share);
         }
         debug_assert!(next.is_finite());
@@ -103,14 +103,11 @@ pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMi
             }
         }
         for j in 0..net.link_count() {
-            let link = LinkId(j);
-            let on = (0..m)
-                .filter(|&i| ws.active[i][0] && route(i).contains(&link))
-                .count();
+            let on = ws.link_active[j];
             ws.link_flag[j] = if on == 0 {
                 false
             } else {
-                let share = (net.graph().capacity(link) - ws.link_used[j]) / on as f64;
+                let share = (net.graph().capacity(LinkId(j)) - ws.link_used[j]) / on as f64;
                 share <= next + 1e-12
             };
         }
@@ -132,6 +129,7 @@ pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMi
                 for &l in route(i) {
                     ws.link_used[l.0] += ws.rates[i][0];
                 }
+                ws.note_freeze(i, 0);
             }
         }
         assert!(froze, "unicast water-filling must freeze a flow per round");

@@ -34,7 +34,7 @@
 use crate::allocation::{Allocation, RATE_EPS};
 use crate::allocator::SolverWorkspace;
 use crate::maxmin::{FreezeReason, MaxMinSolution};
-use mlf_net::{LinkId, Network, ReceiverId, SessionId};
+use mlf_net::{LinkId, Network, ReceiverId};
 
 /// Per-receiver weights, shaped like the network (`[session][receiver]`).
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +73,12 @@ impl Weights {
     /// The weight of one receiver.
     pub fn get(&self, r: ReceiverId) -> f64 {
         self.w[r.session.0][r.index]
+    }
+
+    /// The raw weight tables, `[session][receiver]` (solver internals and
+    /// the differential reference).
+    pub(crate) fn values(&self) -> &[Vec<f64>] {
+        &self.w
     }
 }
 
@@ -113,12 +119,21 @@ pub(crate) fn weighted_solve_in(
     }
 
     ws.reset(net);
+    // Seed the per-slot active-weight maxima (every receiver starts
+    // active): the ascending-receiver fold over each slot's weights.
+    for slot in 0..ws.index.slot_count() {
+        let i = ws.index.slot_session(slot);
+        let mut wmax = 0.0_f64;
+        for &k in ws.index.slot_receivers(slot) {
+            wmax = wmax.max(weights.w[i][k]);
+        }
+        ws.slot_wmax[slot] = wmax;
+    }
     let mut phi = 0.0_f64;
     let mut iterations = 0usize;
 
     loop {
-        let any_active = ws.active.iter().any(|s| s.iter().any(|&a| a));
-        if !any_active {
+        if ws.active_total == 0 {
             break;
         }
         iterations += 1;
@@ -135,37 +150,25 @@ pub(crate) fn weighted_solve_in(
         }
         debug_assert!(upper.is_finite());
 
-        // Exact saturation potential per link.
+        // Exact saturation potential per link, from the cached slot
+        // aggregates (`frozen_max` and the active-weight maximum are both
+        // max-folds, which incremental maintenance reproduces exactly).
         let mut next = upper;
         for j in 0..net.link_count() {
             let link = LinkId(j);
+            if ws.link_active[j] == 0 {
+                continue;
+            }
             let mut constant = 0.0;
             ws.terms.clear(); // (breakpoint b, slope W)
-            let mut has_active = false;
-            for i in 0..net.session_count() {
-                let on = net.receivers_of_session_on_link(link, SessionId(i));
-                if on.is_empty() {
-                    continue;
-                }
-                let frozen_max = on
-                    .iter()
-                    .filter(|&&k| !ws.active[i][k])
-                    .map(|&k| ws.rates[i][k])
-                    .fold(0.0_f64, f64::max);
-                let w_max = on
-                    .iter()
-                    .filter(|&&k| ws.active[i][k])
-                    .map(|&k| weights.w[i][k])
-                    .fold(0.0_f64, f64::max);
+            for slot in ws.index.link_slots(j) {
+                let frozen_max = ws.slot_frozen_max[slot];
+                let w_max = ws.slot_wmax[slot];
                 if w_max > 0.0 {
-                    has_active = true;
                     ws.terms.push((frozen_max / w_max, w_max));
                 } else {
                     constant += frozen_max;
                 }
-            }
-            if !has_active {
-                continue;
             }
             let cap = net.graph().capacity(link);
             let terms = &ws.terms;
@@ -219,34 +222,50 @@ pub(crate) fn weighted_solve_in(
                     ws.active[i][k] = false;
                     ws.rates[i][k] = s.max_rate;
                     ws.reasons[i][k] = Some(FreezeReason::MaxRate);
+                    ws.note_freeze_weighted(i, k, &weights.w);
                     froze = true;
                 }
             }
         }
         // Link freezes: on saturated links, freeze the session's
-        // maximal-weight active receivers that are at or past the frozen max.
+        // maximal-weight active receivers that are at or past the frozen
+        // max. A session's maximum rate on a link is `max(frozen_max,
+        // w_max·φ)` — active rates are exactly `w·φ` and multiplication by
+        // the non-negative φ is monotone, so the cached maxima reproduce
+        // the receiver-table fold bit for bit.
         for j in 0..net.link_count() {
             let link = LinkId(j);
+            if ws.link_active[j] == 0 {
+                continue; // nothing left to freeze here
+            }
             // Load at current φ.
             let mut load = 0.0;
-            for i in 0..net.session_count() {
-                let on = net.receivers_of_session_on_link(link, SessionId(i));
-                let max = on.iter().map(|&k| ws.rates[i][k]).fold(0.0_f64, f64::max);
+            for slot in ws.index.link_slots(j) {
+                let frozen_max = ws.slot_frozen_max[slot];
+                let max = if ws.slot_active[slot] > 0 {
+                    frozen_max.max(ws.slot_wmax[slot] * phi)
+                } else {
+                    frozen_max
+                };
                 load += max;
             }
             if load < net.graph().capacity(link) - RATE_EPS {
                 continue;
             }
-            for i in 0..net.session_count() {
-                let on = net.receivers_of_session_on_link(link, SessionId(i));
-                if on.is_empty() {
-                    continue;
-                }
-                let session_max = on.iter().map(|&k| ws.rates[i][k]).fold(0.0_f64, f64::max);
-                for &k in on {
+            for slot in ws.index.link_slots(j) {
+                let i = ws.index.slot_session(slot);
+                let session_max = if ws.slot_active[slot] > 0 {
+                    ws.slot_frozen_max[slot].max(ws.slot_wmax[slot] * phi)
+                } else {
+                    ws.slot_frozen_max[slot]
+                };
+                let on_len = ws.index.slot_receivers(slot).len();
+                for t in 0..on_len {
+                    let k = ws.index.slot_receivers(slot)[t];
                     if ws.active[i][k] && ws.rates[i][k] >= session_max - RATE_EPS {
                         ws.active[i][k] = false;
                         ws.reasons[i][k] = Some(FreezeReason::Link(link));
+                        ws.note_freeze_weighted(i, k, &weights.w);
                         froze = true;
                     }
                 }

@@ -53,6 +53,6 @@ pub use error::{NetError, NetResult, RouteDefect};
 pub use graph::{Graph, Link};
 pub use ids::{LinkId, NodeId, ReceiverId, SessionId};
 pub use network::Network;
-pub use routing::{shortest_path, validate_route, Route};
+pub use routing::{shortest_path, validate_route, PathFinder, Route};
 pub use session::{Session, SessionType};
 pub use topology::{TopologyError, TopologyFamily};

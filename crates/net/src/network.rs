@@ -10,7 +10,7 @@
 use crate::error::{NetError, NetResult};
 use crate::graph::Graph;
 use crate::ids::{LinkId, NodeId, ReceiverId, SessionId};
-use crate::routing::{shortest_path, validate_route, Route};
+use crate::routing::{validate_route, PathFinder, Route};
 use crate::session::{Session, SessionType};
 
 /// A fully-routed multicast network.
@@ -45,13 +45,19 @@ impl Network {
     /// Build a network, routing every receiver along the hop-count shortest
     /// path from its session sender (deterministic tie-breaking).
     pub fn new(graph: Graph, sessions: Vec<Session>) -> NetResult<Self> {
+        // One PathFinder routes every receiver: the BFS scratch is reused
+        // across all |receivers| queries instead of re-allocated per call.
+        let mut finder = PathFinder::new();
         let mut routes = Vec::with_capacity(sessions.len());
         for (i, s) in sessions.iter().enumerate() {
             let mut session_routes = Vec::with_capacity(s.receivers.len());
             for (k, &rnode) in s.receivers.iter().enumerate() {
-                let route = shortest_path(&graph, s.sender, rnode).ok_or(NetError::Unroutable {
-                    receiver: ReceiverId::new(i, k),
-                })?;
+                let route =
+                    finder
+                        .shortest_path(&graph, s.sender, rnode)
+                        .ok_or(NetError::Unroutable {
+                            receiver: ReceiverId::new(i, k),
+                        })?;
                 session_routes.push(route);
             }
             routes.push(session_routes);

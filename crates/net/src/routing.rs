@@ -33,44 +33,81 @@ pub type Route = Vec<LinkId>;
 /// bit-for-bit.
 ///
 /// If `from == to`, the empty route is returned.
+///
+/// This convenience wrapper allocates fresh BFS buffers per call; when
+/// routing many receivers over one graph (network construction, topology
+/// sweeps), use a [`PathFinder`] to reuse them.
 pub fn shortest_path(graph: &Graph, from: NodeId, to: NodeId) -> Option<Route> {
-    if from == to {
-        return Some(Vec::new());
+    PathFinder::new().shortest_path(graph, from, to)
+}
+
+/// Reusable BFS scratch for [`shortest_path`]-style queries.
+///
+/// A `PathFinder` owns the `parent`/`seen`/queue buffers one BFS needs, so
+/// routing every receiver of a topology (or a whole sweep of topologies)
+/// performs no per-query allocation beyond the returned [`Route`] itself —
+/// visible at sweep scale on transit–stub builds, where `Network`
+/// construction routes hundreds of receivers back to back.
+///
+/// Results are identical to the free [`shortest_path`] function: the
+/// buffers are scratch, not state (`seen` gates every `parent` read, so
+/// stale entries from earlier queries are never observed).
+#[derive(Debug, Default, Clone)]
+pub struct PathFinder {
+    /// parent[v] = (previous node, link used to reach v)
+    parent: Vec<Option<(NodeId, LinkId)>>,
+    seen: Vec<bool>,
+    queue: VecDeque<NodeId>,
+}
+
+impl PathFinder {
+    /// A finder with empty scratch (grown on first use).
+    pub fn new() -> Self {
+        PathFinder::default()
     }
-    if !graph.contains_node(from) || !graph.contains_node(to) {
-        return None;
-    }
-    // parent[v] = (previous node, link used to reach v)
-    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; graph.node_count()];
-    let mut seen = vec![false; graph.node_count()];
-    let mut queue = VecDeque::new();
-    seen[from.0] = true;
-    queue.push_back(from);
-    while let Some(u) = queue.pop_front() {
-        for (v, l) in graph.neighbors(u) {
-            if !seen[v.0] {
-                seen[v.0] = true;
-                parent[v.0] = Some((u, l));
-                if v == to {
-                    queue.clear();
-                    break;
+
+    /// [`shortest_path`] against this finder's reusable scratch.
+    pub fn shortest_path(&mut self, graph: &Graph, from: NodeId, to: NodeId) -> Option<Route> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        if !graph.contains_node(from) || !graph.contains_node(to) {
+            return None;
+        }
+        let n = graph.node_count();
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.seen.clear();
+        self.seen.resize(n, false);
+        self.queue.clear();
+        self.seen[from.0] = true;
+        self.queue.push_back(from);
+        while let Some(u) = self.queue.pop_front() {
+            for (v, l) in graph.neighbors(u) {
+                if !self.seen[v.0] {
+                    self.seen[v.0] = true;
+                    self.parent[v.0] = Some((u, l));
+                    if v == to {
+                        self.queue.clear();
+                        break;
+                    }
+                    self.queue.push_back(v);
                 }
-                queue.push_back(v);
             }
         }
+        if !self.seen[to.0] {
+            return None;
+        }
+        let mut route = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (prev, link) = self.parent[cur.0].expect("parent chain is complete");
+            route.push(link);
+            cur = prev;
+        }
+        route.reverse();
+        Some(route)
     }
-    if !seen[to.0] {
-        return None;
-    }
-    let mut route = Vec::new();
-    let mut cur = to;
-    while cur != from {
-        let (prev, link) = parent[cur.0].expect("parent chain is complete");
-        route.push(link);
-        cur = prev;
-    }
-    route.reverse();
-    Some(route)
 }
 
 /// Validate that `route` is a simple path from `from` to `to` in `graph`.
@@ -175,6 +212,37 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(shortest_path(&g, n[0], n[3]), Some(vec![l01, l13]));
         }
+    }
+
+    #[test]
+    fn pathfinder_reuse_matches_fresh_queries() {
+        // A reused finder must answer exactly like per-call allocation —
+        // including queries that leave stale parent entries behind.
+        let (g, n, _) = triangle();
+        let mut finder = PathFinder::new();
+        for _ in 0..3 {
+            for &from in &n {
+                for &to in &n {
+                    assert_eq!(
+                        finder.shortest_path(&g, from, to),
+                        shortest_path(&g, from, to),
+                        "{from:?} -> {to:?}"
+                    );
+                }
+            }
+        }
+        // Shrinking graphs must not read out-of-date scratch sized for a
+        // bigger one.
+        let mut small = Graph::new();
+        let a = small.add_node();
+        let b = small.add_node();
+        let l = small.add_link(a, b, 1.0).unwrap();
+        assert_eq!(finder.shortest_path(&small, a, b), Some(vec![l]));
+        // Disconnected pair after the finder has seen other graphs.
+        let mut disc = Graph::new();
+        let x = disc.add_node();
+        let y = disc.add_node();
+        assert_eq!(finder.shortest_path(&disc, x, y), None);
     }
 
     #[test]

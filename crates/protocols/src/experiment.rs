@@ -11,8 +11,8 @@ use crate::config::ProtocolKind;
 use crate::receiver::make_receiver;
 use crate::sender::CoordinatedSender;
 use mlf_sim::{
-    run_star, MarkerSource, NoMarkers, ReceiverController, RunningStats, SimRng, StarConfig,
-    StarReport, Tick,
+    run_star_into, MarkerSource, NoMarkers, ReceiverController, RunningStats, SimRng, StarConfig,
+    StarReport, StarScratch, Tick,
 };
 
 /// A loss probability that cannot parameterize an experiment.
@@ -195,36 +195,84 @@ impl MarkerSource for Markers {
     }
 }
 
-/// Run one trial and return the raw engine report.
-pub fn run_trial(kind: ProtocolKind, params: &ExperimentParams, trial: usize) -> StarReport {
-    let mut cfg = StarConfig::figure8(
-        params.layers,
-        params.receivers,
-        params.shared_loss,
-        params.independent_loss,
-    );
-    cfg.join_latency = params.join_latency;
-    cfg.leave_latency = params.leave_latency;
-    let seed = params.seed.wrapping_add(trial as u64);
-    let base = SimRng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
-    let mut controllers: Vec<Box<dyn ReceiverController>> = (0..params.receivers)
-        .map(|r| make_receiver(kind, base.split(1_000_000 + r as u64)))
-        .collect();
-    let mut markers = match kind {
-        ProtocolKind::Coordinated => Markers::Coordinated(CoordinatedSender::new(params.layers)),
-        _ => Markers::None(NoMarkers),
-    };
-    run_star(&cfg, &mut controllers, &mut markers, params.packets, seed)
+/// Reusable state for a point's trial loop: the star configuration (shared
+/// by every trial of the point), the engine's loss/RNG scratch, the output
+/// report buffers, and the per-receiver controller vector. One `TrialRig`
+/// runs any number of trials of one `(protocol, params)` pair with no
+/// steady-state allocation beyond the per-trial controller boxes.
+struct TrialRig {
+    cfg: StarConfig,
+    controllers: Vec<Box<dyn ReceiverController>>,
+    report: StarReport,
+    scratch: StarScratch,
 }
 
-/// Run all trials of one `(protocol, loss point)` and aggregate.
+impl TrialRig {
+    fn new(params: &ExperimentParams) -> Self {
+        let mut cfg = StarConfig::figure8(
+            params.layers,
+            params.receivers,
+            params.shared_loss,
+            params.independent_loss,
+        );
+        cfg.join_latency = params.join_latency;
+        cfg.leave_latency = params.leave_latency;
+        TrialRig {
+            cfg,
+            controllers: Vec::with_capacity(params.receivers),
+            report: StarReport::default(),
+            scratch: StarScratch::default(),
+        }
+    }
+
+    /// Run one trial into the rig's report buffer. Results are bitwise
+    /// identical to the standalone [`run_trial`]: the configuration is
+    /// trial-independent and every piece of mutable state (controllers,
+    /// loss processes, RNG streams) is rebuilt from the trial seed.
+    fn run(&mut self, kind: ProtocolKind, params: &ExperimentParams, trial: usize) -> &StarReport {
+        let seed = params.seed.wrapping_add(trial as u64);
+        let base = SimRng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
+        self.controllers.clear();
+        self.controllers.extend(
+            (0..params.receivers).map(|r| make_receiver(kind, base.split(1_000_000 + r as u64))),
+        );
+        let mut markers = match kind {
+            ProtocolKind::Coordinated => {
+                Markers::Coordinated(CoordinatedSender::new(params.layers))
+            }
+            _ => Markers::None(NoMarkers),
+        };
+        run_star_into(
+            &self.cfg,
+            &mut self.controllers,
+            &mut markers,
+            params.packets,
+            seed,
+            &mut self.report,
+            &mut self.scratch,
+        );
+        &self.report
+    }
+}
+
+/// Run one trial and return the raw engine report.
+pub fn run_trial(kind: ProtocolKind, params: &ExperimentParams, trial: usize) -> StarReport {
+    let mut rig = TrialRig::new(params);
+    rig.run(kind, params, trial);
+    rig.report
+}
+
+/// Run all trials of one `(protocol, loss point)` and aggregate. The star
+/// configuration, report buffers and engine scratch are built once and
+/// reused across every trial of the point.
 pub fn run_point(kind: ProtocolKind, params: &ExperimentParams) -> PointOutcome {
     let mut redundancy = RunningStats::new();
     let mut mean_level = RunningStats::new();
     let mut goodput = RunningStats::new();
     let mut observed_loss = RunningStats::new();
+    let mut rig = TrialRig::new(params);
     for t in 0..params.trials {
-        let report = run_trial(kind, params, t);
+        let report = rig.run(kind, params, t);
         if let Some(r) = report.shared_redundancy() {
             redundancy.push(r);
         }

@@ -61,6 +61,32 @@ pub fn run_jobs_par<J, O, S, Init, Solve>(
 where
     J: Sync,
     O: Send,
+    S: Send,
+    Init: Fn() -> S + Sync,
+    Solve: Fn(&mut S, &J) -> O + Sync,
+{
+    run_jobs_par_with_state(jobs, threads, init, solve).0
+}
+
+/// [`run_jobs_par`], additionally returning every worker's final state in
+/// shard order.
+///
+/// Worker state is scratch as far as the outputs are concerned (the
+/// determinism contract is unchanged), but it can carry *telemetry* —
+/// cache hit counters, solve counts — that the caller wants to aggregate
+/// after the sweep. Shard order is deterministic (the balanced contiguous
+/// partition depends only on `jobs.len()` and `threads`), so summing
+/// per-worker counters is reproducible too.
+pub fn run_jobs_par_with_state<J, O, S, Init, Solve>(
+    jobs: &[J],
+    threads: usize,
+    init: Init,
+    solve: Solve,
+) -> (Vec<O>, Vec<S>)
+where
+    J: Sync,
+    O: Send,
+    S: Send,
     Init: Fn() -> S + Sync,
     Solve: Fn(&mut S, &J) -> O + Sync,
 {
@@ -72,12 +98,14 @@ where
         threads
     };
     let threads = threads.clamp(1, jobs.len().max(1));
-    let solve_shard = |shard: &[J]| -> Vec<O> {
+    let solve_shard = |shard: &[J]| -> (Vec<O>, S) {
         let mut state = init();
-        shard.iter().map(|job| solve(&mut state, job)).collect()
+        let outputs = shard.iter().map(|job| solve(&mut state, job)).collect();
+        (outputs, state)
     };
     if threads == 1 {
-        return solve_shard(jobs);
+        let (outputs, state) = solve_shard(jobs);
+        return (outputs, vec![state]);
     }
     // Balanced partition: the first `jobs % threads` shards take one extra
     // job, so every requested worker gets work (a plain `chunks(div_ceil)`
@@ -86,6 +114,7 @@ where
     let base = jobs.len() / threads;
     let extra = jobs.len() % threads;
     let mut outputs = Vec::with_capacity(jobs.len());
+    let mut states = Vec::with_capacity(threads);
     let solve_shard = &solve_shard;
     std::thread::scope(|scope| {
         let mut rest = jobs;
@@ -97,10 +126,12 @@ where
             })
             .collect();
         for worker in workers {
-            outputs.extend(worker.join().expect("sweep worker panicked"));
+            let (shard_outputs, state) = worker.join().expect("sweep worker panicked");
+            outputs.extend(shard_outputs);
+            states.push(state);
         }
     });
-    outputs
+    (outputs, states)
 }
 
 #[cfg(test)]

@@ -11,12 +11,17 @@
 //!
 //! A scenario owns one [`SolverWorkspace`], so a sweep's repeated solves
 //! reuse scratch buffers instead of re-allocating per call — the hot-path
-//! win the Figure 5/8 sweeps need. For multi-core machines,
-//! [`Scenario::sweep_par`] and [`Scenario::sweep_grid_par`] shard the
-//! seed/grid space across `std::thread::scope` workers (one workspace per
-//! worker) and merge the points back in deterministic seed order, so the
-//! parallel output is **bitwise identical** to the serial one at any thread
-//! count.
+//! win the Figure 5/8 sweeps need. It also owns a bounded [`SolveCache`]
+//! ([`cache`]): seeded topologies are built once per `(family, shape,
+//! seed)` and whole sweep points are memoized per `(topology, effective
+//! link-rate model)`, so model grids share topology builds and repeated
+//! sweeps replay from cache — bitwise identically, with
+//! [`SweepReport::cache`] reporting hits/misses/evictions. For multi-core
+//! machines, [`Scenario::sweep_par`] and [`Scenario::sweep_grid_par`]
+//! shard the seed/grid space across `std::thread::scope` workers (one
+//! workspace and one worker-local cache per worker) and merge the points
+//! back in deterministic seed order, so the parallel output is **bitwise
+//! identical** to the serial one at any thread count.
 //!
 //! ## The shared executor
 //!
@@ -93,14 +98,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod executor;
 pub mod protocol;
 
+pub use cache::{CacheStats, SolveCache};
 pub use protocol::{
     ProtocolScenario, ProtocolScenarioBuilder, ProtocolScenarioError, ProtocolSweepGrid,
     ProtocolSweepPoint, ProtocolSweepReport,
 };
 
+use cache::{SolveKey, TopologyKey};
 use mlf_core::allocator::{Allocator, Hybrid, SolverWorkspace};
 use mlf_core::{
     metrics, properties, FairnessReport, LinkRateConfig, LinkRateModel, MaxMinSolution,
@@ -214,6 +222,8 @@ pub struct ScenarioBuilder {
     allocator: Box<dyn Allocator>,
     layering: Option<LayerSchedule>,
     check_properties: bool,
+    cache_points: usize,
+    cache_networks: usize,
 }
 
 impl Default for ScenarioBuilder {
@@ -225,6 +235,8 @@ impl Default for ScenarioBuilder {
             allocator: Box::new(Hybrid::as_declared()),
             layering: None,
             check_properties: true,
+            cache_points: cache::DEFAULT_POINT_CAPACITY,
+            cache_networks: cache::DEFAULT_NETWORK_CAPACITY,
         }
     }
 }
@@ -296,6 +308,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Bound the sweep solve/topology cache: `points` memoized
+    /// [`SweepPoint`]s and `networks` built topologies (defaults:
+    /// [`cache::DEFAULT_POINT_CAPACITY`] /
+    /// [`cache::DEFAULT_NETWORK_CAPACITY`]). `cache_capacity(0, 0)`
+    /// disables caching entirely; see [`cache`] for the key semantics and
+    /// the determinism argument.
+    pub fn cache_capacity(mut self, points: usize, networks: usize) -> Self {
+        self.cache_points = points;
+        self.cache_networks = networks;
+        self
+    }
+
     /// Validate and assemble the scenario.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let source = self.source.ok_or(ScenarioError::MissingNetwork)?;
@@ -339,6 +363,9 @@ impl ScenarioBuilder {
             layering: self.layering,
             check_properties: self.check_properties,
             ws: SolverWorkspace::new(),
+            cache: SolveCache::with_capacity(self.cache_points, self.cache_networks),
+            cache_points: self.cache_points,
+            cache_networks: self.cache_networks,
         })
     }
 }
@@ -346,6 +373,16 @@ impl ScenarioBuilder {
 /// A declarative experiment: topology × link-rate model × allocation regime
 /// × (optional) layering × reporting, with solver scratch reused across
 /// every run it performs.
+///
+/// Serial sweeps additionally reuse a per-scenario [`SolveCache`]: seeded
+/// topologies are built once per `(family, shape, seed)` and whole sweep
+/// points are memoized per `(topology, effective link-rate model)`, so a
+/// grid revisiting the same cells (across its models, or across repeated
+/// sweep calls) skips the rebuild and the solve. Cached output is bitwise
+/// identical to uncached output — a point is a pure function of its key —
+/// and the parallel executors give each worker a private cache, keeping
+/// the serial/parallel bitwise contract intact. [`SweepReport::cache`]
+/// reports each sweep's hits/misses/evictions.
 pub struct Scenario {
     label: String,
     source: NetworkSource,
@@ -354,6 +391,9 @@ pub struct Scenario {
     layering: Option<LayerSchedule>,
     check_properties: bool,
     ws: SolverWorkspace,
+    cache: SolveCache,
+    cache_points: usize,
+    cache_networks: usize,
 }
 
 impl Scenario {
@@ -413,17 +453,39 @@ impl Scenario {
         let owned;
         let net = match &self.source {
             NetworkSource::Fixed(net) => net,
+            NetworkSource::Random { .. } => {
+                owned = self.build_network(seed);
+                &owned
+            }
+        };
+        self.report_for(net, seed, model_override, ws)
+    }
+
+    /// Build the seeded topology of a random source (panics on fixed
+    /// sources, which never call it).
+    fn build_network(&self, seed: u64) -> Network {
+        match &self.source {
+            NetworkSource::Fixed(_) => unreachable!("fixed sources hold their network"),
             NetworkSource::Random {
                 family,
                 nodes,
                 sessions,
                 max_receivers,
-            } => {
-                owned = random_network_with(*family, seed, *nodes, *sessions, *max_receivers)
-                    .expect("random-source parameters were validated at build time");
-                &owned
-            }
-        };
+            } => random_network_with(*family, seed, *nodes, *sessions, *max_receivers)
+                .expect("random-source parameters were validated at build time"),
+        }
+    }
+
+    /// The full per-point report against an explicit, already-built
+    /// network: the tail of the solve path shared by the cached and
+    /// uncached executors.
+    fn report_for(
+        &self,
+        net: &Network,
+        seed: u64,
+        model_override: Option<LinkRateModel>,
+        ws: &mut SolverWorkspace,
+    ) -> ScenarioReport {
         let cfg = match model_override {
             Some(m) => LinkRateConfig::uniform(net.session_count(), m),
             None => self.link_rates.resolve(net.session_count()),
@@ -458,31 +520,128 @@ impl Scenario {
         }
     }
 
-    /// Run one solve per seed, reusing the workspace throughout. The result
-    /// is a pure function of the seeds (and the scenario spec): two sweeps
-    /// with equal seeds produce equal points.
-    pub fn sweep<I: IntoIterator<Item = u64>>(&mut self, seeds: I) -> SweepReport {
-        let points = seeds
-            .into_iter()
-            .map(|seed| SweepPoint::from_report(self.run_seeded(seed), None))
-            .collect();
-        SweepReport {
-            label: self.label.clone(),
-            points,
+    /// The cache identity of one sweep point, when the scenario's
+    /// configuration is expressible as a uniform link-rate model (explicit
+    /// per-session configs are not and bypass the cache).
+    fn solve_key(&self, seed: u64, model_override: Option<LinkRateModel>) -> Option<SolveKey> {
+        let model = match model_override {
+            Some(m) => m,
+            None => match &self.link_rates {
+                LinkRates::Efficient => LinkRateModel::Efficient,
+                LinkRates::Uniform(m) => *m,
+                LinkRates::Explicit(_) => return None,
+            },
+        };
+        let topology = match &self.source {
+            // Fixed solves are seed-independent: every seed shares one
+            // entry (the hit path restores the requesting seed label).
+            NetworkSource::Fixed(_) => TopologyKey::fixed(),
+            NetworkSource::Random {
+                family,
+                nodes,
+                sessions,
+                max_receivers,
+            } => TopologyKey::random(*family, *nodes, *sessions, *max_receivers, seed),
+        };
+        Some(SolveKey::new(topology, model))
+    }
+
+    /// One sweep point through the cache (when one is supplied and the
+    /// point is representable): memoized points return as clones, misses
+    /// solve against the cached topology and populate the memo.
+    fn sweep_point_with(
+        &self,
+        seed: u64,
+        model: Option<LinkRateModel>,
+        ws: &mut SolverWorkspace,
+        cache: Option<&mut SolveCache>,
+    ) -> SweepPoint {
+        let uncached = |ws: &mut SolverWorkspace| {
+            SweepPoint::from_report(self.solve_with_ws(seed, model, ws), model)
+        };
+        let Some(cache) = cache else {
+            return uncached(ws);
+        };
+        let Some(key) = self.solve_key(seed, model) else {
+            return uncached(ws);
+        };
+        if let Some(mut point) = cache.point(&key) {
+            // The solve is key-determined but the `model` and `seed`
+            // labels record what *this* job requested: a `None` job served
+            // by a memoized `Some(Efficient)` solve, or a fixed-source
+            // point memoized under a different seed, must still label its
+            // point the way an uncached run would.
+            point.model = model;
+            point.seed = seed;
+            return point;
         }
+        let report = match &self.source {
+            NetworkSource::Fixed(net) => self.report_for(net, seed, model, ws),
+            NetworkSource::Random { .. } => {
+                let net = cache.network(key.topology(), || self.build_network(seed));
+                self.report_for(&net, seed, model, ws)
+            }
+        };
+        let point = SweepPoint::from_report(report, model);
+        cache.insert_point(key, point.clone());
+        point
+    }
+
+    /// Whether caching is enabled at all for this scenario.
+    fn caching_enabled(&self) -> bool {
+        self.cache_points > 0 || self.cache_networks > 0
+    }
+
+    /// A fresh cache sized like the scenario's (the worker-local caches of
+    /// the parallel executors), or `None` when caching is disabled.
+    fn worker_cache(&self) -> Option<SolveCache> {
+        self.caching_enabled()
+            .then(|| SolveCache::with_capacity(self.cache_points, self.cache_networks))
+    }
+
+    /// Run one solve per seed, reusing the workspace — and the scenario's
+    /// persistent [`SolveCache`] — throughout. The result is a pure
+    /// function of the seeds (and the scenario spec): two sweeps with
+    /// equal seeds produce equal points (the second served from cache).
+    pub fn sweep<I: IntoIterator<Item = u64>>(&mut self, seeds: I) -> SweepReport {
+        let jobs: Vec<(Option<LinkRateModel>, u64)> =
+            seeds.into_iter().map(|s| (None, s)).collect();
+        self.sweep_jobs_serial(&jobs)
     }
 
     /// Run the full `seeds × models` grid (the Figure 4/5/6 pattern:
-    /// the same topologies under different redundancy models).
+    /// the same topologies under different redundancy models). Each seeded
+    /// topology is built once and shared across the grid's models through
+    /// the scenario cache.
     pub fn sweep_grid(&mut self, grid: &SweepGrid) -> SweepReport {
         self.check_grid(grid);
-        let points = Self::grid_jobs(grid)
-            .into_iter()
-            .map(|(model, seed)| SweepPoint::from_report(self.run_inner(seed, model), model))
+        let jobs = Self::grid_jobs(grid);
+        self.sweep_jobs_serial(&jobs)
+    }
+
+    /// The serial executor: one workspace, the scenario's own cache, jobs
+    /// in order. [`SweepReport::cache`] carries this sweep's share of the
+    /// cache counters.
+    fn sweep_jobs_serial(&mut self, jobs: &[(Option<LinkRateModel>, u64)]) -> SweepReport {
+        // Detach the owned workspace/cache so the shared solve path can
+        // borrow `self` immutably (the same path the parallel workers use).
+        let mut ws = std::mem::take(&mut self.ws);
+        let mut cache = std::mem::take(&mut self.cache);
+        let before = cache.stats();
+        let enabled = self.caching_enabled();
+        let points = jobs
+            .iter()
+            .map(|&(model, seed)| {
+                self.sweep_point_with(seed, model, &mut ws, enabled.then_some(&mut cache))
+            })
             .collect();
+        let stats = cache.stats().since(&before);
+        self.ws = ws;
+        self.cache = cache;
         SweepReport {
             label: self.label.clone(),
             points,
+            cache: stats,
         }
     }
 
@@ -512,18 +671,24 @@ impl Scenario {
     /// [`Scenario::sweep`], sharded across `threads` scoped worker threads.
     ///
     /// Each worker solves a contiguous shard of the seed list with its own
-    /// [`SolverWorkspace`]; shards are merged back in seed order, so the
-    /// result is **bitwise identical** to the serial [`Scenario::sweep`]
-    /// for the same seeds, at any thread count (a solve's output never
-    /// depends on workspace history). `threads == 0` means "use
+    /// [`SolverWorkspace`] and its own worker-local [`SolveCache`]; shards
+    /// are merged back in seed order, so the result is **bitwise
+    /// identical** to the serial [`Scenario::sweep`] for the same seeds,
+    /// at any thread count (a solve's output never depends on workspace or
+    /// cache history — a hit replays exactly the bits a fresh solve would
+    /// produce). `threads == 0` means "use
     /// `std::thread::available_parallelism`". The scenario's own workspace
-    /// is untouched, so [`Scenario::solves`] does not count parallel solves.
+    /// and cache are untouched, so [`Scenario::solves`] does not count
+    /// parallel solves; the report's [`SweepReport::cache`] merges the
+    /// workers' counters.
     pub fn sweep_par<I: IntoIterator<Item = u64>>(&self, seeds: I, threads: usize) -> SweepReport {
         let jobs: Vec<(Option<LinkRateModel>, u64)> =
             seeds.into_iter().map(|s| (None, s)).collect();
+        let (points, cache) = self.run_jobs_par(&jobs, threads);
         SweepReport {
             label: self.label.clone(),
-            points: self.run_jobs_par(&jobs, threads),
+            points,
+            cache,
         }
     }
 
@@ -532,23 +697,47 @@ impl Scenario {
     /// bits match the serial executor exactly.
     pub fn sweep_grid_par(&self, grid: &SweepGrid, threads: usize) -> SweepReport {
         self.check_grid(grid);
+        let (points, cache) = self.run_jobs_par(&Self::grid_jobs(grid), threads);
         SweepReport {
             label: self.label.clone(),
-            points: self.run_jobs_par(&Self::grid_jobs(grid), threads),
+            points,
+            cache,
         }
     }
 
     /// Run a job list through the shared deterministic executor
-    /// ([`executor::run_jobs_par`]): balanced contiguous shards, one
-    /// [`SolverWorkspace`] per worker, outputs merged back in job order.
+    /// ([`executor::run_jobs_par_with_state`]): balanced contiguous
+    /// shards, one `(SolverWorkspace, SolveCache)` per worker, outputs
+    /// merged back in job order, worker cache counters summed in shard
+    /// order.
     fn run_jobs_par(
         &self,
         jobs: &[(Option<LinkRateModel>, u64)],
         threads: usize,
-    ) -> Vec<SweepPoint> {
-        executor::run_jobs_par(jobs, threads, SolverWorkspace::new, |ws, &(model, seed)| {
-            SweepPoint::from_report(self.solve_with_ws(seed, model, ws), model)
-        })
+    ) -> (Vec<SweepPoint>, CacheStats) {
+        let (points, states) = executor::run_jobs_par_with_state(
+            jobs,
+            threads,
+            || (SolverWorkspace::new(), self.worker_cache()),
+            |(ws, cache), &(model, seed)| self.sweep_point_with(seed, model, ws, cache.as_mut()),
+        );
+        let mut stats = CacheStats::default();
+        for (_, cache) in &states {
+            if let Some(cache) = cache {
+                stats.merge(&cache.stats());
+            }
+        }
+        (points, stats)
+    }
+
+    /// The lifetime counters of the scenario's own (serial-sweep) cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every cached topology and sweep point (counters are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
     }
 }
 
@@ -701,12 +890,27 @@ impl SweepPoint {
 }
 
 /// The outcome of a sweep: one [`SweepPoint`] per (seed, model) pair.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SweepReport {
     /// The scenario's label.
     pub label: String,
     /// The points, in sweep order.
     pub points: Vec<SweepPoint>,
+    /// This sweep's solve-cache counters (serial: the scenario cache's
+    /// delta; parallel: the workers' merged totals).
+    pub cache: CacheStats,
+}
+
+/// Equality compares the **deterministic output** — label and points —
+/// and deliberately ignores [`SweepReport::cache`]: cache telemetry
+/// depends on execution history (a warm scenario hits where a cold one
+/// misses, workers shard differently at different thread counts) while
+/// the points are bitwise reproducible regardless. This is what lets the
+/// serial/parallel differential suites keep asserting `serial == parallel`.
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label && self.points == other.points
+    }
 }
 
 impl SweepReport {
@@ -840,10 +1044,130 @@ mod tests {
         let a = s.sweep(0..10);
         let b = s.sweep(0..10);
         assert_eq!(a, b);
-        assert_eq!(s.solves(), 20);
+        // The first sweep solved everything; the second was served
+        // entirely from the scenario cache (same points, no new solves).
+        assert_eq!(s.solves(), 10);
+        assert_eq!(
+            (a.cache.hits, a.cache.misses, b.cache.hits, b.cache.misses),
+            (0, 10, 10, 0)
+        );
         assert_eq!(a.points.len(), 10);
         // Theorem 1 holds at every point of an all-multi-rate sweep.
         assert_eq!(a.all_properties_rate(), 1.0);
+
+        // With the cache disabled, every sweep re-solves.
+        let mut uncached = Scenario::builder()
+            .random_networks(12, 4, 4)
+            .allocator(MultiRate::new())
+            .cache_capacity(0, 0)
+            .build()
+            .unwrap();
+        let c = uncached.sweep(0..10);
+        let d = uncached.sweep(0..10);
+        assert_eq!(a.points, c.points, "cached and uncached points agree");
+        assert_eq!(c.points, d.points);
+        assert_eq!(uncached.solves(), 20);
+        assert_eq!(c.cache, CacheStats::default());
+    }
+
+    #[test]
+    fn warm_cache_replays_grid_sweeps_bitwise() {
+        let mut s = Scenario::builder()
+            .random_networks(14, 4, 4)
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap();
+        let grid = SweepGrid::seeds(0..6).with_models([
+            LinkRateModel::Efficient,
+            LinkRateModel::Scaled(2.0),
+            LinkRateModel::Sum,
+        ]);
+        let cold = s.sweep_grid(&grid);
+        assert_eq!((cold.cache.hits, cold.cache.misses), (0, 18));
+        let solves_after_cold = s.solves();
+        let warm = s.sweep_grid(&grid);
+        assert_eq!(cold, warm, "warm replay is bitwise identical");
+        assert_eq!((warm.cache.hits, warm.cache.misses), (18, 0));
+        assert_eq!(s.solves(), solves_after_cold, "warm sweep solved nothing");
+        // And a fresh uncached scenario agrees point for point.
+        let fresh = Scenario::builder()
+            .random_networks(14, 4, 4)
+            .allocator(MultiRate::new())
+            .cache_capacity(0, 0)
+            .build()
+            .unwrap()
+            .sweep_grid(&grid);
+        assert_eq!(cold.points, fresh.points);
+    }
+
+    #[test]
+    fn grid_cells_share_solves_when_models_normalize_equal() {
+        // The scenario's default (Efficient) and an explicit Efficient grid
+        // model are the *same* solve: the second block of cells is served
+        // from the first block's entries.
+        let mut s = Scenario::builder()
+            .random_networks(12, 3, 3)
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap();
+        let grid = SweepGrid::seeds(0..5).with_models([LinkRateModel::Efficient]);
+        let with_model = s.sweep_grid(&grid);
+        assert_eq!((with_model.cache.hits, with_model.cache.misses), (0, 5));
+        let plain = s.sweep(0..5);
+        assert_eq!((plain.cache.hits, plain.cache.misses), (5, 0));
+        // Labels still reflect what each sweep requested.
+        assert!(with_model
+            .points
+            .iter()
+            .all(|p| p.model == Some(LinkRateModel::Efficient)));
+        assert!(plain.points.iter().all(|p| p.model.is_none()));
+        // Metrics are identical cell for cell.
+        for (a, b) in with_model.points.iter().zip(&plain.points) {
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn fixed_sources_share_one_solve_across_seeds() {
+        // A fixed network's solve is seed-independent; sweeping many seeds
+        // must solve once and relabel cached points per seed.
+        let mut s = Scenario::builder()
+            .network(two_branch_network())
+            .allocator(MultiRate::new())
+            .build()
+            .unwrap();
+        let report = s.sweep(0..8);
+        assert_eq!((report.cache.hits, report.cache.misses), (7, 1));
+        assert_eq!(s.solves(), 1);
+        for (seed, p) in report.points.iter().enumerate() {
+            assert_eq!(p.seed, seed as u64, "seed label restored on hit");
+            assert_eq!(p.metrics, report.points[0].metrics);
+        }
+        // And the points match an uncached scenario's exactly.
+        let uncached = Scenario::builder()
+            .network(two_branch_network())
+            .allocator(MultiRate::new())
+            .cache_capacity(0, 0)
+            .build()
+            .unwrap()
+            .sweep(0..8);
+        assert_eq!(report.points, uncached.points);
+    }
+
+    #[test]
+    fn explicit_configs_bypass_the_cache() {
+        let net = two_branch_network();
+        let mut s = Scenario::builder()
+            .network(net)
+            .allocator(MultiRate::new())
+            .link_rates(LinkRates::Explicit(
+                LinkRateConfig::efficient(2).with_session(0, LinkRateModel::Scaled(2.0)),
+            ))
+            .build()
+            .unwrap();
+        let a = s.sweep([0, 0, 0]);
+        assert_eq!(a.cache, CacheStats::default(), "no cacheable key");
+        assert_eq!(s.solves(), 3);
     }
 
     #[test]

@@ -138,7 +138,10 @@ impl StarConfig {
 }
 
 /// Measurements from one star run.
-#[derive(Debug, Clone)]
+///
+/// `Default` is the empty pre-run state; [`run_star_into`] (re)sizes and
+/// resets every field from its inputs.
+#[derive(Debug, Clone, Default)]
 pub struct StarReport {
     /// Total slots simulated (= packets emitted by the sender).
     pub slots: u64,
@@ -225,11 +228,31 @@ impl LayerInterleaver {
     }
 }
 
+/// Reusable buffers for back-to-back [`run_star`] calls (trial loops).
+///
+/// One star run needs per-receiver copies of the configured loss processes
+/// (sampling mutates their state) and per-receiver RNG streams; cloning
+/// those `Vec`s per trial dominated the allocation profile of
+/// `run_point`-style experiments. A scratch re-seeds the same buffers
+/// instead: [`run_star_into`] produces results bitwise identical to
+/// [`run_star`] — the loss state is `clone_from`-reset from `cfg` and every
+/// RNG is re-derived from the run seed, so nothing carries over between
+/// trials except the allocations.
+#[derive(Debug, Clone, Default)]
+pub struct StarScratch {
+    fanout_rng: Vec<SimRng>,
+    fanout_loss: Vec<LossProcess>,
+}
+
 /// Run one star simulation for `slots` packets.
 ///
 /// `controllers[r]` drives receiver `r`; all receivers start at level 1
 /// (every receiver always holds the base layer). The run is deterministic
 /// in (`cfg`, controllers' behaviour, `marker`, `slots`, `seed`).
+///
+/// This convenience wrapper allocates fresh buffers per call; trial loops
+/// should reuse a [`StarScratch`] and an output report via
+/// [`run_star_into`].
 pub fn run_star<C: ReceiverController, M: MarkerSource>(
     cfg: &StarConfig,
     controllers: &mut [C],
@@ -237,6 +260,31 @@ pub fn run_star<C: ReceiverController, M: MarkerSource>(
     slots: u64,
     seed: u64,
 ) -> StarReport {
+    let mut report = StarReport::default();
+    run_star_into(
+        cfg,
+        controllers,
+        marker,
+        slots,
+        seed,
+        &mut report,
+        &mut StarScratch::default(),
+    );
+    report
+}
+
+/// [`run_star`] into caller-provided report and scratch buffers: zero
+/// steady-state allocation across repeated trials of one shape.
+#[allow(clippy::too_many_arguments)] // the run_star signature plus two buffers
+pub fn run_star_into<C: ReceiverController, M: MarkerSource>(
+    cfg: &StarConfig,
+    controllers: &mut [C],
+    marker: &mut M,
+    slots: u64,
+    seed: u64,
+    report: &mut StarReport,
+    scratch: &mut StarScratch,
+) {
     let n = cfg.receiver_count();
     assert_eq!(controllers.len(), n, "one controller per receiver");
     let m = cfg.layer_count();
@@ -244,23 +292,31 @@ pub fn run_star<C: ReceiverController, M: MarkerSource>(
 
     let base = SimRng::seed_from_u64(seed);
     let mut shared_rng = base.split(u64::MAX);
-    let mut fanout_rng: Vec<SimRng> = (0..n).map(|r| base.split(r as u64)).collect();
+    scratch.fanout_rng.clear();
+    scratch
+        .fanout_rng
+        .extend((0..n).map(|r| base.split(r as u64)));
+    let fanout_rng = &mut scratch.fanout_rng;
     let mut shared_loss = cfg.shared_loss.clone();
-    let mut fanout_loss = cfg.fanout_loss.clone();
+    scratch.fanout_loss.clone_from(&cfg.fanout_loss);
+    let fanout_loss = &mut scratch.fanout_loss;
 
     let mut membership =
         MembershipTable::new(n, m, 1).with_latencies(cfg.join_latency, cfg.leave_latency);
     let mut interleaver = LayerInterleaver::new(&cfg.layer_rates);
 
-    let mut report = StarReport {
-        slots,
-        shared_carried: 0,
-        offered: vec![0; n],
-        delivered: vec![0; n],
-        congestion_events: vec![0; n],
-        level_slot_sum: vec![0; n],
-        final_levels: vec![1; n],
+    report.slots = slots;
+    report.shared_carried = 0;
+    let reset = |v: &mut Vec<u64>| {
+        v.clear();
+        v.resize(n, 0);
     };
+    reset(&mut report.offered);
+    reset(&mut report.delivered);
+    reset(&mut report.congestion_events);
+    reset(&mut report.level_slot_sum);
+    report.final_levels.clear();
+    report.final_levels.resize(n, 1);
 
     for slot in 0..slots {
         membership.advance_to(slot);
@@ -326,7 +382,6 @@ pub fn run_star<C: ReceiverController, M: MarkerSource>(
     for r in 0..n {
         report.final_levels[r] = membership.requested_level(r);
     }
-    report
 }
 
 #[cfg(test)]

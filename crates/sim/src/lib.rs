@@ -38,8 +38,8 @@ pub mod stats;
 pub mod tree;
 
 pub use engine::{
-    run_star, Action, LayerInterleaver, MarkerSource, NoMarkers, PacketEvent, ReceiverController,
-    StarConfig, StarReport,
+    run_star, run_star_into, Action, LayerInterleaver, MarkerSource, NoMarkers, PacketEvent,
+    ReceiverController, StarConfig, StarReport, StarScratch,
 };
 pub use events::{EventQueue, Tick};
 pub use loss::LossProcess;

@@ -99,8 +99,8 @@ pub mod prelude {
     };
     pub use mlf_protocols::{ExperimentParamError, ExperimentParams, ProtocolKind};
     pub use mlf_scenario::{
-        LinkRates, ProtocolScenario, ProtocolSweepGrid, ProtocolSweepPoint, ProtocolSweepReport,
-        Scenario, ScenarioReport, SweepGrid, SweepReport,
+        CacheStats, LinkRates, ProtocolScenario, ProtocolSweepGrid, ProtocolSweepPoint,
+        ProtocolSweepReport, Scenario, ScenarioReport, SolveCache, SweepGrid, SweepReport,
     };
     pub use mlf_sim::{LossProcess, RunningStats, SimRng};
 }
