@@ -179,6 +179,14 @@ pub struct PointOutcome {
     /// loss-regime statistic: how much loss receivers actually saw under
     /// the configured shared/independent mix.
     pub observed_loss: RunningStats,
+    /// Per-receiver goodput distribution: one observation per
+    /// `(receiver, trial)` pair, so `min()`/`max()`/`std_dev()` expose the
+    /// *spread* across receivers that the per-trial means above average
+    /// away (fairness is about the worst-off receiver, not the mean one).
+    pub receiver_goodput: RunningStats,
+    /// Per-receiver mean-subscription-level distribution, one observation
+    /// per `(receiver, trial)` pair.
+    pub receiver_mean_level: RunningStats,
 }
 
 enum Markers {
@@ -209,14 +217,13 @@ struct TrialRig {
 
 impl TrialRig {
     fn new(params: &ExperimentParams) -> Self {
-        let mut cfg = StarConfig::figure8(
+        let cfg = StarConfig::figure8(
             params.layers,
             params.receivers,
             params.shared_loss,
             params.independent_loss,
-        );
-        cfg.join_latency = params.join_latency;
-        cfg.leave_latency = params.leave_latency;
+        )
+        .with_latencies(params.join_latency, params.leave_latency);
         TrialRig {
             cfg,
             controllers: Vec::with_capacity(params.receivers),
@@ -270,6 +277,8 @@ pub fn run_point(kind: ProtocolKind, params: &ExperimentParams) -> PointOutcome 
     let mut mean_level = RunningStats::new();
     let mut goodput = RunningStats::new();
     let mut observed_loss = RunningStats::new();
+    let mut receiver_goodput = RunningStats::new();
+    let mut receiver_mean_level = RunningStats::new();
     let mut rig = TrialRig::new(params);
     for t in 0..params.trials {
         let report = rig.run(kind, params, t);
@@ -277,24 +286,18 @@ pub fn run_point(kind: ProtocolKind, params: &ExperimentParams) -> PointOutcome 
             redundancy.push(r);
         }
         let n = params.receivers as f64;
-        mean_level.push(
-            (0..params.receivers)
-                .map(|r| report.mean_level(r))
-                .sum::<f64>()
-                / n,
-        );
-        goodput.push(
-            (0..params.receivers)
-                .map(|r| report.goodput(r))
-                .sum::<f64>()
-                / n,
-        );
-        observed_loss.push(
-            (0..params.receivers)
-                .map(|r| report.loss_rate(r))
-                .sum::<f64>()
-                / n,
-        );
+        let (mut level_sum, mut goodput_sum, mut loss_sum) = (0.0, 0.0, 0.0);
+        for r in 0..params.receivers {
+            let (g, l) = (report.goodput(r), report.mean_level(r));
+            receiver_goodput.push(g);
+            receiver_mean_level.push(l);
+            goodput_sum += g;
+            level_sum += l;
+            loss_sum += report.loss_rate(r);
+        }
+        mean_level.push(level_sum / n);
+        goodput.push(goodput_sum / n);
+        observed_loss.push(loss_sum / n);
     }
     PointOutcome {
         kind,
@@ -302,6 +305,8 @@ pub fn run_point(kind: ProtocolKind, params: &ExperimentParams) -> PointOutcome 
         mean_level,
         goodput,
         observed_loss,
+        receiver_goodput,
+        receiver_mean_level,
     }
 }
 
@@ -492,6 +497,33 @@ mod tests {
             (seen - 0.02).abs() < 0.01,
             "observed loss {seen} far from configured 0.02"
         );
+    }
+
+    #[test]
+    fn per_receiver_distributions_bracket_the_means() {
+        let params = ExperimentParams {
+            trials: 3,
+            packets: 20_000,
+            receivers: 12,
+            ..ExperimentParams::quick(0.0001, 0.05).unwrap()
+        };
+        let out = run_point(ProtocolKind::Uncoordinated, &params);
+        // One observation per (receiver, trial).
+        assert_eq!(out.receiver_goodput.count(), 12 * 3);
+        assert_eq!(out.receiver_mean_level.count(), 12 * 3);
+        // The distribution brackets the per-trial means, with real spread
+        // under independent loss.
+        assert!(out.receiver_goodput.min() <= out.goodput.mean());
+        assert!(out.receiver_goodput.max() >= out.goodput.mean());
+        assert!(out.receiver_mean_level.min() <= out.mean_level.mean());
+        assert!(out.receiver_mean_level.max() >= out.mean_level.mean());
+        assert!(
+            out.receiver_mean_level.std_dev() > 0.0,
+            "independent loss desynchronizes receivers"
+        );
+        // Same pooled mean as the mean-of-per-trial-means (equal-size
+        // groups), up to float associativity.
+        assert!((out.receiver_goodput.mean() - out.goodput.mean()).abs() < 1e-9);
     }
 
     #[test]

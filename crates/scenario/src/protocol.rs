@@ -8,7 +8,8 @@
 //! gives protocol grids the same treatment: a [`ProtocolScenario`] declares
 //! the experiment template (star shape, packets, trials, latencies) once,
 //! a [`ProtocolSweepGrid`] spans `(protocol kind × independent-loss grid ×
-//! trial seeds)`, and [`ProtocolScenario::sweep_par`] shards the grid's
+//! join/leave-latency pairs × trial seeds)`, and
+//! [`ProtocolScenario::sweep_par`] shards the grid's
 //! jobs across worker threads through the shared
 //! [`executor::run_jobs_par`] — with the same **bitwise serial/parallel
 //! agreement** contract the allocator sweeps have, because every point is a
@@ -140,21 +141,29 @@ impl ProtocolScenarioBuilder {
 }
 
 /// The sweep space of a protocol comparison: which protocols, which
-/// independent-loss points, which base seeds.
+/// independent-loss points, which join/leave latency pairs, which base
+/// seeds.
 ///
-/// The canonical job order is **losses-major, then kinds, then seeds** —
-/// the Figure 8 presentation order (one loss point holds all protocols'
-/// outcomes). Both the serial and the parallel executor consume this one
-/// expansion, so their point order can never diverge.
+/// The canonical job order is **losses-major, then latency pairs, then
+/// kinds, then seeds** — the Figure 8 presentation order (one loss point
+/// holds all protocols' outcomes), with the Section 5 latency ablation as
+/// the next-outer axis. Both the serial and the parallel executor consume
+/// this one expansion, so their point order can never diverge.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolSweepGrid {
     /// Protocols to compare (default: all three, in the paper's order).
     pub kinds: Vec<ProtocolKind>,
     /// Fanout-link loss rates (the Figure 8 x-axis).
     pub independent_losses: Vec<f64>,
+    /// `(join, leave)` latency pairs in slots, flowing into
+    /// `StarConfig::with_latencies` through each point's
+    /// [`ExperimentParams`]; empty means "the template's latencies" (one
+    /// point per `(kind, loss, seed)`), which for
+    /// [`ExperimentParams::paper`] is the idealized `(0, 0)`.
+    pub latencies: Vec<(Tick, Tick)>,
     /// Base seeds; empty means "the template's seed" (one point per
-    /// `(kind, loss)`). Each point still runs the template's `trials`
-    /// trials internally at `seed + trial`.
+    /// `(kind, loss, latency)`). Each point still runs the template's
+    /// `trials` trials internally at `seed + trial`.
     pub seeds: Vec<u64>,
 }
 
@@ -165,6 +174,7 @@ impl ProtocolSweepGrid {
         ProtocolSweepGrid {
             kinds: ProtocolKind::ALL.to_vec(),
             independent_losses: losses.into_iter().collect(),
+            latencies: Vec::new(),
             seeds: Vec::new(),
         }
     }
@@ -188,6 +198,14 @@ impl ProtocolSweepGrid {
         self
     }
 
+    /// Cross the grid with `(join, leave)` latency pairs (in slots) — the
+    /// Section 5 latency-ablation axis. Each pair overrides the template's
+    /// latencies for its points.
+    pub fn with_latencies(mut self, pairs: impl IntoIterator<Item = (Tick, Tick)>) -> Self {
+        self.latencies = pairs.into_iter().collect();
+        self
+    }
+
     /// Validate the grid: at least one kind and one loss, every loss
     /// finite and in `[0, 1)`.
     pub fn validate(&self) -> Result<(), ProtocolScenarioError> {
@@ -204,20 +222,34 @@ impl ProtocolSweepGrid {
     }
 
     /// Expand the grid into its canonical job list (losses-major, then
-    /// kinds, then seeds).
-    fn jobs(&self, template: &ExperimentParams) -> Vec<(ProtocolKind, f64, u64)> {
+    /// latency pairs, then kinds, then seeds).
+    fn jobs(&self, template: &ExperimentParams) -> Vec<ProtocolJob> {
         let default_seeds = [template.seed];
         let seeds: &[u64] = if self.seeds.is_empty() {
             &default_seeds
         } else {
             &self.seeds
         };
-        let mut jobs =
-            Vec::with_capacity(self.independent_losses.len() * self.kinds.len() * seeds.len());
+        let default_latencies = [(template.join_latency, template.leave_latency)];
+        let latencies: &[(Tick, Tick)] = if self.latencies.is_empty() {
+            &default_latencies
+        } else {
+            &self.latencies
+        };
+        let mut jobs = Vec::with_capacity(
+            self.independent_losses.len() * latencies.len() * self.kinds.len() * seeds.len(),
+        );
         for &loss in &self.independent_losses {
-            for &kind in &self.kinds {
-                for &seed in seeds {
-                    jobs.push((kind, loss, seed));
+            for &latency in latencies {
+                for &kind in &self.kinds {
+                    for &seed in seeds {
+                        jobs.push(ProtocolJob {
+                            kind,
+                            loss,
+                            latency,
+                            seed,
+                        });
+                    }
                 }
             }
         }
@@ -225,8 +257,22 @@ impl ProtocolSweepGrid {
     }
 }
 
-/// One point of a protocol sweep: one `(protocol, independent loss, seed)`
-/// cell, with the aggregated trial statistics.
+/// One expanded grid cell: the pure-function input of
+/// [`ProtocolScenario::solve_job`], and therefore the unit the parallel
+/// executor shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ProtocolJob {
+    kind: ProtocolKind,
+    loss: f64,
+    latency: (Tick, Tick),
+    seed: u64,
+}
+
+/// One point of a protocol sweep: one `(protocol, independent loss,
+/// latency pair, seed)` cell, with the aggregated trial statistics —
+/// points from a [`ProtocolSweepGrid::with_latencies`] grid share
+/// `(kind, loss, seed)` and differ only in their
+/// `join_latency`/`leave_latency` tags.
 ///
 /// Equality is bitwise on every statistic — the serial/parallel
 /// differential compares whole reports with `==`.
@@ -265,6 +311,19 @@ impl ProtocolSweepPoint {
     pub fn observed_loss(&self) -> f64 {
         self.outcome.observed_loss.mean()
     }
+
+    /// The per-receiver goodput distribution (one observation per
+    /// `(receiver, trial)`): `min()`/`max()`/`std_dev()` expose the spread
+    /// across receivers behind [`ProtocolSweepPoint::throughput`]'s mean.
+    pub fn receiver_goodput(&self) -> &mlf_sim::RunningStats {
+        &self.outcome.receiver_goodput
+    }
+
+    /// The per-receiver mean-subscription-level distribution, one
+    /// observation per `(receiver, trial)`.
+    pub fn receiver_mean_level(&self) -> &mlf_sim::RunningStats {
+        &self.outcome.receiver_mean_level
+    }
 }
 
 /// The outcome of a protocol sweep: one [`ProtocolSweepPoint`] per grid
@@ -273,7 +332,8 @@ impl ProtocolSweepPoint {
 pub struct ProtocolSweepReport {
     /// The scenario's label.
     pub label: String,
-    /// The points, losses-major, then kinds, then seeds.
+    /// The points, losses-major, then latency pairs, then kinds, then
+    /// seeds.
     pub points: Vec<ProtocolSweepPoint>,
 }
 
@@ -336,12 +396,20 @@ impl ProtocolScenario {
         &self.template
     }
 
-    /// Solve one grid cell. Pure in `(kind, loss, seed)` — this is the
-    /// function the executor shards, and why parallel sweeps are bitwise
-    /// serial-identical.
-    fn solve_job(&self, &(kind, loss, seed): &(ProtocolKind, f64, u64)) -> ProtocolSweepPoint {
+    /// Solve one grid cell. Pure in `(kind, loss, latency, seed)` — this is
+    /// the function the executor shards, and why parallel sweeps are
+    /// bitwise serial-identical.
+    fn solve_job(&self, job: &ProtocolJob) -> ProtocolSweepPoint {
+        let &ProtocolJob {
+            kind,
+            loss,
+            latency: (join_latency, leave_latency),
+            seed,
+        } = job;
         let params = ExperimentParams {
             seed,
+            join_latency,
+            leave_latency,
             ..self.template
         }
         .with_independent_loss(loss)
@@ -351,13 +419,14 @@ impl ProtocolScenario {
             shared_loss: params.shared_loss,
             independent_loss: loss,
             seed,
-            join_latency: params.join_latency,
-            leave_latency: params.leave_latency,
+            join_latency,
+            leave_latency,
             outcome: run_point(kind, &params),
         }
     }
 
-    /// Run one `(protocol, independent loss, seed)` point.
+    /// Run one `(protocol, independent loss, seed)` point at the template's
+    /// latencies.
     ///
     /// # Panics
     ///
@@ -370,7 +439,12 @@ impl ProtocolScenario {
         seed: u64,
     ) -> ProtocolSweepPoint {
         validate_loss("independent", independent_loss).unwrap_or_else(|e| panic!("{e}"));
-        self.solve_job(&(kind, independent_loss, seed))
+        self.solve_job(&ProtocolJob {
+            kind,
+            loss: independent_loss,
+            latency: (self.template.join_latency, self.template.leave_latency),
+            seed,
+        })
     }
 
     /// Run the full grid serially, in canonical order.
@@ -581,6 +655,95 @@ mod tests {
             "{}",
             p.observed_loss()
         );
+    }
+
+    #[test]
+    fn latency_axis_expands_between_losses_and_kinds() {
+        let s = tiny_scenario();
+        let grid = ProtocolSweepGrid::independent_losses([0.0, 0.05])
+            .with_kinds([ProtocolKind::Deterministic, ProtocolKind::Coordinated])
+            .with_latencies([(0, 0), (5, 40)]);
+        let report = s.sweep(&grid);
+        let cells: Vec<(f64, Tick, Tick, ProtocolKind)> = report
+            .points
+            .iter()
+            .map(|p| (p.independent_loss, p.join_latency, p.leave_latency, p.kind))
+            .collect();
+        assert_eq!(
+            cells,
+            vec![
+                (0.0, 0, 0, ProtocolKind::Deterministic),
+                (0.0, 0, 0, ProtocolKind::Coordinated),
+                (0.0, 5, 40, ProtocolKind::Deterministic),
+                (0.0, 5, 40, ProtocolKind::Coordinated),
+                (0.05, 0, 0, ProtocolKind::Deterministic),
+                (0.05, 0, 0, ProtocolKind::Coordinated),
+                (0.05, 5, 40, ProtocolKind::Deterministic),
+                (0.05, 5, 40, ProtocolKind::Coordinated),
+            ]
+        );
+        // A latency pair genuinely changes the experiment: same (kind,
+        // loss) cells differ across the axis.
+        assert_ne!(report.points[0].outcome, report.points[2].outcome);
+    }
+
+    #[test]
+    fn latency_points_match_an_explicitly_latent_template() {
+        // A grid latency pair must produce the same point as baking the
+        // same pair into the template — the axis *is* the template knob.
+        let template = ExperimentParams {
+            receivers: 6,
+            packets: 3_000,
+            trials: 2,
+            ..ExperimentParams::quick(0.001, 0.0).unwrap()
+        };
+        let base = ProtocolScenario::builder()
+            .label("lat")
+            .template(template)
+            .build()
+            .unwrap();
+        let swept = base.sweep(
+            &ProtocolSweepGrid::independent_losses([0.03])
+                .with_kinds([ProtocolKind::Deterministic])
+                .with_latencies([(7, 21)]),
+        );
+        let baked = ProtocolScenario::builder()
+            .label("lat")
+            .template(ExperimentParams {
+                join_latency: 7,
+                leave_latency: 21,
+                ..template
+            })
+            .build()
+            .unwrap()
+            .run_point(ProtocolKind::Deterministic, 0.03, template.seed);
+        assert_eq!(swept.points.len(), 1);
+        assert_eq!(swept.points[0], baked);
+    }
+
+    #[test]
+    fn latency_axis_is_bitwise_identical_in_parallel() {
+        let s = tiny_scenario();
+        let grid = ProtocolSweepGrid::independent_losses([0.0, 0.04])
+            .with_latencies([(0, 0), (3, 17), (12, 0)])
+            .with_seeds([5, 6]);
+        let serial = s.sweep(&grid);
+        assert_eq!(serial.points.len(), 2 * 3 * 3 * 2);
+        for threads in [2, 8, 64] {
+            assert_eq!(serial, s.sweep_par(&grid, threads), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn points_surface_per_receiver_distributions() {
+        let s = tiny_scenario();
+        let p = s.run_point(ProtocolKind::Uncoordinated, 0.05, 3);
+        // 6 receivers × 2 trials.
+        assert_eq!(p.receiver_goodput().count(), 12);
+        assert_eq!(p.receiver_mean_level().count(), 12);
+        assert!(p.receiver_goodput().min() <= p.throughput());
+        assert!(p.receiver_goodput().max() >= p.throughput());
+        assert!(p.receiver_mean_level().std_dev() >= 0.0);
     }
 
     #[test]

@@ -23,6 +23,23 @@
 //! layers the receiver had requested at emission time (the receiver's
 //! transmission rate `a_{i,k}`, which "equals the rate received, barring
 //! loss").
+//!
+//! ## The level-indexed hot loop
+//!
+//! Per slot the engine does **O(subscribed(layer)) + O(receivers/64)**
+//! work (the latter a word-scan/snapshot of the layer's bitset row), not
+//! O(receivers): the shared-link test reads the [`LevelIndex`]'s cached
+//! bucket maximum, the delivery loop walks the layer's subscriber bitset in
+//! ascending receiver id (visiting only receivers it would deliver to), and
+//! the per-receiver `offered`/`level_slot_sum` accounting is settled
+//! **lazily at level-change events** from cumulative per-layer emitted-slot
+//! counters (plus once at run end) instead of every slot. The pre-index
+//! scan engine is preserved verbatim in [`crate::reference`]; the rewrite's
+//! contract — bitwise-identical [`StarReport`]s, resting on the
+//! RNG-draw-preservation argument spelled out in [`crate::multicast`] — is
+//! pinned by `tests/star_engine_differential.rs`.
+//!
+//! [`LevelIndex`]: crate::index::LevelIndex
 
 use crate::events::Tick;
 use crate::loss::LossProcess;
@@ -126,6 +143,15 @@ impl StarConfig {
         }
     }
 
+    /// This configuration with the given join (graft) and leave (prune)
+    /// latencies in slots — how the latency-ablation sweeps derive their
+    /// per-point configurations from a template.
+    pub fn with_latencies(mut self, join: Tick, leave: Tick) -> StarConfig {
+        self.join_latency = join;
+        self.leave_latency = leave;
+        self
+    }
+
     /// Number of receivers.
     pub fn receiver_count(&self) -> usize {
         self.fanout_loss.len()
@@ -140,8 +166,10 @@ impl StarConfig {
 /// Measurements from one star run.
 ///
 /// `Default` is the empty pre-run state; [`run_star_into`] (re)sizes and
-/// resets every field from its inputs.
-#[derive(Debug, Clone, Default)]
+/// resets every field from its inputs. Equality is exact on every counter
+/// and final level (all integers) — the engine differential compares whole
+/// reports with `==`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StarReport {
     /// Total slots simulated (= packets emitted by the sender).
     pub slots: u64,
@@ -231,17 +259,60 @@ impl LayerInterleaver {
 /// Reusable buffers for back-to-back [`run_star`] calls (trial loops).
 ///
 /// One star run needs per-receiver copies of the configured loss processes
-/// (sampling mutates their state) and per-receiver RNG streams; cloning
-/// those `Vec`s per trial dominated the allocation profile of
-/// `run_point`-style experiments. A scratch re-seeds the same buffers
-/// instead: [`run_star_into`] produces results bitwise identical to
-/// [`run_star`] — the loss state is `clone_from`-reset from `cfg` and every
-/// RNG is re-derived from the run seed, so nothing carries over between
-/// trials except the allocations.
+/// (sampling mutates their state), per-receiver RNG streams, the membership
+/// table with its level index (bitset rows sized to receivers × layers),
+/// and the lazy-accounting checkpoint vectors; allocating those per trial
+/// dominated the allocation profile of `run_point`-style experiments. A
+/// scratch re-seeds the same buffers instead: [`run_star_into`] produces
+/// results bitwise identical to [`run_star`] — the loss state is
+/// `clone_from`-reset from `cfg`, every RNG is re-derived from the run
+/// seed, and the membership table is [`MembershipTable::reset`] to the
+/// all-at-level-1 start state — so nothing carries over between trials
+/// except the allocations.
 #[derive(Debug, Clone, Default)]
 pub struct StarScratch {
     fanout_rng: Vec<SimRng>,
     fanout_loss: Vec<LossProcess>,
+    membership: MembershipTable,
+    /// `layer_cum[L-1]` = slots emitted on layer `L` so far, including the
+    /// slot being processed: the lazy accounting's cumulative counters.
+    layer_cum: Vec<u64>,
+    /// Per receiver: slots already settled into `level_slot_sum`.
+    settled_slots: Vec<u64>,
+    /// Per receiver: the layer-prefix count (`Σ layer_cum[..level]`) at its
+    /// last settlement, for its current requested level.
+    settled_prefix: Vec<u64>,
+    /// Snapshot of the slot layer's subscriber bitset row (a receiver's own
+    /// action must not edit the row mid-walk).
+    row: Vec<u64>,
+}
+
+/// Settle receiver `r`'s lazy `offered`/`level_slot_sum` accounting through
+/// the `slots_done` slots emitted so far (its requested level has been
+/// `old_level` since its last settlement), then re-checkpoint at
+/// `new_level`. Integer arithmetic throughout: exactly the sums the
+/// per-slot accounting loop of [`crate::reference`] produces.
+#[allow(clippy::too_many_arguments)] // private hot-path helper over scratch fields
+fn settle_receiver(
+    offered: &mut [u64],
+    level_slot_sum: &mut [u64],
+    layer_cum: &[u64],
+    settled_slots: &mut [u64],
+    settled_prefix: &mut [u64],
+    r: usize,
+    old_level: usize,
+    new_level: usize,
+    slots_done: u64,
+) {
+    let prefix_old: u64 = layer_cum[..old_level].iter().sum();
+    offered[r] += prefix_old - settled_prefix[r];
+    level_slot_sum[r] += old_level as u64 * (slots_done - settled_slots[r]);
+    settled_slots[r] = slots_done;
+    settled_prefix[r] = if new_level == old_level {
+        prefix_old
+    } else {
+        layer_cum[..new_level].iter().sum()
+    };
 }
 
 /// Run one star simulation for `slots` packets.
@@ -275,6 +346,16 @@ pub fn run_star<C: ReceiverController, M: MarkerSource>(
 
 /// [`run_star`] into caller-provided report and scratch buffers: zero
 /// steady-state allocation across repeated trials of one shape.
+///
+/// This is the level-indexed engine: per slot it visits only the
+/// receivers actively subscribed to the slot's layer (ascending receiver
+/// id, so every per-receiver RNG stream consumes exactly the draws the
+/// reference engine gives it; one O(receivers/64) word-scan snapshots the
+/// row), reads the shared-link subscription test from
+/// the index's O(1) bucket maximum, and defers the per-receiver
+/// `offered`/`level_slot_sum` accounting to join/leave events (and run
+/// end). Bitwise identical to [`crate::reference::run_star`] by the
+/// differential proptests.
 #[allow(clippy::too_many_arguments)] // the run_star signature plus two buffers
 pub fn run_star_into<C: ReceiverController, M: MarkerSource>(
     cfg: &StarConfig,
@@ -296,25 +377,37 @@ pub fn run_star_into<C: ReceiverController, M: MarkerSource>(
     scratch
         .fanout_rng
         .extend((0..n).map(|r| base.split(r as u64)));
-    let fanout_rng = &mut scratch.fanout_rng;
     let mut shared_loss = cfg.shared_loss.clone();
     scratch.fanout_loss.clone_from(&cfg.fanout_loss);
-    let fanout_loss = &mut scratch.fanout_loss;
 
-    let mut membership =
-        MembershipTable::new(n, m, 1).with_latencies(cfg.join_latency, cfg.leave_latency);
+    scratch.membership.reset(n, m, 1);
+    scratch
+        .membership
+        .set_latencies(cfg.join_latency, cfg.leave_latency);
+    let reset_u64 = |v: &mut Vec<u64>, len: usize| {
+        v.clear();
+        v.resize(len, 0);
+    };
+    reset_u64(&mut scratch.layer_cum, m);
+    reset_u64(&mut scratch.settled_slots, n);
+    reset_u64(&mut scratch.settled_prefix, n);
+    let StarScratch {
+        fanout_rng,
+        fanout_loss,
+        membership,
+        layer_cum,
+        settled_slots,
+        settled_prefix,
+        row,
+    } = scratch;
     let mut interleaver = LayerInterleaver::new(&cfg.layer_rates);
 
     report.slots = slots;
     report.shared_carried = 0;
-    let reset = |v: &mut Vec<u64>| {
-        v.clear();
-        v.resize(n, 0);
-    };
-    reset(&mut report.offered);
-    reset(&mut report.delivered);
-    reset(&mut report.congestion_events);
-    reset(&mut report.level_slot_sum);
+    reset_u64(&mut report.offered, n);
+    reset_u64(&mut report.delivered, n);
+    reset_u64(&mut report.congestion_events, n);
+    reset_u64(&mut report.level_slot_sum, n);
     report.final_levels.clear();
     report.final_levels.resize(n, 1);
 
@@ -322,17 +415,15 @@ pub fn run_star_into<C: ReceiverController, M: MarkerSource>(
         membership.advance_to(slot);
         let layer = interleaver.next_layer();
         let mk = marker.marker(slot, layer);
+        // The slot now counts toward the cumulative per-layer emission
+        // totals the lazy accounting settles from: a level change during
+        // this slot's delivery bills the slot at the receiver's old level,
+        // exactly as the reference's head-of-slot accounting loop did.
+        layer_cum[layer - 1] += 1;
+        let slots_done = slot + 1;
 
-        // Account the requested levels (receiver nominal rates).
-        for r in 0..n {
-            let lvl = membership.requested_level(r);
-            report.level_slot_sum[r] += lvl as u64;
-            if layer <= lvl {
-                report.offered[r] += 1;
-            }
-        }
-
-        // Shared link: carried iff any receiver is effectively subscribed.
+        // Shared link: carried iff any receiver is effectively subscribed —
+        // an O(1) read of the index's cached bucket maximum.
         let carried = layer <= membership.max_effective_level();
         let lost_shared = if carried {
             report.shared_carried += 1;
@@ -341,46 +432,78 @@ pub fn run_star_into<C: ReceiverController, M: MarkerSource>(
             false
         };
 
-        // Deliver to each receiver that requested and effectively holds the
-        // layer.
-        for r in 0..n {
-            let wants = membership.wants(r, layer);
-            let has = membership.subscribed(r, layer);
-            if !(wants && has) {
-                continue;
-            }
-            let lost = lost_shared || fanout_loss[r].sample(&mut fanout_rng[r]);
-            if lost {
-                report.congestion_events[r] += 1;
-            } else {
-                report.delivered[r] += 1;
-            }
-            let level = membership.requested_level(r);
-            let ev = PacketEvent {
-                slot,
-                layer,
-                lost,
-                marker: if lost { None } else { mk },
-                level,
-                layer_count: m,
-            };
-            match controllers[r].on_packet(&ev) {
-                Action::Stay => {}
-                Action::JoinUp => {
-                    if level < m {
-                        membership.request_level(slot, r, level + 1);
-                    }
+        // Deliver to each receiver that requested and effectively holds
+        // the layer: exactly the set bits of the layer's subscriber row.
+        // Snapshot the row first — a receiver's own join/leave may edit it,
+        // but only at its own bit, whose visit has already happened; later
+        // receivers' bits are untouched, matching the reference's
+        // visit-time `wants && subscribed` checks.
+        row.clear();
+        row.extend_from_slice(membership.index().subscribers(layer));
+        for (w, &bits) in row.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let r = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let lost = lost_shared || fanout_loss[r].sample(&mut fanout_rng[r]);
+                if lost {
+                    report.congestion_events[r] += 1;
+                } else {
+                    report.delivered[r] += 1;
                 }
-                Action::LeaveDown => {
-                    if level > 1 {
-                        membership.request_level(slot, r, level - 1);
+                let level = membership.requested_level(r);
+                let ev = PacketEvent {
+                    slot,
+                    layer,
+                    lost,
+                    marker: if lost { None } else { mk },
+                    level,
+                    layer_count: m,
+                };
+                let target = match controllers[r].on_packet(&ev) {
+                    Action::Stay => continue,
+                    Action::JoinUp => {
+                        if level >= m {
+                            continue;
+                        }
+                        level + 1
                     }
-                }
+                    Action::LeaveDown => {
+                        if level <= 1 {
+                            continue;
+                        }
+                        level - 1
+                    }
+                };
+                settle_receiver(
+                    &mut report.offered,
+                    &mut report.level_slot_sum,
+                    layer_cum,
+                    settled_slots,
+                    settled_prefix,
+                    r,
+                    level,
+                    target,
+                    slots_done,
+                );
+                membership.request_level(slot, r, target);
             }
         }
     }
     for r in 0..n {
-        report.final_levels[r] = membership.requested_level(r);
+        let level = membership.requested_level(r);
+        settle_receiver(
+            &mut report.offered,
+            &mut report.level_slot_sum,
+            layer_cum,
+            settled_slots,
+            settled_prefix,
+            r,
+            level,
+            level,
+            slots,
+        );
+        report.final_levels[r] = level;
     }
 }
 

@@ -112,10 +112,26 @@ impl<E> EventQueue<E> {
         while self.peek_time().is_some_and(|at| at <= t) {
             out.push(self.pop().expect("peeked"));
         }
+        self.advance_clock(t);
+        out
+    }
+
+    /// Advance the clock to `t` without popping anything (no-op when `t` is
+    /// in the past). Callers that pop due events by hand (peek/pop loops
+    /// that avoid `drain_until`'s `Vec`) use this to finish the drain.
+    pub fn advance_clock(&mut self, t: Tick) {
         if self.now < t {
             self.now = t;
         }
-        out
+    }
+
+    /// Remove all pending events and rewind the clock (and tie-break
+    /// sequence) to zero — the same post-state as a fresh queue, reusing
+    /// the heap allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = 0;
     }
 
     /// Number of pending events.
@@ -172,6 +188,31 @@ mod tests {
         q.schedule_at(10, "x");
         let _ = q.pop();
         q.schedule_at(5, "y");
+    }
+
+    #[test]
+    fn clear_restores_the_fresh_state() {
+        let mut q = EventQueue::new();
+        q.schedule_at(4, "a");
+        q.schedule_at(9, "b");
+        let _ = q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), 0);
+        // Scheduling at time 0 works again and ties break from seq 0.
+        q.schedule_at(0, "x");
+        q.schedule_at(0, "y");
+        assert_eq!(q.pop(), Some((0, "x")));
+        assert_eq!(q.pop(), Some((0, "y")));
+    }
+
+    #[test]
+    fn advance_clock_never_goes_backwards() {
+        let mut q = EventQueue::<()>::new();
+        q.advance_clock(7);
+        assert_eq!(q.now(), 7);
+        q.advance_clock(3);
+        assert_eq!(q.now(), 7);
     }
 
     #[test]

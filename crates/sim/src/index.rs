@@ -1,0 +1,294 @@
+//! The level-bucketed membership index behind the O(subscribers) star
+//! engine.
+//!
+//! Cumulative layering means every membership query the packet engine makes
+//! is a *prefix* query: receiver `r` holds layer `L` iff its level is
+//! `≥ L`, and the shared link carries layer `L` iff the **maximum**
+//! effective level is `≥ L`. [`LevelIndex`] maintains exactly the two
+//! structures that answer those queries in O(1)/O(subscribers) instead of
+//! O(receivers):
+//!
+//! * **Per-level effective counts** — `eff_count[v]` = number of receivers
+//!   whose *effective* level is exactly `v`, plus the cached maximum
+//!   occupied bucket. `max_effective` is O(1); a level change moves one
+//!   receiver between two buckets and repairs the cached maximum by
+//!   scanning down only over newly emptied buckets (amortized O(1) for the
+//!   ±1 moves the Section 4 protocols make).
+//! * **Per-layer subscriber bitsets** — row `L−1` has bit `r` set iff
+//!   receiver `r`'s *active* level `min(requested, effective)` is `≥ L`,
+//!   i.e. iff the engine would deliver a layer-`L` packet to it
+//!   (`wants ∧ subscribed`). A level change from `v` to `v'` touches only
+//!   the `|v − v'|` rows between them, one word operation each. Iterating
+//!   a row's set bits visits subscribers in **ascending receiver id** —
+//!   the order the engine's RNG-draw-preservation contract requires (see
+//!   [`crate::multicast`]) — at one `trailing_zeros` per subscriber plus
+//!   one word-scan per 64 receivers.
+//!
+//! The index is owned and maintained incrementally by
+//! [`MembershipTable`](crate::multicast::MembershipTable); it never
+//! inspects the table's vectors itself, it is *told* about transitions via
+//! [`LevelIndex::effective_changed`]/[`LevelIndex::active_changed`]. The
+//! invariants (counts match a recount of effective levels; bitsets match a
+//! recount of active levels; the cached maximum matches the occupied
+//! buckets) are property-tested in `crates/sim/tests/membership_proptest.rs`
+//! via [`LevelIndex::check_invariants`].
+
+/// Incremental per-level counts and per-layer subscriber bitsets for one
+/// set of receivers with cumulative-layer subscriptions.
+#[derive(Debug, Clone, Default)]
+pub struct LevelIndex {
+    receiver_count: usize,
+    layer_count: usize,
+    /// Words per bitset row: `ceil(receiver_count / 64)`.
+    words: usize,
+    /// `eff_count[v]` = receivers whose effective level is exactly `v`
+    /// (length `layer_count + 1`; level 0 = subscribed to nothing).
+    eff_count: Vec<u32>,
+    /// Highest `v` with `eff_count[v] > 0`; 0 when there are no receivers.
+    max_eff: usize,
+    /// Row-major bitsets, row `L-1` (layer `L`, 1-based) of `words` words:
+    /// bit `r` set iff active level of `r` is `≥ L`.
+    rows: Vec<u64>,
+}
+
+impl LevelIndex {
+    /// An index over `receivers` receivers of `layer_count` layers, all at
+    /// effective = active = `initial`.
+    pub fn new(receivers: usize, layer_count: usize, initial: usize) -> Self {
+        let mut ix = LevelIndex::default();
+        ix.reset(receivers, layer_count, initial);
+        ix
+    }
+
+    /// Re-initialize in place (every receiver back to `initial`), reusing
+    /// the count and bitset allocations — the engine scratch resets one
+    /// index across trials instead of reallocating.
+    pub fn reset(&mut self, receivers: usize, layer_count: usize, initial: usize) {
+        assert!(initial <= layer_count || receivers == 0);
+        self.receiver_count = receivers;
+        self.layer_count = layer_count;
+        self.words = receivers.div_ceil(64);
+        self.eff_count.clear();
+        self.eff_count.resize(layer_count + 1, 0);
+        if receivers > 0 {
+            self.eff_count[initial] = receivers as u32;
+            self.max_eff = initial;
+        } else {
+            self.max_eff = 0;
+        }
+        self.rows.clear();
+        self.rows.resize(layer_count * self.words, 0);
+        if receivers > 0 {
+            // Layers 1..=initial hold every receiver: all-ones rows with the
+            // last word masked to the receiver count.
+            let full = self.words - 1;
+            let tail_bits = receivers - full * 64;
+            let tail_mask = if tail_bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << tail_bits) - 1
+            };
+            for layer in 1..=initial {
+                let row = self.row_range(layer);
+                self.rows[row.clone()][..full].fill(u64::MAX);
+                self.rows[row][full] = tail_mask;
+            }
+        }
+    }
+
+    /// Number of receivers indexed.
+    pub fn receiver_count(&self) -> usize {
+        self.receiver_count
+    }
+
+    /// Number of layers `M`.
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    /// The highest effective level across receivers, O(1). Zero when no
+    /// receivers are tracked.
+    pub fn max_effective(&self) -> usize {
+        self.max_eff
+    }
+
+    /// How many receivers hold effective level exactly `level`.
+    pub fn effective_count(&self, level: usize) -> usize {
+        self.eff_count[level] as usize
+    }
+
+    /// The bitset row of `layer` (1-based): bit `r` set iff receiver `r` is
+    /// actively subscribed to it. The engine snapshots this slice per slot
+    /// and walks its set bits in ascending receiver id.
+    pub fn subscribers(&self, layer: usize) -> &[u64] {
+        let range = self.row_range(layer);
+        &self.rows[range]
+    }
+
+    /// Number of receivers actively subscribed to `layer` (1-based).
+    pub fn subscriber_count(&self, layer: usize) -> usize {
+        self.subscribers(layer)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Visit the active subscribers of `layer` in ascending receiver id.
+    pub fn for_each_subscriber(&self, layer: usize, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.subscribers(layer).iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                f(w * 64 + word.trailing_zeros() as usize);
+                word &= word - 1;
+            }
+        }
+    }
+
+    /// Record receiver `r`'s effective level moving `old → new`.
+    pub fn effective_changed(&mut self, _r: usize, old: usize, new: usize) {
+        self.eff_count[old] -= 1;
+        self.eff_count[new] += 1;
+        if new > self.max_eff {
+            self.max_eff = new;
+        } else {
+            while self.max_eff > 0 && self.eff_count[self.max_eff] == 0 {
+                self.max_eff -= 1;
+            }
+        }
+    }
+
+    /// Record receiver `r`'s active level (`min(requested, effective)`)
+    /// moving `old → new`: flip `r`'s bit in the rows of layers
+    /// `min+1..=max` of the two.
+    pub fn active_changed(&mut self, r: usize, old: usize, new: usize) {
+        let word = r / 64;
+        let mask = 1u64 << (r % 64);
+        for layer in (old.min(new) + 1)..=(old.max(new)) {
+            let at = (layer - 1) * self.words + word;
+            if new > old {
+                self.rows[at] |= mask;
+            } else {
+                self.rows[at] &= !mask;
+            }
+        }
+    }
+
+    /// Check every index invariant against ground-truth `effective` and
+    /// `requested` level slices; returns the first violation as an error
+    /// string. Used by the membership property tests.
+    pub fn check_invariants(&self, requested: &[usize], effective: &[usize]) -> Result<(), String> {
+        if requested.len() != self.receiver_count || effective.len() != self.receiver_count {
+            return Err("level slice length mismatch".into());
+        }
+        for v in 0..=self.layer_count {
+            let recount = effective.iter().filter(|&&e| e == v).count();
+            if recount != self.effective_count(v) {
+                return Err(format!(
+                    "eff_count[{v}] = {} but recount is {recount}",
+                    self.effective_count(v)
+                ));
+            }
+        }
+        let true_max = effective.iter().copied().max().unwrap_or(0);
+        if self.max_eff != true_max {
+            return Err(format!(
+                "cached max_effective {} but recount is {true_max}",
+                self.max_eff
+            ));
+        }
+        for layer in 1..=self.layer_count {
+            let mut expect = vec![0u64; self.words];
+            for (r, (&rq, &ef)) in requested.iter().zip(effective).enumerate() {
+                if rq.min(ef) >= layer {
+                    expect[r / 64] |= 1 << (r % 64);
+                }
+            }
+            if expect != self.subscribers(layer) {
+                return Err(format!("subscriber bitset of layer {layer} diverged"));
+            }
+        }
+        Ok(())
+    }
+
+    fn row_range(&self, layer: usize) -> std::ops::Range<usize> {
+        debug_assert!(
+            (1..=self.layer_count).contains(&layer),
+            "layer out of range"
+        );
+        let start = (layer - 1) * self.words;
+        start..start + self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_indexes_everyone_at_the_initial_level() {
+        let ix = LevelIndex::new(130, 4, 2);
+        assert_eq!(ix.max_effective(), 2);
+        assert_eq!(ix.effective_count(2), 130);
+        assert_eq!(ix.subscriber_count(1), 130);
+        assert_eq!(ix.subscriber_count(2), 130);
+        assert_eq!(ix.subscriber_count(3), 0);
+        let levels = vec![2usize; 130];
+        ix.check_invariants(&levels, &levels).unwrap();
+    }
+
+    #[test]
+    fn transitions_move_buckets_and_bits() {
+        let mut ix = LevelIndex::new(70, 8, 1);
+        // Receiver 65 requests level 5 with zero latency: eff 1 -> 5,
+        // active 1 -> 5.
+        ix.effective_changed(65, 1, 5);
+        ix.active_changed(65, 1, 5);
+        assert_eq!(ix.max_effective(), 5);
+        assert_eq!(ix.effective_count(5), 1);
+        assert_eq!(ix.subscriber_count(5), 1);
+        let mut seen = Vec::new();
+        ix.for_each_subscriber(3, |r| seen.push(r));
+        assert_eq!(seen, vec![65]);
+        // Back down to 2: the cached max repairs by scanning down.
+        ix.effective_changed(65, 5, 2);
+        ix.active_changed(65, 5, 2);
+        assert_eq!(ix.max_effective(), 2);
+        assert_eq!(ix.subscriber_count(3), 0);
+        assert_eq!(ix.subscriber_count(2), 1);
+    }
+
+    #[test]
+    fn ascending_id_iteration_across_words() {
+        let mut ix = LevelIndex::new(200, 2, 1);
+        for &r in &[3usize, 64, 77, 130, 199] {
+            ix.effective_changed(r, 1, 2);
+            ix.active_changed(r, 1, 2);
+        }
+        let mut seen = Vec::new();
+        ix.for_each_subscriber(2, |r| seen.push(r));
+        assert_eq!(seen, vec![3, 64, 77, 130, 199]);
+    }
+
+    #[test]
+    fn empty_index_is_degenerate() {
+        let ix = LevelIndex::new(0, 4, 1);
+        assert_eq!(ix.max_effective(), 0);
+        assert_eq!(ix.subscriber_count(1), 0);
+        ix.check_invariants(&[], &[]).unwrap();
+    }
+
+    #[test]
+    fn reset_reuses_and_reinitializes() {
+        let mut ix = LevelIndex::new(10, 4, 1);
+        ix.effective_changed(3, 1, 4);
+        ix.active_changed(3, 1, 4);
+        ix.reset(64, 3, 2);
+        assert_eq!(ix.receiver_count(), 64);
+        assert_eq!(ix.layer_count(), 3);
+        assert_eq!(ix.max_effective(), 2);
+        assert_eq!(ix.subscriber_count(2), 64);
+        assert_eq!(ix.subscriber_count(3), 0);
+        let levels = vec![2usize; 64];
+        ix.check_invariants(&levels, &levels).unwrap();
+    }
+}

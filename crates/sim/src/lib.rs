@@ -11,9 +11,15 @@
 //!   (correlated loss) and independent draws per fanout link — plus a
 //!   Gilbert–Elliott burst-loss extension ([`loss`]);
 //! * idealized multicast membership with optional join/leave latency for
-//!   the Section 5 ablations ([`multicast`]);
+//!   the Section 5 ablations ([`multicast`]), backed by the incrementally
+//!   maintained level-bucketed [`index::LevelIndex`] (O(1) max effective
+//!   level, per-layer subscriber bitsets);
 //! * the modified-star engine measuring shared-link redundancy
-//!   ([`engine::run_star`]);
+//!   ([`engine::run_star`]) — per-slot cost O(subscribed(layer)) +
+//!   O(receivers/64) via the level index and lazy event-time accounting,
+//!   with the
+//!   pre-index scan engine frozen in [`mod@reference`] and bitwise equality
+//!   between the two pinned by `tests/star_engine_differential.rs`;
 //! * bit-for-bit reproducible RNG with per-component substreams ([`rng`]);
 //! * Welford statistics for the 30-trial experiment protocol ([`stats`]);
 //! * a generic future-event list with deterministic tie-breaking
@@ -31,8 +37,10 @@
 
 pub mod engine;
 pub mod events;
+pub mod index;
 pub mod loss;
 pub mod multicast;
+pub mod reference;
 pub mod rng;
 pub mod stats;
 pub mod tree;
@@ -42,6 +50,7 @@ pub use engine::{
     ReceiverController, StarConfig, StarReport, StarScratch,
 };
 pub use events::{EventQueue, Tick};
+pub use index::LevelIndex;
 pub use loss::LossProcess;
 pub use multicast::MembershipTable;
 pub use rng::SimRng;

@@ -1,4 +1,7 @@
-//! Multicast group membership with optional join/leave latency.
+//! Multicast group membership with optional join/leave latency, indexed so
+//! the packet engine's per-slot cost scales with the slot layer's
+//! subscriber count (plus a per-64-receivers word-scan), not the receiver
+//! count.
 //!
 //! Each receiver holds a *subscription level* `0..=M` with cumulative
 //! semantics (level `i` = joined to layers `1..=i`). The Section 4 model is
@@ -15,12 +18,56 @@
 //! * the **requested** level — what the receiver's protocol asked for; the
 //!   receiver counts its own goodput against this;
 //! * the **effective** level — what the network is still delivering (grafted
-//!   /pruned state); link usage is driven by this.
+//!   /pruned state); link usage is driven by this;
+//! * the **active** level — `min(requested, effective)`, the prefix of
+//!   layers the receiver both wants and holds: exactly the packets the
+//!   engine delivers to it.
 //!
 //! A leave keeps the effective level high until the prune latency elapses; a
 //! join keeps it low until the graft latency elapses.
+//!
+//! ## The level index and its invariants
+//!
+//! The table owns a [`LevelIndex`] and maintains it **incrementally**: every
+//! place a requested or effective level changes ([`request_level`] applying
+//! a zero-latency change, [`advance_to`] landing a delayed one) reports the
+//! `old → new` transition to the index before returning. The invariants,
+//! property-tested in `tests/membership_proptest.rs`:
+//!
+//! * `index.effective_count(v)` equals a recount of receivers with
+//!   `effective_level == v`, for every `v`, after every operation — so
+//!   [`max_effective_level`] is a cached O(1) bucket maximum, not an O(n)
+//!   scan;
+//! * the layer-`L` subscriber bitset holds exactly the receivers with
+//!   `active_level ≥ L` — so the engine's delivery loop visits only
+//!   receivers it would deliver to;
+//! * stale queued changes never overwrite newer state: each request gets a
+//!   monotone per-receiver sequence number, and a delayed change only lands
+//!   if no newer request superseded it (zero-latency changes bump the
+//!   sequence too, so a stale in-flight join can never override a newer
+//!   instant leave).
+//!
+//! ## The RNG-draw-preservation contract
+//!
+//! The star engine's reproducibility across the indexed rewrite rests on
+//! this table answering the *same questions with the same answers* as the
+//! pre-index scan code (frozen in [`crate::reference`]): `max_effective_level`
+//! decides whether the shared link draws a loss sample, and the layer-`L`
+//! subscriber set — iterated in **ascending receiver id** — decides which
+//! per-receiver RNG streams draw and in what order controllers run. Because
+//! every receiver owns a private RNG substream, preserving each receiver's
+//! *visit set* (not the interleaving) preserves its draw sequence exactly;
+//! the ascending-id iteration preserves controller/marker observation order
+//! for the shared state. Any index bug that adds or drops a visit breaks
+//! bitwise equality — which is what `tests/star_engine_differential.rs`
+//! pins.
+//!
+//! [`request_level`]: MembershipTable::request_level
+//! [`advance_to`]: MembershipTable::advance_to
+//! [`max_effective_level`]: MembershipTable::max_effective_level
 
 use crate::events::{EventQueue, Tick};
+use crate::index::LevelIndex;
 
 /// Pending membership-change event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +78,7 @@ struct Change {
 }
 
 /// Subscription state for a set of receivers of one layered session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MembershipTable {
     requested: Vec<usize>,
     effective: Vec<usize>,
@@ -43,6 +90,8 @@ pub struct MembershipTable {
     leave_latency: Tick,
     layer_count: usize,
     next_seq: u64,
+    /// Incrementally maintained level buckets + subscriber bitsets.
+    index: LevelIndex,
 }
 
 impl MembershipTable {
@@ -50,24 +99,40 @@ impl MembershipTable {
     /// layers, all initially at level `initial` (the Section 4 protocols
     /// start everyone at level 1 — every receiver always holds layer 1).
     pub fn new(receivers: usize, layer_count: usize, initial: usize) -> Self {
-        assert!(initial <= layer_count);
-        MembershipTable {
-            requested: vec![initial; receivers],
-            effective: vec![initial; receivers],
-            latest_seq: vec![0; receivers],
-            queue: EventQueue::new(),
-            join_latency: 0,
-            leave_latency: 0,
-            layer_count,
-            next_seq: 0,
-        }
+        let mut table = MembershipTable::default();
+        table.reset(receivers, layer_count, initial);
+        table
+    }
+
+    /// Re-initialize in place — same post-state as
+    /// [`MembershipTable::new`] followed by
+    /// [`MembershipTable::with_latencies`] with the current latencies, but
+    /// reusing every allocation (level vectors, event queue, index rows).
+    /// The engine scratch calls this once per trial.
+    pub fn reset(&mut self, receivers: usize, layer_count: usize, initial: usize) {
+        assert!(initial <= layer_count || receivers == 0);
+        self.requested.clear();
+        self.requested.resize(receivers, initial);
+        self.effective.clear();
+        self.effective.resize(receivers, initial);
+        self.latest_seq.clear();
+        self.latest_seq.resize(receivers, 0);
+        self.queue.clear();
+        self.layer_count = layer_count;
+        self.next_seq = 0;
+        self.index.reset(receivers, layer_count, initial);
     }
 
     /// Builder-style join (graft) and leave (prune) latencies in ticks.
     pub fn with_latencies(mut self, join: Tick, leave: Tick) -> Self {
+        self.set_latencies(join, leave);
+        self
+    }
+
+    /// Set the join (graft) and leave (prune) latencies in place.
+    pub fn set_latencies(&mut self, join: Tick, leave: Tick) {
         self.join_latency = join;
         self.leave_latency = leave;
-        self
     }
 
     /// Number of receivers tracked.
@@ -90,6 +155,29 @@ impl MembershipTable {
         self.effective[r]
     }
 
+    /// The receiver's active level `min(requested, effective)`: the prefix
+    /// of layers it both wants and effectively holds.
+    pub fn active_level(&self, r: usize) -> usize {
+        self.requested[r].min(self.effective[r])
+    }
+
+    /// The level index: O(1) bucket maximum and per-layer subscriber
+    /// bitsets, maintained incrementally by this table.
+    pub fn index(&self) -> &LevelIndex {
+        &self.index
+    }
+
+    /// Apply an effective-level change, keeping the index in sync. The
+    /// requested level must already hold its final value.
+    fn apply_effective(&mut self, r: usize, level: usize) {
+        let old_eff = self.effective[r];
+        self.effective[r] = level;
+        self.index.effective_changed(r, old_eff, level);
+        let old_active = self.requested[r].min(old_eff);
+        let new_active = self.requested[r].min(level);
+        self.index.active_changed(r, old_active, new_active);
+    }
+
     /// Request a level change for receiver `r` at time `now`. Takes effect
     /// after the graft/prune latency (instantly at zero latency).
     pub fn request_level(&mut self, now: Tick, r: usize, level: usize) {
@@ -98,6 +186,7 @@ impl MembershipTable {
             return;
         }
         let raising = level > self.requested[r];
+        let old_active = self.active_level(r);
         self.requested[r] = level;
         let latency = if raising {
             self.join_latency
@@ -109,17 +198,27 @@ impl MembershipTable {
         if latency == 0 {
             // Apply immediately, but still respect ordering with any
             // pending delayed changes by sequence number.
+            let old_eff = self.effective[r];
             self.effective[r] = level;
+            self.index.effective_changed(r, old_eff, level);
+            self.index.active_changed(r, old_active, level);
         } else {
-            // Advance queue clock without processing (caller drives time via
-            // `advance_to`), then schedule.
+            // The requested level moved while the effective one did not:
+            // only the active level (and so the subscriber bitsets) can
+            // shrink or grow.
+            self.index
+                .active_changed(r, old_active, self.active_level(r));
+            // Catch the queue up to `now` before scheduling. The engine
+            // always `advance_to`s the slot first (making this a no-op),
+            // but a direct API caller may not have: apply — never discard —
+            // any changes that fell due in the meantime, then schedule.
             let change = Change {
                 receiver: r,
                 level,
                 seq: self.next_seq,
             };
             if self.queue.now() < now {
-                self.queue.drain_until(now);
+                self.advance_to(now);
             }
             self.queue.schedule_at(now + latency, change);
         }
@@ -127,27 +226,24 @@ impl MembershipTable {
 
     /// Apply all membership changes due at or before `now`.
     pub fn advance_to(&mut self, now: Tick) {
-        for (_, change) in self.queue.drain_until(now) {
+        while self.queue.peek_time().is_some_and(|at| at <= now) {
+            let (_, change) = self.queue.pop().expect("peeked");
             // Only the most recent request per receiver wins; anything the
             // receiver superseded (or that a zero-latency change already
             // applied past) is dropped.
             if change.seq >= self.latest_seq[change.receiver] {
-                self.effective[change.receiver] = change.level;
-            } else if change.seq > 0
-                && self.effective[change.receiver] != self.requested[change.receiver]
-            {
-                // A superseded *pending* change may still move the effective
-                // level toward an even newer pending one; conservatively
-                // ignore — the newer event will land later.
+                self.apply_effective(change.receiver, change.level);
             }
         }
+        self.queue.advance_clock(now);
     }
 
     /// The highest effective level across receivers — what the shared link
     /// upstream of everyone must carry (cumulative layering: the union of
     /// the receivers' layer sets is the layer prefix up to the max level).
+    /// O(1) via the index's cached bucket maximum.
     pub fn max_effective_level(&self) -> usize {
-        self.effective.iter().copied().max().unwrap_or(0)
+        self.index.max_effective()
     }
 
     /// The highest requested level across receivers.
@@ -163,6 +259,13 @@ impl MembershipTable {
     /// Whether receiver `r`'s protocol wants `layer` (1-based).
     pub fn wants(&self, r: usize, layer: usize) -> bool {
         layer >= 1 && layer <= self.requested[r]
+    }
+
+    /// Check every index invariant against the table's ground-truth level
+    /// vectors (see [`crate::index::LevelIndex::check_invariants`]).
+    pub fn check_index_invariants(&self) -> Result<(), String> {
+        self.index
+            .check_invariants(&self.requested, &self.effective)
     }
 }
 
@@ -180,6 +283,7 @@ mod tests {
         assert!(t.subscribed(1, 4));
         assert!(!t.subscribed(1, 5));
         assert!(!t.subscribed(0, 2));
+        t.check_index_invariants().unwrap();
     }
 
     #[test]
@@ -188,10 +292,14 @@ mod tests {
         t.request_level(100, 0, 2);
         assert_eq!(t.requested_level(0), 2);
         assert_eq!(t.effective_level(0), 5, "prune not yet effective");
+        assert_eq!(t.active_level(0), 2, "the receiver's own rate drops now");
         t.advance_to(105);
         assert_eq!(t.effective_level(0), 5);
+        assert_eq!(t.max_effective_level(), 5);
         t.advance_to(110);
         assert_eq!(t.effective_level(0), 2, "prune lands at +10");
+        assert_eq!(t.max_effective_level(), 2);
+        t.check_index_invariants().unwrap();
     }
 
     #[test]
@@ -199,10 +307,13 @@ mod tests {
         let mut t = MembershipTable::new(1, 8, 1).with_latencies(7, 0);
         t.request_level(50, 0, 3);
         assert_eq!(t.effective_level(0), 1);
+        assert_eq!(t.active_level(0), 1, "nothing new delivered yet");
         t.advance_to(56);
         assert_eq!(t.effective_level(0), 1);
         t.advance_to(57);
         assert_eq!(t.effective_level(0), 3);
+        assert_eq!(t.active_level(0), 3);
+        t.check_index_invariants().unwrap();
     }
 
     #[test]
@@ -216,6 +327,26 @@ mod tests {
             1,
             "stale join must not override the newer leave"
         );
+        t.check_index_invariants().unwrap();
+    }
+
+    #[test]
+    fn a_request_applies_other_receivers_due_changes_instead_of_dropping_them() {
+        // Receiver 0 schedules a delayed leave due at t=10. A *different*
+        // receiver's request at t=12 (without an advance_to in between)
+        // must apply that due change, not silently discard it.
+        let mut t = MembershipTable::new(2, 8, 5).with_latencies(4, 10);
+        t.request_level(0, 0, 2); // prune of receiver 0 lands at t=10
+        t.request_level(12, 1, 7); // join of receiver 1, due at t=16
+        assert_eq!(
+            t.effective_level(0),
+            2,
+            "receiver 0's due prune was discarded by receiver 1's request"
+        );
+        t.check_index_invariants().unwrap();
+        t.advance_to(16);
+        assert_eq!(t.effective_level(1), 7);
+        t.check_index_invariants().unwrap();
     }
 
     #[test]
@@ -223,6 +354,28 @@ mod tests {
         let mut t = MembershipTable::new(1, 4, 2);
         t.request_level(0, 0, 2);
         assert_eq!(t.effective_level(0), 2);
+    }
+
+    #[test]
+    fn reset_matches_a_fresh_table() {
+        let mut t = MembershipTable::new(4, 6, 1).with_latencies(3, 7);
+        t.request_level(0, 2, 5);
+        t.request_level(1, 0, 2);
+        t.advance_to(30);
+        t.reset(9, 4, 1);
+        assert_eq!(t.receiver_count(), 9);
+        assert_eq!(t.layer_count(), 4);
+        for r in 0..9 {
+            assert_eq!(t.requested_level(r), 1);
+            assert_eq!(t.effective_level(r), 1);
+        }
+        assert_eq!(t.max_effective_level(), 1);
+        // Latencies survive a reset; events do not.
+        t.request_level(0, 3, 2);
+        assert_eq!(t.effective_level(3), 1, "join latency still 3");
+        t.advance_to(3);
+        assert_eq!(t.effective_level(3), 2);
+        t.check_index_invariants().unwrap();
     }
 
     #[test]

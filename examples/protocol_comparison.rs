@@ -75,26 +75,35 @@ fn main() {
         .with_seeds(template.seed..template.seed + sweep_seeds);
     let report = scenario.sweep_par(&grid, threads);
 
-    println!("protocol        redundancy (mean ± 95% CI)   mean level   goodput   observed loss");
+    println!(
+        "protocol        redundancy (mean ± 95% CI)   mean level   goodput   observed loss   \
+         per-rx goodput [min..max] σ"
+    );
     for kind in ProtocolKind::ALL {
         let mut redundancy = RunningStats::new();
         let mut level = RunningStats::new();
         let mut goodput = RunningStats::new();
         let mut loss = RunningStats::new();
+        let mut per_rx = RunningStats::new();
         for point in report.points_for(kind) {
             redundancy.merge(&point.outcome.redundancy);
             level.merge(&point.outcome.mean_level);
             goodput.merge(&point.outcome.goodput);
             loss.merge(&point.outcome.observed_loss);
+            per_rx.merge(point.receiver_goodput());
         }
         println!(
-            "  {:<14} {:>6.3} ± {:<6.3}             {:>6.2}     {:>7.4}   {:>7.4}",
+            "  {:<14} {:>6.3} ± {:<6.3}             {:>6.2}     {:>7.4}   {:>7.4}         \
+             [{:.4}..{:.4}] {:.4}",
             kind.label(),
             redundancy.mean(),
             redundancy.ci95_half_width(),
             level.mean(),
             goodput.mean(),
             loss.mean(),
+            per_rx.min(),
+            per_rx.max(),
+            per_rx.std_dev(),
         );
     }
 

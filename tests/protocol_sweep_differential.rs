@@ -75,6 +75,54 @@ fn protocol_sweep_matches_serial_with_more_threads_than_jobs() {
 }
 
 #[test]
+fn latency_axis_sweep_matches_serial_at_any_thread_count() {
+    // The Section 5 latency ablation as a grid axis: (3 protocols × 2
+    // losses × 3 latency pairs × 2 seeds) = 36 points, serial vs parallel
+    // bitwise — and every latency pair must be represented with its tags.
+    let s = scenario();
+    let g = ProtocolSweepGrid::independent_losses([0.0, 0.04])
+        .with_latencies([(0, 0), (4, 25), (13, 0)])
+        .with_seeds([11, 12]);
+    let serial = s.sweep(&g);
+    assert_eq!(serial.points.len(), 3 * 2 * 3 * 2);
+    for threads in [2, 8, 64] {
+        let parallel = s.sweep_par(&g, threads);
+        assert_eq!(
+            serial, parallel,
+            "latency-axis sweep_par({threads}) diverged from serial"
+        );
+    }
+    for &(join, leave) in &[(0u64, 0u64), (4, 25), (13, 0)] {
+        assert_eq!(
+            serial
+                .points
+                .iter()
+                .filter(|p| p.join_latency == join && p.leave_latency == leave)
+                .count(),
+            12,
+            "latency pair ({join},{leave})"
+        );
+    }
+}
+
+#[test]
+fn per_receiver_distributions_ride_the_sweep_points() {
+    // Satellite of the latency axis: every sweep point carries the
+    // per-receiver goodput / mean-level distributions (receivers × trials
+    // observations), identical across the serial and parallel paths (the
+    // whole-report equality above already pins that; this pins the shape).
+    let s = scenario();
+    let g = grid();
+    let report = s.sweep(&g);
+    for p in &report.points {
+        assert_eq!(p.receiver_goodput().count(), 8 * 2);
+        assert_eq!(p.receiver_mean_level().count(), 8 * 2);
+        assert!(p.receiver_goodput().min() >= 0.0);
+        assert!(p.receiver_goodput().max() >= p.receiver_goodput().min());
+    }
+}
+
+#[test]
 fn figure8_through_the_executor_matches_the_serial_series() {
     // The regrouped Figure 8 panel must reproduce the classic serial
     // `figure8_series` output bit for bit at any thread count.

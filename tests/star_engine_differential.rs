@@ -1,0 +1,214 @@
+//! Differential: the level-indexed star engine is **bitwise identical** to
+//! the frozen pre-index reference (`mlf_sim::reference`).
+//!
+//! The indexed engine replaces the reference's two full per-slot receiver
+//! loops (requested-level accounting + delivery) and O(n)
+//! `max_effective_level` scan with the level-bucketed subscriber index and
+//! lazy event-time settlement; its contract is that every produced bit of
+//! the [`StarReport`] — `shared_carried`, `offered`, `delivered`,
+//! `congestion_events`, `level_slot_sum`, `final_levels` — matches the old
+//! scans. These tests drive that claim across all three `ProtocolKind`
+//! state machines × Bernoulli and Gilbert–Elliott loss (shared and fanout)
+//! × zero and nonzero join/leave latencies × receiver counts 1..128, with
+//! the controller/marker wiring the Figure 8 harness uses.
+
+use mlf_protocols::{make_receiver, CoordinatedSender, ProtocolKind};
+use mlf_sim::engine::{MarkerSource, NoMarkers, ReceiverController, StarConfig, StarReport};
+use mlf_sim::{reference, run_star, run_star_into, LossProcess, SimRng, StarScratch, Tick};
+use proptest::prelude::*;
+
+const KINDS: [ProtocolKind; 3] = ProtocolKind::ALL;
+
+/// The latency grid of the differential: the paper's idealized zero pair
+/// plus join-only, leave-only and mixed nonzero latencies.
+const LATENCIES: [(Tick, Tick); 4] = [(0, 0), (0, 37), (19, 0), (11, 23)];
+
+enum Markers {
+    None(NoMarkers),
+    Coordinated(CoordinatedSender),
+}
+
+impl MarkerSource for Markers {
+    fn marker(&mut self, slot: Tick, layer: usize) -> Option<usize> {
+        match self {
+            Markers::None(m) => m.marker(slot, layer),
+            Markers::Coordinated(m) => m.marker(slot, layer),
+        }
+    }
+}
+
+/// Controllers and marker source exactly as the Figure 8 `TrialRig` wires
+/// them: per-receiver RNG substreams split off one trial base.
+fn rig(
+    kind: ProtocolKind,
+    receivers: usize,
+    layers: usize,
+    seed: u64,
+) -> (Vec<Box<dyn ReceiverController>>, Markers) {
+    let base = SimRng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
+    let controllers = (0..receivers)
+        .map(|r| make_receiver(kind, base.split(1_000_000 + r as u64)))
+        .collect();
+    let markers = match kind {
+        ProtocolKind::Coordinated => Markers::Coordinated(CoordinatedSender::new(layers)),
+        _ => Markers::None(NoMarkers),
+    };
+    (controllers, markers)
+}
+
+fn loss(bursty: bool, p: f64) -> LossProcess {
+    if bursty {
+        LossProcess::bursty_with_average(p, 6.0)
+    } else {
+        LossProcess::bernoulli(p)
+    }
+}
+
+fn config(
+    layers: usize,
+    receivers: usize,
+    shared: LossProcess,
+    fanout: LossProcess,
+    latencies: (Tick, Tick),
+) -> StarConfig {
+    let mut cfg = StarConfig::figure8(layers, receivers, 0.0, 0.0);
+    cfg.shared_loss = shared;
+    cfg.fanout_loss = vec![fanout; receivers];
+    cfg.with_latencies(latencies.0, latencies.1)
+}
+
+fn run_indexed(cfg: &StarConfig, kind: ProtocolKind, slots: u64, seed: u64) -> StarReport {
+    let (mut ctls, mut mk) = rig(kind, cfg.receiver_count(), cfg.layer_count(), seed);
+    run_star(cfg, &mut ctls, &mut mk, slots, seed)
+}
+
+fn run_reference(cfg: &StarConfig, kind: ProtocolKind, slots: u64, seed: u64) -> StarReport {
+    let (mut ctls, mut mk) = rig(kind, cfg.receiver_count(), cfg.layer_count(), seed);
+    reference::run_star(cfg, &mut ctls, &mut mk, slots, seed)
+}
+
+/// Every counter and final level must agree exactly; `StarReport` is all
+/// integers, so `==` is the bit-level comparison.
+fn assert_reports_identical(label: &str, indexed: &StarReport, reference: &StarReport) {
+    assert_eq!(indexed.slots, reference.slots, "{label}: slots");
+    assert_eq!(
+        indexed.shared_carried, reference.shared_carried,
+        "{label}: shared_carried"
+    );
+    assert_eq!(indexed.offered, reference.offered, "{label}: offered");
+    assert_eq!(indexed.delivered, reference.delivered, "{label}: delivered");
+    assert_eq!(
+        indexed.congestion_events, reference.congestion_events,
+        "{label}: congestion_events"
+    );
+    assert_eq!(
+        indexed.level_slot_sum, reference.level_slot_sum,
+        "{label}: level_slot_sum"
+    );
+    assert_eq!(
+        indexed.final_levels, reference.final_levels,
+        "{label}: final_levels"
+    );
+    // Belt and braces: the derived whole-report equality agrees too.
+    assert_eq!(indexed, reference, "{label}: whole report");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The headline differential: random star shapes, protocols, loss
+    /// processes and latencies; the indexed and reference engines must
+    /// produce bitwise-identical reports.
+    #[test]
+    fn indexed_engine_matches_reference(
+        receivers in 1usize..128,
+        layers in 2usize..9,
+        kind_ix in 0usize..3,
+        // Two bits: Bernoulli vs Gilbert–Elliott on the shared / fanout links.
+        bursty_ix in 0usize..4,
+        latency_ix in 0usize..4,
+        p_shared in 0.0f64..0.08,
+        p_ind in 0.0f64..0.08,
+        seed in any::<u64>(),
+    ) {
+        let kind = KINDS[kind_ix];
+        let cfg = config(
+            layers,
+            receivers,
+            loss(bursty_ix & 1 == 1, p_shared),
+            loss(bursty_ix & 2 == 2, p_ind),
+            LATENCIES[latency_ix],
+        );
+        let slots = 2_500;
+        let indexed = run_indexed(&cfg, kind, slots, seed);
+        let reference = run_reference(&cfg, kind, slots, seed);
+        assert_reports_identical(
+            &format!(
+                "{} n={receivers} m={layers} lat={:?}",
+                kind.label(),
+                LATENCIES[latency_ix]
+            ),
+            &indexed,
+            &reference,
+        );
+    }
+
+    /// Scratch reuse across back-to-back trials of *different* shapes must
+    /// not leak state: each `run_star_into` through one shared scratch and
+    /// report buffer equals a fresh `reference` run of the same trial.
+    #[test]
+    fn reused_scratch_matches_fresh_reference_runs(
+        seeds in proptest::collection::vec(any::<u64>(), 2..5),
+        receivers_a in 1usize..64,
+        receivers_b in 1usize..128,
+        latency_ix in 0usize..4,
+        p_ind in 0.0f64..0.08,
+    ) {
+        let mut scratch = StarScratch::default();
+        let mut report = StarReport::default();
+        for (t, &seed) in seeds.iter().enumerate() {
+            // Alternate shapes so the scratch's membership/index buffers
+            // must genuinely re-size, not just re-zero.
+            let (receivers, layers) = if t % 2 == 0 {
+                (receivers_a, 8)
+            } else {
+                (receivers_b, 4)
+            };
+            let kind = KINDS[(t + seeds.len()) % 3];
+            let cfg = config(
+                layers,
+                receivers,
+                loss(t % 2 == 1, 0.01),
+                loss(t % 2 == 0, p_ind),
+                LATENCIES[latency_ix],
+            );
+            let (mut ctls, mut mk) = rig(kind, receivers, layers, seed);
+            run_star_into(&cfg, &mut ctls, &mut mk, 2_000, seed, &mut report, &mut scratch);
+            let reference = run_reference(&cfg, kind, 2_000, seed);
+            assert_reports_identical(
+                &format!("trial {t} ({})", kind.label()),
+                &report,
+                &reference,
+            );
+        }
+    }
+}
+
+/// Pinned paper-shaped case (all three protocols on a 100-receiver, 8-layer
+/// star at the Figure 8 loss mix): the exact workload the star bench gates,
+/// at a test-sized slot budget.
+#[test]
+fn paper_shape_agrees_for_every_protocol() {
+    for kind in KINDS {
+        for &(join, leave) in &LATENCIES {
+            let cfg = StarConfig::figure8(8, 100, 0.0001, 0.05).with_latencies(join, leave);
+            let indexed = run_indexed(&cfg, kind, 10_000, 0x51_66_C0_99);
+            let reference = run_reference(&cfg, kind, 10_000, 0x51_66_C0_99);
+            assert_reports_identical(
+                &format!("paper {} lat=({join},{leave})", kind.label()),
+                &indexed,
+                &reference,
+            );
+        }
+    }
+}
