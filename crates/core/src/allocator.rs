@@ -228,6 +228,7 @@ impl SolverWorkspace {
                 .iter()
                 .map(|rs| {
                     rs.iter()
+                        // mlf-lint: allow(panic-unwrap, reason = "the progressive-filling loop only returns after every receiver froze; a None reason here is an allocator bug")
                         .map(|r| r.expect("every receiver froze"))
                         .collect()
                 })

@@ -103,6 +103,7 @@ impl NetworkIndex {
                 for &l in net.route(mlf_net::ReceiverId::new(i, k)) {
                     let slot = self
                         .slot_of(l.0, i)
+                        // mlf-lint: allow(panic-unwrap, reason = "the slot table was just built from these same routes, so every (link, session) pair resolves")
                         .expect("every route link carries its own session");
                     self.route_slots.push((l.0, slot));
                 }

@@ -466,6 +466,7 @@ impl State<'_> {
                 LinkRateModel::Sum => {
                     constant += frozen_sum;
                     if active_count > 0 {
+                        // mlf-lint: allow(as-float-cast, reason = "active_count is bounded by the receiver population, far below 2^53, so the cast is exact")
                         ws.terms.push((0.0, active_count as f64));
                     }
                 }

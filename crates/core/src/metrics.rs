@@ -161,6 +161,26 @@ mod tests {
         let v = crate::ordering::ordered(&[f64::NAN, 0.5]);
         assert_eq!(v[0], 0.5);
         assert!(v[1].is_nan());
+        // The Definition 2 comparison path accepts NaN-carrying vectors
+        // (ordered() puts NaN last and the sortedness debug-assert uses the
+        // same total_cmp order) and stays deterministic: a NaN coordinate
+        // is an epsilon-tie — `(NaN - b).abs() > ORD_EPS` is false — so the
+        // comparison never panics and never flips between runs.
+        use std::cmp::Ordering;
+        let with_nan = crate::ordering::ordered(&[f64::NAN, 1.0]);
+        let finite = crate::ordering::ordered(&[2.0, 1.0]);
+        let fwd = crate::ordering::min_unfavorable_cmp(&with_nan, &finite);
+        let rev = crate::ordering::min_unfavorable_cmp(&finite, &with_nan);
+        assert_eq!(fwd, rev.reverse(), "comparison must stay antisymmetric");
+        assert_eq!(fwd, Ordering::Equal, "a NaN coordinate is an epsilon-tie");
+        assert_eq!(
+            crate::ordering::min_unfavorable_cmp(&with_nan, &with_nan),
+            Ordering::Equal,
+            "NaN vectors must compare equal to themselves"
+        );
+        assert!(!crate::ordering::is_strictly_min_unfavorable(
+            &with_nan, &with_nan
+        ));
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub fn lemma2_threshold(x: &[f64], y: &[f64]) -> Option<f64> {
         .iter()
         .zip(y)
         .position(|(a, b)| (a - b).abs() > ORD_EPS)
+        // mlf-lint: allow(panic-unwrap, reason = "the strict-ordering branch above established that some coordinate differs by more than ORD_EPS")
         .expect("strict ordering implies a differing index");
     Some(x[d])
 }
@@ -122,7 +123,10 @@ pub fn verify_lemma2_witness(x: &[f64], y: &[f64], x0: f64) -> bool {
 }
 
 fn is_sorted(v: &[f64]) -> bool {
-    v.windows(2).all(|w| w[0] <= w[1] + ORD_EPS)
+    // total_cmp order (the order `ordered()` produces): finite ascending,
+    // then +inf, then NaN — `<=` would reject any window touching a NaN.
+    v.windows(2)
+        .all(|w| w[0].total_cmp(&w[1]) != Ordering::Greater || w[0] <= w[1] + ORD_EPS)
 }
 
 #[cfg(test)]
@@ -165,7 +169,7 @@ mod tests {
             for b in vals {
                 for c in vals {
                     let mut v = vec![a, b, c];
-                    v.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                    v.sort_by(f64::total_cmp);
                     vectors.push(v);
                 }
             }

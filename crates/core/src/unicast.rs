@@ -66,11 +66,8 @@ pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMi
         // link share is (c_j - used_j) / #active flows on j, offset by the
         // current common rate.
         #[cfg(debug_assertions)]
-        {
-            let current = (0..m)
-                .find(|&i| ws.active[i][0])
-                .map(|i| ws.rates[i][0])
-                .unwrap();
+        if let Some(first) = (0..m).find(|&i| ws.active[i][0]) {
+            let current = ws.rates[first][0];
             debug_assert!((0..m)
                 .filter(|&i| ws.active[i][0])
                 .all(|i| (ws.rates[i][0] - current).abs() < 1e-12));
@@ -89,6 +86,7 @@ pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMi
             if on == 0 {
                 continue;
             }
+            // mlf-lint: allow(as-float-cast, reason = "flow counts are bounded by the receiver population, far below 2^53, so the cast is exact")
             let share = (net.graph().capacity(LinkId(j)) - ws.link_used[j]) / on as f64;
             next = next.min(share);
         }
@@ -107,6 +105,7 @@ pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMi
             ws.link_flag[j] = if on == 0 {
                 false
             } else {
+                // mlf-lint: allow(as-float-cast, reason = "flow counts are bounded by the receiver population, far below 2^53, so the cast is exact")
                 let share = (net.graph().capacity(LinkId(j)) - ws.link_used[j]) / on as f64;
                 share <= next + 1e-12
             };
@@ -118,13 +117,14 @@ pub(crate) fn unicast_solve_in(net: &Network, ws: &mut SolverWorkspace) -> MaxMi
             }
             let at_kappa = ws.rates[i][0] >= kappa(i) - 1e-12;
             let binding_link = route(i).iter().copied().find(|l| ws.link_flag[l.0]);
-            if at_kappa || binding_link.is_some() {
+            let reason = if at_kappa {
+                Some(FreezeReason::MaxRate)
+            } else {
+                binding_link.map(FreezeReason::Link)
+            };
+            if let Some(reason) = reason {
                 ws.active[i][0] = false;
-                ws.reasons[i][0] = Some(if at_kappa {
-                    FreezeReason::MaxRate
-                } else {
-                    FreezeReason::Link(binding_link.unwrap())
-                });
+                ws.reasons[i][0] = Some(reason);
                 froze = true;
                 for &l in route(i) {
                     ws.link_used[l.0] += ws.rates[i][0];

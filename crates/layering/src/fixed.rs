@@ -183,8 +183,8 @@ mod tests {
             .iter()
             .map(|a| (a.rates()[0][0], a.rates()[1][0]))
             .collect();
-        pairs.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        let mut expected = vec![
+        pairs.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
+        let mut expected: Vec<(f64, f64)> = vec![
             (0.0, 0.0),
             (0.0, 3.0),
             (0.0, 6.0),
@@ -193,7 +193,7 @@ mod tests {
             (4.0, 0.0),
             (6.0, 0.0),
         ];
-        expected.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        expected.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.total_cmp(&y.1)));
         assert_eq!(pairs, expected);
     }
 

@@ -89,9 +89,9 @@ impl LayerSchedule {
         &self.cumulative
     }
 
-    /// The full aggregate rate (all layers joined).
+    /// The full aggregate rate (all layers joined); `0.0` with no layers.
     pub fn total_rate(&self) -> f64 {
-        *self.cumulative.last().expect("non-empty")
+        self.cumulative.last().copied().unwrap_or(0.0)
     }
 
     /// The highest subscription level whose aggregate rate does not exceed

@@ -1,0 +1,501 @@
+//! A minimal token-level Rust lexer.
+//!
+//! The analyzer runs in an offline build (no `syn`, no `proc-macro2`), so
+//! this module hand-rolls exactly the lexical structure the rules need to
+//! be false-positive-free: rule-pattern text inside string literals, raw
+//! strings, char literals, and (nested) block comments must never produce
+//! tokens. Everything else — precise expression grammar, macro expansion —
+//! is deliberately out of scope; the rules work on token patterns.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `sort_by`, `r#match`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// String, raw-string, byte-string, or char literal (content opaque).
+    Literal,
+    /// Lifetime (`'a`) — kept distinct so char-literal handling stays exact.
+    Lifetime,
+    /// A single punctuation byte (`.`, `:`, `(`, `!`, …).
+    Punct,
+}
+
+/// One token: kind, byte span, and 1-based line/column of its start.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in bytes) on that line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this is punctuation equal to `c`.
+    pub fn is_punct(&self, src: &str, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text(src).starts_with(c)
+    }
+}
+
+/// A comment (line or block), kept separately from the token stream so
+/// suppression directives can be parsed out of it.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Byte offset of the `//` or `/*`.
+    pub start: usize,
+    /// Byte offset one past the comment end.
+    pub end: usize,
+    /// 1-based line of the comment start.
+    pub line: u32,
+    /// 1-based column of the comment start.
+    pub col: u32,
+}
+
+/// The output of [`lex`]: code tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens and comments. Never fails: unterminated literals
+/// and comments simply run to end of input (the compiler, not the linter,
+/// owns syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(b) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                while let Some(c) = cur.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    start,
+                    end: cur.pos,
+                    line,
+                    col,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    start,
+                    end: cur.pos,
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                push(&mut out, TokenKind::Literal, start, &cur, line, col);
+            }
+            b'\'' => {
+                let kind = lex_char_or_lifetime(&mut cur);
+                push(&mut out, kind, start, &cur, line, col);
+            }
+            b if b.is_ascii_digit() => {
+                let kind = lex_number(&mut cur);
+                push(&mut out, kind, start, &cur, line, col);
+            }
+            b if is_ident_start(b) => {
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                let ident = &src[start..cur.pos];
+                // String prefixes: r"", r#""#, b"", br"", br#""#.
+                let raw_capable = matches!(ident, "r" | "br");
+                let str_capable = raw_capable || ident == "b";
+                match cur.peek() {
+                    Some(b'"') if str_capable => {
+                        lex_string(&mut cur);
+                        push(&mut out, TokenKind::Literal, start, &cur, line, col);
+                    }
+                    Some(b'\'') if ident == "b" => {
+                        cur.bump();
+                        lex_char_or_lifetime(&mut cur);
+                        push(&mut out, TokenKind::Literal, start, &cur, line, col);
+                    }
+                    Some(b'#') if raw_capable && followed_by_raw_string(&cur) => {
+                        lex_raw_hashed_string(&mut cur);
+                        push(&mut out, TokenKind::Literal, start, &cur, line, col);
+                    }
+                    Some(b'#') if ident == "r" && cur.peek_at(1).is_some_and(is_ident_start) => {
+                        // Raw identifier r#foo: token text includes the
+                        // prefix; rules match on the trailing name.
+                        cur.bump();
+                        while cur.peek().is_some_and(is_ident_continue) {
+                            cur.bump();
+                        }
+                        push(&mut out, TokenKind::Ident, start, &cur, line, col);
+                    }
+                    _ => push(&mut out, TokenKind::Ident, start, &cur, line, col),
+                }
+            }
+            _ => {
+                cur.bump();
+                push(&mut out, TokenKind::Punct, start, &cur, line, col);
+            }
+        }
+    }
+    out
+}
+
+fn push(out: &mut Lexed, kind: TokenKind, start: usize, cur: &Cursor<'_>, line: u32, col: u32) {
+    out.tokens.push(Token {
+        kind,
+        start,
+        end: cur.pos,
+        line,
+        col,
+    });
+}
+
+/// Whether the cursor (sitting on `#` after an `r`/`br` prefix) opens a raw
+/// string: one or more `#` then `"`.
+fn followed_by_raw_string(cur: &Cursor<'_>) -> bool {
+    let mut ahead = 0;
+    while cur.peek_at(ahead) == Some(b'#') {
+        ahead += 1;
+    }
+    ahead > 0 && cur.peek_at(ahead) == Some(b'"')
+}
+
+/// Consume a `#`-delimited raw string starting at the first `#`.
+fn lex_raw_hashed_string(cur: &mut Cursor<'_>) {
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        cur.bump();
+        hashes += 1;
+    }
+    if cur.peek() != Some(b'"') {
+        return;
+    }
+    cur.bump();
+    // Scan for `"` followed by exactly `hashes` `#`s.
+    while cur.peek().is_some() {
+        if cur.peek() == Some(b'"') {
+            let mut ahead = 1;
+            while ahead <= hashes && cur.peek_at(ahead) == Some(b'#') {
+                ahead += 1;
+            }
+            if ahead == hashes + 1 {
+                for _ in 0..=hashes {
+                    cur.bump();
+                }
+                return;
+            }
+        }
+        cur.bump();
+    }
+}
+
+/// Consume a `"`-delimited (possibly raw, when called after `r`) string;
+/// the cursor sits on the opening quote. Raw strings without hashes have no
+/// escapes, but treating `\"` as an escape inside them is harmless for
+/// linting purposes only when it cannot eat the closing quote — so the
+/// caller distinguishes: this function handles escaped strings, and raw
+/// no-hash strings are close-on-first-quote, which `\` handling respects
+/// because a raw string cannot contain `\"` before its terminator without
+/// also terminating.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek() {
+        match c {
+            b'\\' => {
+                cur.bump();
+                cur.bump();
+            }
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Disambiguate `'a'` (char), `'\n'` (escaped char), `'a` (lifetime).
+/// The cursor sits on the opening `'`.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // '
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: consume escape then to closing quote.
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                cur.bump();
+                if c == b'\'' {
+                    break;
+                }
+            }
+            TokenKind::Literal
+        }
+        Some(c) if is_ident_start(c) => {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+                TokenKind::Literal
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // Single-char literal like '(' or '9'.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            TokenKind::Literal
+        }
+        None => TokenKind::Lifetime,
+    }
+}
+
+/// Consume a numeric literal; the cursor sits on its first digit.
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut is_float = false;
+    let radix_prefixed = cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+        );
+    if radix_prefixed {
+        cur.bump();
+        cur.bump();
+        while cur
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            cur.bump();
+        }
+        return TokenKind::Int;
+    }
+    while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump();
+    }
+    // Fractional part — only when followed by a digit, so `1..n` ranges and
+    // `1.max(2)` method calls stay integer + punct.
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        is_float = true;
+        cur.bump();
+        while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            cur.bump();
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(), Some(b'e') | Some(b'E')) {
+        let sign = matches!(cur.peek_at(1), Some(b'+') | Some(b'-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek_at(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            cur.bump();
+            if sign {
+                cur.bump();
+            }
+            while cur.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                cur.bump();
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    if cur.peek().is_some_and(is_ident_start) {
+        if matches!(cur.peek(), Some(b'f') | Some(b'F')) {
+            is_float = true;
+        }
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+    }
+    if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = texts("let x = a.unwrap();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let src = r#"let s = "call .unwrap() and partial_cmp here";"#;
+        let toks = texts(src);
+        assert!(toks
+            .iter()
+            .all(|(_, t)| t != "unwrap" && t != "partial_cmp"));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_content() {
+        let src = "let s = r#\"nested \"quote\" with .unwrap()\"#; let t = done;";
+        let toks = texts(src);
+        assert!(toks.iter().all(|(_, t)| t != "unwrap"));
+        assert!(toks.iter().any(|(_, t)| t == "done"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let src = "/* outer /* inner .unwrap() */ still comment */ let x = 1;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed
+            .tokens
+            .iter()
+            .all(|t| t.text(src) != "unwrap" && t.text(src) != "inner"));
+        assert!(lexed.tokens.iter().any(|t| t.text(src) == "let"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(c: char) { let q = '\\''; let p = '('; let x: &'a u8 = &0; }";
+        let toks = texts(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'('"));
+    }
+
+    #[test]
+    fn numbers_classify_float_vs_int() {
+        let toks = texts("1 1.5 2e3 0xFF 1_000u64 3f64 1..4 1.max(2)");
+        let kinds: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(kinds[0], TokenKind::Int);
+        assert_eq!(kinds[1], TokenKind::Float);
+        assert_eq!(kinds[2], TokenKind::Float);
+        assert_eq!(kinds[3], TokenKind::Int);
+        assert_eq!(kinds[4], TokenKind::Int);
+        assert_eq!(kinds[5], TokenKind::Float);
+        // 1..4 lexes as Int Punct Punct Int.
+        assert_eq!(
+            &kinds[6..9],
+            &[TokenKind::Int, TokenKind::Punct, TokenKind::Punct]
+        );
+        // 1.max(2): the 1 stays an integer.
+        assert_eq!(kinds[10], TokenKind::Int);
+    }
+
+    #[test]
+    fn line_and_col_are_tracked() {
+        let src = "a\n  b";
+        let toks = lex(src).tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_ident_is_one_token() {
+        let toks = texts("let r#match = 1;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#match".into()));
+    }
+}

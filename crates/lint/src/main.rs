@@ -1,0 +1,86 @@
+//! `mlf-lint` CLI: lint the workspace (or given paths) and exit nonzero
+//! on findings.
+//!
+//! ```text
+//! cargo run -p mlf-lint -- [--json] [paths…]
+//! ```
+//!
+//! Exit codes follow the `mlf-bench` convention: 0 clean, 1 findings,
+//! 2 bad invocation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+mlf-lint: workspace determinism-and-hygiene static analyzer
+
+USAGE:
+    cargo run -p mlf-lint -- [OPTIONS] [PATHS…]
+
+OPTIONS:
+    --json     emit the report as JSON on stdout
+    --list     list the registered rules and exit
+    --help     show this help
+
+PATHS default to the workspace root. Exit code 0 = clean, 1 = findings,
+2 = bad invocation.";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
+            "--list" => {
+                for rule in mlf_lint::rules::ALL {
+                    println!("{:<24} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("mlf-lint: unknown flag `{flag}`\n\n{HELP}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+    }
+
+    // The workspace root: two levels above this crate's manifest. Anchors
+    // both the default scan and the relative paths findings report.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."));
+    if paths.is_empty() {
+        paths.push(root.clone());
+    }
+    for p in &paths {
+        if !p.exists() {
+            eprintln!("mlf-lint: no such path `{}`", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let cfg = mlf_lint::Config::workspace();
+    let report = match mlf_lint::lint_paths(&root, &paths, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mlf-lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", mlf_lint::to_json(&report));
+    } else {
+        print!("{}", mlf_lint::to_human(&report));
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: ambient entropy sources in deterministic library code (3 findings).
+pub fn jitter_seed() -> u64 {
+    let started = std::time::Instant::now();
+    let salt = if std::env::var("MLF_SEED").is_ok() { 1 } else { 0 };
+    started.elapsed().as_nanos() as u64 ^ salt
+}
+
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

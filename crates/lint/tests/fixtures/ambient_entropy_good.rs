@@ -1,0 +1,8 @@
+// Fixture: entropy arrives through explicit parameters.
+pub fn jitter_seed(seed: u64, salt: u64) -> u64 {
+    seed ^ salt
+}
+
+pub fn worker_tag(worker_index: usize) -> String {
+    format!("worker-{worker_index}")
+}

@@ -1,0 +1,8 @@
+// Fixture: `as` float<->int casts in a hot-path file (3 findings).
+pub fn mean(total: u64, n: u64) -> f64 {
+    total as f64 / n as f64
+}
+
+pub fn quantum() -> usize {
+    2.5 as usize
+}

@@ -1,0 +1,8 @@
+// Fixture: lossless conversions only.
+pub fn mean(total: u32, n: u32) -> f64 {
+    f64::from(total) / f64::from(n.max(1))
+}
+
+pub fn quantum() -> usize {
+    2
+}

@@ -1,0 +1,14 @@
+// Fixture: a reasoned allow suppresses exactly its target line, and an
+// allow-file covers the whole file for its rule. Expected: clean.
+
+// mlf-lint: allow-file(print-debug, reason = "fixture exercising file-wide suppression")
+
+pub fn capacity(raw: Option<f64>) -> f64 {
+    // mlf-lint: allow(panic-unwrap, reason = "fixture invariant: caller always sets capacity")
+    raw.expect("capacity was set")
+}
+
+pub fn report(x: f64) {
+    println!("x = {x}");
+    eprintln!("covered by the allow-file above");
+}

@@ -1,0 +1,11 @@
+// Fixture: invalid directives are themselves findings (3 findings:
+// unknown rule, missing reason, unused allow).
+
+// mlf-lint: allow(no-such-rule, reason = "this rule does not exist")
+pub fn a() {}
+
+// mlf-lint: allow(panic-unwrap)
+pub fn b() {}
+
+// mlf-lint: allow(print-debug, reason = "nothing on the next line prints")
+pub fn c() {}

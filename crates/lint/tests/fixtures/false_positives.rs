@@ -1,0 +1,20 @@
+// Fixture: trigger text inside strings, raw strings, and comments must
+// never fire. Linted as deterministic library code; expected: clean.
+
+/* Block comment mentioning HashMap.iter() and Instant::now() and unwrap():
+   /* nested block: panic!("still a comment") and partial_cmp */
+   end of outer comment. */
+
+// Line comment with dbg!(x) and SystemTime::now() and 2.5 as usize.
+
+pub const PLAIN: &str = "call .unwrap() then panic! while walking counts.iter()";
+pub const ESCAPED: &str = "quote \" then env::var(\"HOME\").unwrap() inside";
+pub const RAW: &str = r#"m.iter() and "SystemTime" and dbg!(x) and 2.5 as f64"#;
+pub const HASHED: &str = r##"raw with "# inside: thread::current().unwrap()"##;
+pub const BYTES: &[u8] = b"panic! inside a byte string: RandomState";
+
+pub fn lifetime_not_char<'a>(s: &'a str) -> &'a str {
+    let _apostrophe = '\'';
+    let _quote = '"';
+    s
+}

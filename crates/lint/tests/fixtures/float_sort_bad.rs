@@ -1,0 +1,9 @@
+// Fixture: partial_cmp comparators in sort sinks (2 findings).
+pub fn sort_rates(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+}
+
+pub fn max_rate(v: &[f64]) -> Option<&f64> {
+    v.iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Less))
+}

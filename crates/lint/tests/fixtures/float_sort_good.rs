@@ -1,0 +1,8 @@
+// Fixture: total_cmp comparators are NaN-safe and bit-stable.
+pub fn sort_rates(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn max_rate(v: &[f64]) -> Option<&f64> {
+    v.iter().max_by(|a, b| a.total_cmp(b))
+}

@@ -1,0 +1,4 @@
+// Fixture: bare #[ignore] (1 finding).
+#[test]
+#[ignore]
+fn slow_sweep() {}

@@ -1,0 +1,4 @@
+// Fixture: #[ignore] with a reason string.
+#[test]
+#[ignore = "full 100x100 grid takes minutes; run explicitly"]
+fn slow_sweep() {}

@@ -1,0 +1,24 @@
+// Fixture: order-dependent walks over unordered maps (2 findings).
+use std::collections::HashMap;
+
+pub struct Registry {
+    counts: HashMap<String, u32>,
+}
+
+impl Registry {
+    pub fn total(&self) -> u32 {
+        let mut sum = 0;
+        for (_name, n) in self.counts.iter() {
+            sum += n;
+        }
+        sum
+    }
+
+    pub fn names(&self) -> u32 {
+        let mut seen = 0;
+        for _pair in &self.counts {
+            seen += 1;
+        }
+        seen
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: order-independent map use plus an explicit insertion-order walk.
+use std::collections::HashMap;
+
+pub struct Registry {
+    counts: HashMap<String, u32>,
+    order: Vec<String>,
+}
+
+impl Registry {
+    pub fn add(&mut self, name: String) {
+        if !self.counts.contains_key(&name) {
+            self.counts.insert(name.clone(), 0);
+            self.order.push(name);
+        }
+    }
+
+    pub fn total(&self) -> u32 {
+        let mut sum = 0;
+        for name in &self.order {
+            sum += self.counts.get(name).copied().unwrap_or(0);
+        }
+        sum
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: panicking constructs in library code (3 findings).
+pub fn first(v: &[u32]) -> u32 {
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    *v.first().unwrap()
+}
+
+pub fn capacity(raw: Option<f64>) -> f64 {
+    raw.expect("capacity was set")
+}

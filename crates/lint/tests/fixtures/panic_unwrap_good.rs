@@ -1,0 +1,16 @@
+// Fixture: typed errors in library code; unwrap stays legal inside tests.
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn capacity(raw: Option<f64>) -> Result<f64, &'static str> {
+    raw.ok_or("capacity was never set")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: stdout writes and debug scaffolding in library code (3 findings).
+pub fn report(x: f64) {
+    println!("x = {x}");
+    eprintln!("still here");
+    let _ = dbg!(x);
+}

@@ -1,0 +1,4 @@
+// Fixture: return data and let the caller render it.
+pub fn report(x: f64) -> String {
+    format!("x = {x}")
+}

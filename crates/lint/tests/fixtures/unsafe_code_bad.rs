@@ -1,0 +1,4 @@
+// Fixture: unsafe outside the allowlist (1 finding).
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

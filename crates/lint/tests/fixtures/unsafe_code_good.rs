@@ -1,0 +1,4 @@
+// Fixture: safe code only.
+pub fn peek(v: &[u32], i: usize) -> Option<u32> {
+    v.get(i).copied()
+}

@@ -101,7 +101,9 @@ impl PathFinder {
         let mut route = Vec::new();
         let mut cur = to;
         while cur != from {
-            let (prev, link) = self.parent[cur.0].expect("parent chain is complete");
+            // `seen[to]` implies a complete parent chain back to `from`; a
+            // broken chain degrades to "no route" rather than panicking.
+            let (prev, link) = self.parent[cur.0]?;
             route.push(link);
             cur = prev;
         }

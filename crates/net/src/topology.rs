@@ -30,6 +30,17 @@ use crate::network::Network;
 use crate::session::Session;
 use std::fmt;
 
+/// Add a link whose endpoints and capacity are valid by construction.
+///
+/// Every builder in this module creates its own nodes, never self-loops, and
+/// takes capacities already validated (or drawn from a positive range), so
+/// [`Graph::add_link`] cannot fail here; a failure is a builder bug.
+fn must_link(g: &mut Graph, a: NodeId, b: NodeId, capacity: f64) -> LinkId {
+    g.add_link(a, b, capacity)
+        // mlf-lint: allow(panic-unwrap, reason = "single funnel for the by-construction link invariant shared by every topology builder")
+        .expect("topology builders only add valid links")
+}
+
 /// A star (Figure 7): `sender --shared--> hub --fanout_k--> receiver_k`.
 #[derive(Debug, Clone)]
 pub struct Star {
@@ -54,14 +65,12 @@ pub fn star(shared_capacity: f64, fanout_capacities: &[f64]) -> Star {
     let mut graph = Graph::new();
     let sender = graph.add_node();
     let hub = graph.add_node();
-    let shared_link = graph
-        .add_link(sender, hub, shared_capacity)
-        .expect("star shared link");
+    let shared_link = must_link(&mut graph, sender, hub, shared_capacity);
     let mut receivers = Vec::with_capacity(fanout_capacities.len());
     let mut fanout_links = Vec::with_capacity(fanout_capacities.len());
     for &c in fanout_capacities {
         let r = graph.add_node();
-        let l = graph.add_link(hub, r, c).expect("star fanout link");
+        let l = must_link(&mut graph, hub, r, c);
         receivers.push(r);
         fanout_links.push(l);
     }
@@ -82,6 +91,7 @@ pub fn star_network(n_receivers: usize, shared_capacity: f64, fanout_capacity: f
     let caps = vec![fanout_capacity; n_receivers];
     let s = star(shared_capacity, &caps);
     Network::new(s.graph, vec![Session::multi_rate(s.sender, s.receivers)])
+        // mlf-lint: allow(panic-unwrap, reason = "a star is a tree, so every receiver is reachable and Network::new cannot fail")
         .expect("star network is routable by construction")
 }
 
@@ -93,7 +103,7 @@ pub fn chain(capacities: &[f64]) -> (Graph, Vec<NodeId>, Vec<LinkId>) {
     let links = capacities
         .iter()
         .enumerate()
-        .map(|(i, &c)| g.add_link(nodes[i], nodes[i + 1], c).expect("chain link"))
+        .map(|(i, &c)| must_link(&mut g, nodes[i], nodes[i + 1], c))
         .collect();
     (g, nodes, links)
 }
@@ -132,21 +142,19 @@ pub fn dumbbell(
     let mut g = Graph::new();
     let hub_l = g.add_node();
     let hub_r = g.add_node();
-    let bottleneck = g
-        .add_link(hub_l, hub_r, bottleneck_capacity)
-        .expect("dumbbell bottleneck");
+    let bottleneck = must_link(&mut g, hub_l, hub_r, bottleneck_capacity);
     let mut senders = Vec::new();
     let mut sender_access = Vec::new();
     for _ in 0..left_count {
         let n = g.add_node();
-        sender_access.push(g.add_link(n, hub_l, access_capacity).expect("access"));
+        sender_access.push(must_link(&mut g, n, hub_l, access_capacity));
         senders.push(n);
     }
     let mut receivers = Vec::new();
     let mut receiver_access = Vec::new();
     for _ in 0..right_count {
         let n = g.add_node();
-        receiver_access.push(g.add_link(hub_r, n, access_capacity).expect("access"));
+        receiver_access.push(must_link(&mut g, hub_r, n, access_capacity));
         receivers.push(n);
     }
     Dumbbell {
@@ -177,7 +185,7 @@ pub fn kary_tree(
         for p in parents {
             for _ in 0..arity {
                 let c = g.add_node();
-                g.add_link(p, c, capacity_at(level)).expect("tree link");
+                must_link(&mut g, p, c, capacity_at(level));
                 this_level.push(c);
             }
         }
@@ -230,7 +238,7 @@ pub fn random_tree(seed: u64, node_count: usize, cap_lo: f64, cap_hi: f64) -> Gr
     for k in 1..node_count {
         let parent = nodes[rng.below(k)];
         let cap = rng.range_f64(cap_lo, cap_hi);
-        g.add_link(parent, nodes[k], cap).expect("tree link");
+        must_link(&mut g, parent, nodes[k], cap);
     }
     g
 }
@@ -468,7 +476,7 @@ impl TopologyFamily {
                 for k in 1..node_count {
                     let parent = nodes[(k - 1) / arity];
                     let cap = rng.range_f64(cap_lo, cap_hi);
-                    g.add_link(parent, nodes[k], cap).expect("kary link");
+                    must_link(&mut g, parent, nodes[k], cap);
                 }
                 g
             }
@@ -480,7 +488,7 @@ impl TopologyFamily {
                 for k in 1..transit {
                     let parent = nodes[rng.below(k)];
                     let cap = TRANSIT_CAPACITY_SCALE * rng.range_f64(cap_lo, cap_hi);
-                    g.add_link(parent, nodes[k], cap).expect("core link");
+                    must_link(&mut g, parent, nodes[k], cap);
                 }
                 // Stub domains: domain d starts at its transit node and
                 // grows by random attachment within itself.
@@ -489,7 +497,7 @@ impl TopologyFamily {
                     let domain = &mut domains[(i - transit) % transit];
                     let parent = domain[rng.below(domain.len())];
                     let cap = rng.range_f64(cap_lo, cap_hi);
-                    g.add_link(parent, stub, cap).expect("stub link");
+                    must_link(&mut g, parent, stub, cap);
                     domain.push(stub);
                 }
                 g
@@ -499,8 +507,8 @@ impl TopologyFamily {
                 let mut g = Graph::new();
                 let hub_l = g.add_node();
                 let hub_r = g.add_node();
-                g.add_link(hub_l, hub_r, rng.range_f64(cap_lo, cap_hi))
-                    .expect("bottleneck");
+                let cap = rng.range_f64(cap_lo, cap_hi);
+                must_link(&mut g, hub_l, hub_r, cap);
                 for leaf in 2..node_count {
                     // First two leaves pin one per side; the rest coin-flip.
                     let left = match leaf {
@@ -511,7 +519,7 @@ impl TopologyFamily {
                     let hub = if left { hub_l } else { hub_r };
                     let n = g.add_node();
                     let cap = 2.0 * rng.range_f64(cap_lo, cap_hi);
-                    g.add_link(hub, n, cap).expect("access link");
+                    must_link(&mut g, hub, n, cap);
                 }
                 g
             }
@@ -533,6 +541,7 @@ pub fn random_network_with(
     family.validate_request(node_count, session_count, max_receivers)?;
     let graph = family.build_graph(seed, node_count, 1.0, 10.0)?;
     let sessions = random_sessions(&graph, seed, session_count, max_receivers);
+    // mlf-lint: allow(panic-unwrap, reason = "every TopologyFamily generator emits a connected tree, so routing always succeeds")
     Ok(Network::new(graph, sessions).expect("family graphs are trees, hence routable"))
 }
 

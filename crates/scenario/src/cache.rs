@@ -381,6 +381,55 @@ mod tests {
     }
 
     #[test]
+    fn behavior_depends_only_on_the_operation_sequence() {
+        // Every `SolveCache` instance owns `HashMap`s with their own
+        // `RandomState` seeds, so any internal reliance on map iteration
+        // order (e.g. for eviction) would make two caches replaying the
+        // same operation trace diverge. Replay several permuted traces on
+        // independent instances and require identical per-op results,
+        // identical stats, and identical surviving entries.
+        let orders: [[u64; 6]; 4] = [
+            [0, 1, 2, 3, 4, 5],
+            [5, 4, 3, 2, 1, 0],
+            [3, 0, 5, 2, 4, 1],
+            [2, 5, 0, 4, 1, 3],
+        ];
+        for order in orders {
+            let run = |order: &[u64]| {
+                let mut c = SolveCache::with_capacity(3, 3);
+                let mut trace = Vec::new();
+                for &s in order {
+                    let k = key(s, LinkRateModel::Efficient);
+                    trace.push(c.point(&k).map(|p| p.seed));
+                    c.insert_point(k, dummy_point(s));
+                }
+                // Final lookups over every key: capacity 3 must have kept
+                // exactly the last three inserts, FIFO order, regardless of
+                // the maps' hash seeds.
+                for &s in order {
+                    trace.push(c.point(&key(s, LinkRateModel::Efficient)).map(|p| p.seed));
+                }
+                (trace, c.stats())
+            };
+            let (trace_a, stats_a) = run(&order);
+            let (trace_b, stats_b) = run(&order);
+            assert_eq!(trace_a, trace_b, "instance-dependent trace for {order:?}");
+            assert_eq!(stats_a, stats_b, "instance-dependent stats for {order:?}");
+            let survivors: Vec<Option<u64>> = order[..3].iter().map(|_| None).collect();
+            assert_eq!(
+                &trace_a[6..9],
+                &survivors[..],
+                "first three inserts of {order:?} must be evicted (FIFO)"
+            );
+            assert_eq!(
+                &trace_a[9..],
+                &order[3..].iter().map(|&s| Some(s)).collect::<Vec<_>>()[..],
+                "last three inserts of {order:?} must survive"
+            );
+        }
+    }
+
+    #[test]
     fn model_parameters_key_by_bit_pattern() {
         let mut c = SolveCache::new();
         c.insert_point(key(0, LinkRateModel::Scaled(2.0)), dummy_point(0));

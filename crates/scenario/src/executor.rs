@@ -126,6 +126,7 @@ where
             })
             .collect();
         for worker in workers {
+            // mlf-lint: allow(panic-unwrap, reason = "re-raising a worker panic on the coordinating thread is the correct failure mode; swallowing it would silently drop that shard's results")
             let (shard_outputs, state) = worker.join().expect("sweep worker panicked");
             outputs.extend(shard_outputs);
             states.push(state);

@@ -472,6 +472,7 @@ impl Scenario {
                 sessions,
                 max_receivers,
             } => random_network_with(*family, seed, *nodes, *sessions, *max_receivers)
+                // mlf-lint: allow(panic-unwrap, reason = "ScenarioBuilder::build already rejected invalid random-source parameters, so regeneration cannot fail")
                 .expect("random-source parameters were validated at build time"),
         }
     }
@@ -500,6 +501,7 @@ impl Scenario {
             } else {
                 self.allocator
                     .solve_with(net, &cfg, ws)
+                    // mlf-lint: allow(panic-unwrap, reason = "build()/sweep_grid() already rejected allocator/link-rate combinations that solve_with cannot handle")
                     .expect("allocator link-rate support was validated at build time")
             };
         let fairness = self
@@ -1098,6 +1100,50 @@ mod tests {
             .unwrap()
             .sweep_grid(&grid);
         assert_eq!(cold.points, fresh.points);
+    }
+
+    #[test]
+    fn permuted_cache_population_order_preserves_stats_and_output() {
+        // Warm two identical scenarios through grids that visit the same
+        // cells in different orders, then sweep both with the canonical
+        // grid. The caches were *populated* in different orders, so any
+        // iteration-order dependence inside the cache (or hash-seed
+        // dependence across instances) would surface as diverging stats or
+        // points here.
+        let models = [
+            LinkRateModel::Efficient,
+            LinkRateModel::Scaled(2.0),
+            LinkRateModel::Sum,
+        ];
+        let canonical = SweepGrid::seeds(0..6).with_models(models);
+        let permuted = SweepGrid::seeds((0..6).rev()).with_models({
+            let mut m = models;
+            m.reverse();
+            m
+        });
+        let build = || {
+            Scenario::builder()
+                .random_networks(14, 4, 4)
+                .allocator(MultiRate::new())
+                .build()
+                .unwrap()
+        };
+        let mut a = build();
+        let mut b = build();
+        a.sweep_grid(&canonical);
+        b.sweep_grid(&permuted);
+        let out_a = a.sweep_grid(&canonical);
+        let out_b = b.sweep_grid(&canonical);
+        assert_eq!(out_a, out_b, "sweep output depends on population order");
+        assert_eq!(
+            (out_a.cache.hits, out_a.cache.misses),
+            (18, 0),
+            "canonical replay after canonical warmup must be all hits"
+        );
+        assert_eq!(
+            out_a.cache, out_b.cache,
+            "cache stats depend on population order"
+        );
     }
 
     #[test]

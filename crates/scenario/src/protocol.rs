@@ -108,6 +108,7 @@ impl Default for ProtocolScenarioBuilder {
         ProtocolScenarioBuilder {
             label: "protocol-scenario".to_string(),
             template: ExperimentParams::quick(0.0001, 0.0)
+                // mlf-lint: allow(panic-unwrap, reason = "the default losses are compile-time constants inside the validated range")
                 .expect("static default losses are valid"),
         }
     }
@@ -413,6 +414,7 @@ impl ProtocolScenario {
             ..self.template
         }
         .with_independent_loss(loss)
+        // mlf-lint: allow(panic-unwrap, reason = "sweep_par validates the whole grid before any job is built, so every grid loss is in range here")
         .expect("grid losses are validated at sweep entry");
         ProtocolSweepPoint {
             kind,
@@ -438,6 +440,7 @@ impl ProtocolScenario {
         independent_loss: f64,
         seed: u64,
     ) -> ProtocolSweepPoint {
+        // mlf-lint: allow(panic-unwrap, reason = "eager loss validation with a panic mirrors the documented sweep()/sweep_par() contract for caller-bug inputs")
         validate_loss("independent", independent_loss).unwrap_or_else(|e| panic!("{e}"));
         self.solve_job(&ProtocolJob {
             kind,
@@ -468,6 +471,7 @@ impl ProtocolScenario {
     /// Panics if the grid fails [`ProtocolSweepGrid::validate`].
     pub fn sweep_par(&self, grid: &ProtocolSweepGrid, threads: usize) -> ProtocolSweepReport {
         if let Err(e) = grid.validate() {
+            // mlf-lint: allow(panic-unwrap, reason = "documented '# Panics' contract: an invalid grid is a caller bug, and validate() offers the typed alternative")
             panic!("{e}");
         }
         let jobs = grid.jobs(&self.template);

@@ -190,6 +190,12 @@ pub struct StarReport {
     pub final_levels: Vec<usize>,
 }
 
+/// Exact `num / den` as `f64`.
+fn ratio(num: u64, den: u64) -> f64 {
+    // mlf-lint: allow(as-float-cast, reason = "slot and packet counters stay far below 2^53 for any feasible run length, so both casts are exact")
+    num as f64 / den as f64
+}
+
 impl StarReport {
     /// The shared link's long-term redundancy (Definition 3):
     /// `carried / max_r offered_r`. `None` if no receiver was offered
@@ -199,17 +205,17 @@ impl StarReport {
         if max == 0 {
             return None;
         }
-        Some(self.shared_carried as f64 / max as f64)
+        Some(ratio(self.shared_carried, max))
     }
 
     /// Mean requested subscription level of a receiver over the run.
     pub fn mean_level(&self, r: usize) -> f64 {
-        self.level_slot_sum[r] as f64 / self.slots as f64
+        ratio(self.level_slot_sum[r], self.slots)
     }
 
     /// A receiver's goodput in packets per slot.
     pub fn goodput(&self, r: usize) -> f64 {
-        self.delivered[r] as f64 / self.slots as f64
+        ratio(self.delivered[r], self.slots)
     }
 
     /// A receiver's observed loss rate among requested packets.
@@ -217,7 +223,7 @@ impl StarReport {
         if self.offered[r] == 0 {
             0.0
         } else {
-            self.congestion_events[r] as f64 / self.offered[r] as f64
+            ratio(self.congestion_events[r], self.offered[r])
         }
     }
 }

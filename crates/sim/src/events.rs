@@ -110,7 +110,9 @@ impl<E> EventQueue<E> {
     pub fn drain_until(&mut self, t: Tick) -> Vec<(Tick, E)> {
         let mut out = Vec::new();
         while self.peek_time().is_some_and(|at| at <= t) {
-            out.push(self.pop().expect("peeked"));
+            // A successful peek guarantees the pop; `break` degrades safely.
+            let Some(ev) = self.pop() else { break };
+            out.push(ev);
         }
         self.advance_clock(t);
         out

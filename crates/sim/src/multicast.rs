@@ -227,7 +227,10 @@ impl MembershipTable {
     /// Apply all membership changes due at or before `now`.
     pub fn advance_to(&mut self, now: Tick) {
         while self.queue.peek_time().is_some_and(|at| at <= now) {
-            let (_, change) = self.queue.pop().expect("peeked");
+            // A successful peek guarantees the pop; `break` degrades safely.
+            let Some((_, change)) = self.queue.pop() else {
+                break;
+            };
             // Only the most recent request per receiver wins; anything the
             // receiver superseded (or that a zero-latency change already
             // applied past) is dropped.

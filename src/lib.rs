@@ -72,6 +72,41 @@
 //! shims delegating to the `Allocator` implementations, kept so downstream
 //! code compiles unchanged. Migrate call sites to
 //! [`mlf_core::allocator`] or [`mlf_scenario::Scenario`].
+//!
+//! ## Determinism contract
+//!
+//! Every result this workspace produces is a pure function of explicit
+//! inputs (topology, configuration, seeds). Concretely:
+//!
+//! * **Bitwise reproducibility.** The same scenario, grid, and seeds
+//!   produce byte-identical output on every run, at any thread count
+//!   (`sweep_par`/`sweep_grid_par`/`run_jobs_par` merge worker shards in
+//!   canonical order), and with the solve cache warm or cold.
+//! * **No ambient inputs.** Library code takes seeds, times, and
+//!   configuration as parameters — never from wall clocks
+//!   (`Instant`/`SystemTime`), environment variables, or thread identity.
+//!   Randomness comes only from in-tree seeded generators (SplitMix64).
+//! * **No iteration-order dependence.** `HashMap`/`HashSet` are keyed
+//!   stores only; anything order-sensitive (eviction, folds, output)
+//!   walks explicit orders — sorted ids, insertion queues, CSR index
+//!   order.
+//! * **Total float comparisons.** Sorts and extrema over `f64` use
+//!   [`f64::total_cmp`]; a NaN leaking from an upstream model degrades
+//!   deterministically instead of panicking a sweep or flipping an order.
+//! * **Frozen references.** Optimized engines are proven against frozen
+//!   pre-refactor copies (`mlf_core::reference`, `mlf_sim::reference`) by
+//!   bitwise differentials; reference modules only ever change in
+//!   comments.
+//!
+//! The contract is *enforced*, not aspirational: the workspace linter
+//! (`cargo run -p mlf-lint`, in `crates/lint`) checks these invariants —
+//! plus hygiene rules (no `unwrap`/`panic!` in library code, no stray
+//! `unsafe`, no `dbg!`/`println!` in libraries, `#[ignore]` needs a
+//! reason) — token-accurately over the whole tree, and CI fails on any
+//! finding. Deliberate exceptions carry inline
+//! `// mlf-lint: allow(<rule>, reason = "…")` directives whose reasons
+//! are mandatory and whose targets are validated (unknown rules and
+//! unused allows are themselves errors).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
