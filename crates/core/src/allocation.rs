@@ -13,7 +13,7 @@ use mlf_net::{LinkId, Network, ReceiverId, SessionId};
 /// Tolerance used for feasibility and full-utilization comparisons.
 /// Rates in the paper's examples are small integers or simple fractions, so
 /// a relative tolerance is unnecessary.
-pub const RATE_EPS: f64 = 1e-9;
+pub(crate) const RATE_EPS: f64 = 1e-9;
 
 /// An assignment of rates to every receiver of a network, shaped
 /// `[session][receiver]` to mirror [`Network`]'s layout.
@@ -30,6 +30,7 @@ impl Allocation {
     }
 
     /// The all-zeros allocation for a network.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn zeros(net: &Network) -> Self {
         Allocation {
             rates: net
@@ -46,7 +47,7 @@ impl Allocation {
     }
 
     /// Set the rate of a receiver.
-    pub fn set_rate(&mut self, r: ReceiverId, rate: f64) {
+    pub(crate) fn set_rate(&mut self, r: ReceiverId, rate: f64) {
         self.rates[r.session.0][r.index] = rate;
     }
 
@@ -71,7 +72,12 @@ impl Allocation {
 
     /// The rates of session `i`'s receivers whose data-path crosses `link`
     /// (the argument set of `v_i` on that link).
-    pub fn rates_on_link(&self, net: &Network, link: LinkId, session: SessionId) -> Vec<f64> {
+    pub(crate) fn rates_on_link(
+        &self,
+        net: &Network,
+        link: LinkId,
+        session: SessionId,
+    ) -> Vec<f64> {
         net.receivers_of_session_on_link(link, session)
             .iter()
             .map(|&k| self.rates[session.0][k])
@@ -175,6 +181,7 @@ impl Allocation {
     /// The uniform rate of a single-rate (or unicast) session, written `a_i`
     /// in the paper. Panics if called on a multi-receiver multi-rate session
     /// with non-uniform rates — a logic error in the caller.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn session_rate(&self, session: SessionId) -> f64 {
         let rs = &self.rates[session.0];
         let first = rs[0];
@@ -202,6 +209,7 @@ impl Allocation {
 }
 
 /// A specific way an allocation violates feasibility.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone, PartialEq)]
 pub enum FeasibilityViolation {
     /// Allocation shape does not match the network.

@@ -36,6 +36,7 @@ use mlf_net::{LinkId, Network, SessionId};
 
 /// Flat link→session→receiver and receiver→route incidence arrays of one
 /// network (see the [module docs](self) for the layout).
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Default, Clone)]
 pub struct NetworkIndex {
     link_count: usize,
@@ -64,6 +65,7 @@ impl NetworkIndex {
     }
 
     /// Rebuild the index for `net`, reusing all buffers.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn rebuild(&mut self, net: &Network) {
         self.link_count = net.link_count();
         self.session_count = net.session_count();
@@ -118,7 +120,7 @@ impl NetworkIndex {
     }
 
     /// Number of `(link, session)` incidence slots.
-    pub fn slot_count(&self) -> usize {
+    pub(crate) fn slot_count(&self) -> usize {
         self.link_sessions.len()
     }
 
@@ -129,17 +131,18 @@ impl NetworkIndex {
 
     /// The slot range of link `j` (indices into the slot arrays).
     #[inline]
-    pub fn link_slots(&self, j: usize) -> std::ops::Range<usize> {
+    pub(crate) fn link_slots(&self, j: usize) -> std::ops::Range<usize> {
         self.link_offsets[j]..self.link_offsets[j + 1]
     }
 
     /// The session a slot belongs to.
     #[inline]
-    pub fn slot_session(&self, slot: usize) -> usize {
+    pub(crate) fn slot_session(&self, slot: usize) -> usize {
         self.link_sessions[slot]
     }
 
     /// The receiver indices `k ∈ R_{i,j}` of a slot, ascending.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     #[inline]
     pub fn slot_receivers(&self, slot: usize) -> &[usize] {
         &self.slot_receivers[self.slot_recv_offsets[slot]..self.slot_recv_offsets[slot + 1]]
@@ -147,7 +150,7 @@ impl NetworkIndex {
 
     /// How many receivers a slot holds (`|R_{i,j}|`).
     #[inline]
-    pub fn slot_len(&self, slot: usize) -> usize {
+    pub(crate) fn slot_len(&self, slot: usize) -> usize {
         self.slot_recv_offsets[slot + 1] - self.slot_recv_offsets[slot]
     }
 
@@ -158,13 +161,14 @@ impl NetworkIndex {
     }
 
     /// The `(link, slot)` pairs along the data-path of flat receiver `r`.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     #[inline]
     pub fn route_slots(&self, flat: usize) -> &[(usize, usize)] {
         &self.route_slots[self.route_offsets[flat]..self.route_offsets[flat + 1]]
     }
 
     /// The slot of `(link j, session i)`, if session `i` crosses link `j`.
-    pub fn slot_of(&self, j: usize, i: usize) -> Option<usize> {
+    pub(crate) fn slot_of(&self, j: usize, i: usize) -> Option<usize> {
         let range = self.link_slots(j);
         self.link_sessions[range.clone()]
             .binary_search(&i)

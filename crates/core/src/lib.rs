@@ -93,18 +93,20 @@ pub mod theory;
 pub mod unicast;
 pub mod weighted;
 
-pub use allocation::{Allocation, FeasibilityViolation, RATE_EPS};
+pub use allocation::Allocation;
+pub use allocation::FeasibilityViolation;
 pub use allocator::{
     Allocator, Hybrid, MultiRate, Regimes, SingleRate, SolverWorkspace, Unicast, Weighted,
 };
 pub use linkrate::{LinkRateConfig, LinkRateModel};
+pub use maxmin::FreezeReason;
 #[allow(deprecated)]
 pub use maxmin::{
     max_min_allocation, max_min_allocation_with, multi_rate_max_min, single_rate_max_min,
 };
-pub use maxmin::{solve, FreezeReason, MaxMinSolution};
+pub use maxmin::{solve, MaxMinSolution};
 pub use metrics::{jain_index, min_max_spread, satisfaction};
-pub use ordering::{is_min_unfavorable, is_strictly_min_unfavorable, min_unfavorable_cmp, ordered};
+pub use ordering::{is_min_unfavorable, is_strictly_min_unfavorable, ordered};
 pub use properties::{check_all, FairnessReport};
 pub use redundancy::{bottleneck_fair_rate, normalized_fair_rate, redundancy};
 #[allow(deprecated)]

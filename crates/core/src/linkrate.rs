@@ -93,13 +93,14 @@ impl LinkRateModel {
     /// water-filling level (true for `Efficient`, `Scaled`, `Sum`). The
     /// allocator uses an exact piecewise-linear solver for linear models and
     /// falls back to bisection otherwise.
-    pub fn is_piecewise_linear(&self) -> bool {
+    pub(crate) fn is_piecewise_linear(&self) -> bool {
         !matches!(self, LinkRateModel::RandomJoin { .. })
     }
 
     /// Whether this model dominates `other` pointwise (`v(X) ≥ v'(X)` for
     /// all rate sets) — the premise of Lemma 4. Conservative: returns `true`
     /// only for pairs we can prove.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn dominates(&self, other: &LinkRateModel) -> bool {
         use LinkRateModel::*;
         match (self, other) {
@@ -138,6 +139,7 @@ impl LinkRateConfig {
     }
 
     /// Explicit per-session models.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn per_session(models: Vec<LinkRateModel>) -> Self {
         LinkRateConfig { models }
     }
@@ -164,11 +166,12 @@ impl LinkRateConfig {
     }
 
     /// Whether every session is piecewise-linear (enables the exact solver).
-    pub fn all_piecewise_linear(&self) -> bool {
+    pub(crate) fn all_piecewise_linear(&self) -> bool {
         self.models.iter().all(|m| m.is_piecewise_linear())
     }
 
     /// Whether `self` dominates `other` sessionwise (Lemma 4 premise).
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn dominates(&self, other: &LinkRateConfig) -> bool {
         self.len() == other.len()
             && self

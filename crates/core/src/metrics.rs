@@ -38,7 +38,7 @@ pub fn jain_index(alloc: &Allocation) -> f64 {
 /// The isolated rate of each receiver: the minimum capacity along its
 /// data-path, capped by its session's κ — what it would receive were its
 /// session alone in the network (shaped `[session][receiver]`).
-pub fn isolated_rates(net: &Network) -> Vec<Vec<f64>> {
+pub(crate) fn isolated_rates(net: &Network) -> Vec<Vec<f64>> {
     net.sessions()
         .iter()
         .enumerate()
@@ -80,6 +80,7 @@ pub fn satisfaction(net: &Network, alloc: &Allocation) -> f64 {
 
 /// The ratio of the smallest to the largest receiver rate (1.0 when all
 /// equal; 0 when someone is starved). Returns 1.0 for empty allocations.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub fn min_max_spread(alloc: &Allocation) -> f64 {
     let rates: Vec<f64> = alloc.rates().iter().flatten().copied().collect();
     let max = rates.iter().copied().fold(0.0_f64, f64::max);

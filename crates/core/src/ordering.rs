@@ -21,6 +21,7 @@ use std::cmp::Ordering;
 /// Tolerance for rate comparisons within the ordering. Allocator outputs are
 /// exact for the paper's examples, but Monte-Carlo feasible allocations carry
 /// float noise.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub const ORD_EPS: f64 = 1e-9;
 
 /// Sort a rate vector ascending (the "ordered vector" of Definition 2).
@@ -43,7 +44,7 @@ pub fn ordered(rates: &[f64]) -> Vec<f64> {
 ///
 /// Panics if the lengths differ — the ordering is only defined for
 /// allocations over the same receiver set.
-pub fn min_unfavorable_cmp(x: &[f64], y: &[f64]) -> Ordering {
+pub(crate) fn min_unfavorable_cmp(x: &[f64], y: &[f64]) -> Ordering {
     assert_eq!(x.len(), y.len(), "min-unfavorable needs equal lengths");
     debug_assert!(is_sorted(x) && is_sorted(y), "inputs must be ordered");
     for (a, b) in x.iter().zip(y) {
@@ -106,7 +107,7 @@ pub fn lemma2_threshold(x: &[f64], y: &[f64]) -> Option<f64> {
 }
 
 /// Count entries of an ordered vector that are `≤ z` (within tolerance).
-pub fn count_at_or_below(v: &[f64], z: f64) -> usize {
+pub(crate) fn count_at_or_below(v: &[f64], z: f64) -> usize {
     v.iter().filter(|&&a| a <= z + ORD_EPS).count()
 }
 

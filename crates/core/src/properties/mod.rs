@@ -24,7 +24,7 @@ pub mod same_path;
 pub use fully_utilized::check_fully_utilized_receiver_fair;
 pub use per_receiver_link::check_per_receiver_link_fair;
 pub use per_session_link::check_per_session_link_fair;
-pub use same_path::check_same_path_receiver_fair;
+pub(crate) use same_path::check_same_path_receiver_fair;
 
 use crate::allocation::Allocation;
 use crate::linkrate::LinkRateConfig;
@@ -113,6 +113,7 @@ pub fn check_unicast_property1(
 
 /// Unicast Fairness Property 2 on an all-unicast network (same-path
 /// fairness), equivalent to the multicast Property 2 checker.
+// mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
 pub fn check_unicast_property2(net: &Network, alloc: &Allocation) -> Vec<(ReceiverId, ReceiverId)> {
     debug_assert!(net.sessions().iter().all(|s| s.is_unicast()));
     check_same_path_receiver_fair(net, alloc)

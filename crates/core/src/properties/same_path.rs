@@ -16,7 +16,7 @@ use mlf_net::{Network, ReceiverId};
 
 /// Return all unordered receiver pairs with identical data-paths whose rates
 /// violate same-path-receiver-fairness. Empty result ⇒ Property 2 holds.
-pub fn check_same_path_receiver_fair(
+pub(crate) fn check_same_path_receiver_fair(
     net: &Network,
     alloc: &Allocation,
 ) -> Vec<(ReceiverId, ReceiverId)> {
@@ -37,7 +37,12 @@ pub fn check_same_path_receiver_fair(
 
 /// Whether one specific same-path pair satisfies Property 2. Callers must
 /// ensure the pair really shares a data-path.
-pub fn pair_is_fair(net: &Network, alloc: &Allocation, a: ReceiverId, b: ReceiverId) -> bool {
+pub(crate) fn pair_is_fair(
+    net: &Network,
+    alloc: &Allocation,
+    a: ReceiverId,
+    b: ReceiverId,
+) -> bool {
     let ra = alloc.rate(a);
     let rb = alloc.rate(b);
     if (ra - rb).abs() <= RATE_EPS {

@@ -38,6 +38,7 @@ pub fn redundancy(
 /// Measured redundancy from observed byte counts: `carried / max_received`
 /// over a measurement interval. This is the estimator the packet-level
 /// simulator reports (Definition 3 with long-term averages).
+// mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
 pub fn redundancy_from_counts(session_bytes_on_link: f64, max_receiver_bytes: f64) -> Option<f64> {
     if max_receiver_bytes <= 0.0 {
         return None;
@@ -47,6 +48,7 @@ pub fn redundancy_from_counts(session_bytes_on_link: f64, max_receiver_bytes: f6
 
 /// A network-wide redundancy survey: every `(link, session)` pair with a
 /// defined redundancy, useful for audits and the examples.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub fn survey(
     net: &Network,
     cfg: &LinkRateConfig,
@@ -99,6 +101,7 @@ pub fn normalized_fair_rate(fraction_redundant: f64, v: f64) -> f64 {
 
 /// One row of the Figure 6 sweep: redundancy value plus normalized fair rate
 /// for each `m/n` curve.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone, PartialEq)]
 pub struct Figure6Row {
     /// The redundancy `v` (x-axis).

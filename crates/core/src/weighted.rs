@@ -61,6 +61,7 @@ impl Weights {
     }
 
     /// TCP-style weights from per-receiver round-trip times: `w = 1/RTT`.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn from_rtts(rtts: Vec<Vec<f64>>) -> Self {
         Weights {
             w: rtts

@@ -14,6 +14,7 @@ use mlf_core::linkrate::LinkRateConfig;
 use mlf_net::Network;
 
 /// Outcome of the exhaustive fixed-layer max-min search.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone)]
 pub struct FixedLayerAnalysis {
     /// Every feasible allocation (receiver rates drawn from the cumulative
@@ -118,7 +119,7 @@ pub fn analyze(
 /// the literal Definition 1: `A` is max-min fair iff for every feasible `B`
 /// and every receiver `r` with `B_r > A_r`, some receiver `r' ≠ r` has
 /// `A_{r'} ≤ A_r` and `B_{r'} < A_{r'}`.
-pub fn find_max_min(feasible: &[Allocation]) -> Option<Allocation> {
+pub(crate) fn find_max_min(feasible: &[Allocation]) -> Option<Allocation> {
     feasible
         .iter()
         .find(|a| is_max_min_within(a, feasible))

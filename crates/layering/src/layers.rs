@@ -110,6 +110,7 @@ impl LayerSchedule {
     }
 
     /// Whether some subscription level yields exactly `rate`.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn rate_is_achievable(&self, rate: f64) -> bool {
         self.cumulative.iter().any(|&c| (c - rate).abs() <= 1e-12)
     }

@@ -38,10 +38,12 @@ pub mod layers;
 pub mod quantum;
 pub mod randomjoin;
 
-pub use fixed::{analyze, section3_example, FixedLayerAnalysis};
+pub use fixed::FixedLayerAnalysis;
+pub use fixed::{analyze, section3_example};
 pub use layers::LayerSchedule;
 pub use quantum::{
     long_term_redundancy, measured_redundancy, prefix_subsets, random_subsets, rate_quota_schedule,
     SelectionMode,
 };
-pub use randomjoin::{analytic_redundancy, expected_link_rate, figure5_series, Figure5Config};
+pub use randomjoin::expected_link_rate;
+pub use randomjoin::{analytic_redundancy, figure5_series, Figure5Config};

@@ -1,0 +1,5 @@
+# mlf-lint frozen-reference fingerprint (comment/whitespace-normalized).
+# Re-bless a deliberate re-freeze: cargo run -p mlf-lint -- --bless
+file crates/core/src/reference.rs
+tokens 5028
+fnv64 0x1c5635a36322c736

@@ -1,0 +1,5 @@
+# mlf-lint frozen-reference fingerprint (comment/whitespace-normalized).
+# Re-bless a deliberate re-freeze: cargo run -p mlf-lint -- --bless
+file crates/sim/src/reference.rs
+tokens 1502
+fnv64 0xbd74b199de9e20bc

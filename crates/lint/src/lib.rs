@@ -37,9 +37,37 @@
 //! in the contract.
 //!
 //! See [`rules::ALL`] for the rule set and `README`-level rationale on each.
+//!
+//! # The structural pass
+//!
+//! On a whole-workspace run ([`lint_workspace`], and the CLI with no path
+//! arguments) the token rules are joined by an **item-level structural
+//! pass**: the [`parser`] builds item headers (kind, name, visibility,
+//! attributes, `mod`/`impl` nesting) on top of the lexer, and
+//! [`structure`] runs five cross-file analyses over them —
+//! frozen-reference integrity, the crate-layering DAG, public-API surface
+//! snapshots, unused-pub, and differential coverage of frozen modules.
+//! The integrity and API analyses diff against **committed snapshots**
+//! under `crates/lint/snapshots/`:
+//!
+//! ```text
+//! crates/lint/snapshots/
+//! ├── frozen/   one fingerprint file per frozen reference module
+//! │             (comment/whitespace-normalized token-stream FNV-1a 64)
+//! └── api/      one sorted `pub`-item inventory per library crate
+//! ```
+//!
+//! Deliberate changes are **re-blessed** — `cargo run -p mlf-lint --
+//! --bless` regenerates every snapshot deterministically (same sources,
+//! same bytes), so the diff of the snapshot files *is* the review artifact
+//! for a re-freeze or an API change. Structural findings honor the same
+//! `// mlf-lint: allow(rule, reason = "…")` directives as token rules; a
+//! directive above an item (including above its attributes) targets it.
 
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod structure;
 
 use lexer::{lex, Lexed, Token, TokenKind};
 use std::collections::BTreeMap;
@@ -87,6 +115,21 @@ pub struct Config {
     pub unsafe_allow_files: Vec<String>,
     /// Crates classified [`FileClass::Tooling`].
     pub tooling_crates: Vec<String>,
+    /// Workspace-relative files frozen for differential testing: only
+    /// comments and whitespace may change (checked against committed
+    /// fingerprints by [`structure`]).
+    pub frozen_files: Vec<String>,
+    /// The declared crate layering, low → high (directory names under
+    /// `crates/`): every dependency edge must point strictly downward.
+    pub layering: Vec<String>,
+    /// Standalone tooling crates that must depend on no workspace crate
+    /// (and that nothing in the layering may depend on).
+    pub standalone_crates: Vec<String>,
+    /// Crates (directory names; `"root"` = the umbrella crate) whose
+    /// public API surface is snapshotted and diffed.
+    pub api_crates: Vec<String>,
+    /// Workspace-relative directory holding the committed snapshots.
+    pub snapshot_dir: String,
 }
 
 impl Config {
@@ -116,8 +159,42 @@ impl Config {
             ]),
             unsafe_allow_files: v(&["crates/bench/benches/workspace_reuse.rs"]),
             tooling_crates: v(&["bench", "lint"]),
+            frozen_files: v(&[
+                "crates/core/src/reference.rs",
+                "crates/sim/src/reference.rs",
+            ]),
+            layering: v(&[
+                "net",
+                "core",
+                "layering",
+                "sim",
+                "protocols",
+                "scenario",
+                "bench",
+            ]),
+            standalone_crates: v(&["lint"]),
+            api_crates: v(&[
+                "root",
+                "net",
+                "core",
+                "layering",
+                "sim",
+                "protocols",
+                "scenario",
+            ]),
+            snapshot_dir: "crates/lint/snapshots".to_string(),
         }
     }
+}
+
+/// Every rule name an allow directive may target: token rules, structural
+/// rules, and the directive meta-rules are all addressable.
+pub fn known_rule_names() -> Vec<&'static str> {
+    rules::ALL
+        .iter()
+        .map(|r| r.name)
+        .chain(structure::STRUCTURAL.iter().map(|(n, _)| *n))
+        .collect()
 }
 
 /// One diagnostic: rule, location, message.
@@ -348,7 +425,7 @@ fn parse_directives(
     rel: &str,
     findings: &mut Vec<Finding>,
 ) -> Vec<Directive> {
-    let known: Vec<&str> = rules::ALL.iter().map(|r| r.name).collect();
+    let known = known_rule_names();
     let mut directives = Vec::new();
     for c in &lexed.comments {
         let body = &src[c.start..c.end];
@@ -444,17 +521,12 @@ fn parse_directives(
     directives
 }
 
-/// Lint one file's source. `rel` chooses the scope class and per-file
-/// policy; pass workspace-relative paths (`crates/core/src/maxmin.rs`).
-pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
-    let Some(info) = classify(rel, cfg) else {
-        return Vec::new();
-    };
-    let lexed = lex(src);
+/// The token-rule findings for one file, before directive resolution.
+fn raw_token_findings(info: &FileInfo, src: &str, lexed: &Lexed, cfg: &Config) -> Vec<Finding> {
     let in_test = test_regions(&lexed.tokens, src);
     let ctx = FileCtx {
         src,
-        info: &info,
+        info,
         tokens: &lexed.tokens,
         in_test: &in_test,
         cfg,
@@ -463,8 +535,26 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     for rule in rules::ALL {
         (rule.check)(&ctx, &mut findings);
     }
+    findings
+}
+
+/// Resolve suppression directives against `findings` for one file: drop
+/// suppressed findings, add `bad-allow`/`unused-allow` meta-findings.
+///
+/// `structural_ran` says whether the structural pass contributed findings
+/// for this run: when it did not (per-file linting via [`lint_source`] /
+/// [`lint_paths`]), allows naming structural rules are exempt from the
+/// unused-allow check — they may well suppress something on the full
+/// workspace run.
+fn apply_directives(
+    rel: &str,
+    src: &str,
+    lexed: &Lexed,
+    mut findings: Vec<Finding>,
+    structural_ran: bool,
+) -> Vec<Finding> {
     let mut meta_findings = Vec::new();
-    let mut directives = parse_directives(&lexed, src, rel, &mut meta_findings);
+    let mut directives = parse_directives(lexed, src, rel, &mut meta_findings);
     findings.retain(|f| {
         let suppressed = directives.iter_mut().any(|d| {
             let hit = d.rule == f.rule && (d.file_wide || d.targets.contains(&f.line));
@@ -475,8 +565,9 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
         });
         !suppressed
     });
+    let structural_rule = |name: &str| structure::STRUCTURAL.iter().any(|(n, _)| *n == name);
     for d in &directives {
-        if !d.used {
+        if !d.used && (structural_ran || !structural_rule(&d.rule)) {
             meta_findings.push(Finding {
                 rule: meta::UNUSED_ALLOW,
                 path: rel.to_string(),
@@ -494,6 +585,19 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
     findings
 }
 
+/// Lint one file's source with the token rules. `rel` chooses the scope
+/// class and per-file policy; pass workspace-relative paths
+/// (`crates/core/src/maxmin.rs`). The structural pass needs the whole
+/// workspace and runs only in [`lint_workspace`].
+pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let Some(info) = classify(rel, cfg) else {
+        return Vec::new();
+    };
+    let lexed = lex(src);
+    let findings = raw_token_findings(&info, src, &lexed, cfg);
+    apply_directives(rel, src, &lexed, findings, false)
+}
+
 /// A whole-run report.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -501,6 +605,19 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files actually linted (in-scope `.rs` files).
     pub files_scanned: usize,
+    /// Whether the structural pass ran (whole-workspace runs only).
+    pub structural: bool,
+}
+
+/// One in-scope source file loaded for a workspace run.
+#[derive(Debug)]
+pub struct LoadedFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The raw source text.
+    pub src: String,
+    /// The classification [`classify`] produced.
+    pub info: FileInfo,
 }
 
 /// Recursively collect `.rs` files under `path`, sorted for deterministic
@@ -532,8 +649,10 @@ fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every in-scope `.rs` file under `paths` (workspace `root` anchors
-/// the relative paths used for classification and reporting).
+/// Lint every in-scope `.rs` file under `paths` with the token rules
+/// (workspace `root` anchors the relative paths used for classification
+/// and reporting). For the full contract — token rules *plus* the
+/// structural pass — use [`lint_workspace`].
 pub fn lint_paths(root: &Path, paths: &[PathBuf], cfg: &Config) -> io::Result<Report> {
     let mut files = Vec::new();
     for p in paths {
@@ -555,6 +674,74 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf], cfg: &Config) -> io::Result<Re
         report.files_scanned += 1;
         report.findings.extend(lint_source(&rel, &src, cfg));
     }
+    Ok(report)
+}
+
+/// Load every in-scope `.rs` file of the workspace rooted at `root`, in
+/// sorted path order.
+pub fn load_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<LoadedFile>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    files.dedup();
+    let mut loaded = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(info) = classify(&rel, cfg) else {
+            continue;
+        };
+        loaded.push(LoadedFile {
+            rel,
+            src: fs::read_to_string(file)?,
+            info,
+        });
+    }
+    Ok(loaded)
+}
+
+/// Lint the whole workspace: token rules over every in-scope file, plus
+/// the item-level structural pass ([`structure::analyze`]). Directive
+/// resolution sees the union, so one `allow(unused-pub, …)` both
+/// suppresses its structural finding and is validated as used.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let loaded = load_workspace(root, cfg)?;
+    // Raw findings grouped per file; structural findings may also land on
+    // non-Rust paths (Cargo.toml, snapshot files), which carry no
+    // directives and pass through unfiltered.
+    let mut per_file: BTreeMap<&str, Vec<Finding>> = BTreeMap::new();
+    let mut passthrough: Vec<Finding> = Vec::new();
+    let mut lexed_by_rel: BTreeMap<&str, Lexed> = BTreeMap::new();
+    for f in &loaded {
+        let lexed = lex(&f.src);
+        let raw = raw_token_findings(&f.info, &f.src, &lexed, cfg);
+        per_file.insert(f.rel.as_str(), raw);
+        lexed_by_rel.insert(f.rel.as_str(), lexed);
+    }
+    for finding in structure::analyze(root, &loaded, cfg) {
+        match per_file.get_mut(finding.path.as_str()) {
+            Some(list) => list.push(finding),
+            None => passthrough.push(finding),
+        }
+    }
+    let mut report = Report {
+        findings: passthrough,
+        files_scanned: loaded.len(),
+        structural: true,
+    };
+    for f in &loaded {
+        let raw = per_file.remove(f.rel.as_str()).unwrap_or_default();
+        let lexed = &lexed_by_rel[f.rel.as_str()];
+        report
+            .findings
+            .extend(apply_directives(&f.rel, &f.src, lexed, raw, true));
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(report)
 }
 
@@ -580,8 +767,9 @@ pub fn to_json(report: &Report) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"files_scanned\":{},\"finding_count\":{},\"findings\":[",
+        "{{\"files_scanned\":{},\"structural\":{},\"finding_count\":{},\"findings\":[",
         report.files_scanned,
+        report.structural,
         report.findings.len()
     );
     for (i, f) in report.findings.iter().enumerate() {

@@ -3,7 +3,15 @@
 //!
 //! ```text
 //! cargo run -p mlf-lint -- [--json] [paths…]
+//! cargo run -p mlf-lint -- --bless
 //! ```
+//!
+//! With no paths the whole workspace is linted: token rules plus the
+//! item-level structural pass (frozen-reference integrity, crate-layering
+//! DAG, API-surface snapshots, unused-pub, differential coverage). With
+//! explicit paths only the token rules run — the structural analyses need
+//! the whole workspace. `--bless` regenerates the committed snapshots
+//! under `crates/lint/snapshots/` deterministically.
 //!
 //! Exit codes follow the `mlf-bench` convention: 0 clean, 1 findings,
 //! 2 bad invocation.
@@ -19,18 +27,24 @@ USAGE:
 
 OPTIONS:
     --json     emit the report as JSON on stdout
+    --bless    regenerate the committed snapshots (frozen-reference
+               fingerprints, per-crate API surfaces) from the current
+               workspace state, then exit
     --list     list the registered rules and exit
     --help     show this help
 
-PATHS default to the workspace root. Exit code 0 = clean, 1 = findings,
-2 = bad invocation.";
+With no PATHS the whole workspace is linted, including the structural
+pass against the committed snapshots; with PATHS, token rules only.
+Exit code 0 = clean, 1 = findings, 2 = bad invocation.";
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut bless = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
+            "--bless" => bless = true,
             "--help" | "-h" => {
                 println!("{HELP}");
                 return ExitCode::SUCCESS;
@@ -38,6 +52,9 @@ fn main() -> ExitCode {
             "--list" => {
                 for rule in mlf_lint::rules::ALL {
                     println!("{:<24} {}", rule.name, rule.summary);
+                }
+                for (name, summary) in mlf_lint::structure::STRUCTURAL {
+                    println!("{name:<24} {summary}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -50,14 +67,12 @@ fn main() -> ExitCode {
     }
 
     // The workspace root: two levels above this crate's manifest. Anchors
-    // both the default scan and the relative paths findings report.
+    // the default scan, the snapshots, and the relative paths findings
+    // report.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .canonicalize()
         .unwrap_or_else(|_| PathBuf::from("."));
-    if paths.is_empty() {
-        paths.push(root.clone());
-    }
     for p in &paths {
         if !p.exists() {
             eprintln!("mlf-lint: no such path `{}`", p.display());
@@ -66,21 +81,54 @@ fn main() -> ExitCode {
     }
 
     let cfg = mlf_lint::Config::workspace();
-    let report = match mlf_lint::lint_paths(&root, &paths, &cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("mlf-lint: io error: {e}");
+
+    if bless {
+        if !paths.is_empty() {
+            eprintln!("mlf-lint: --bless takes no paths (snapshots cover the whole workspace)");
             return ExitCode::from(2);
         }
-    };
-    if json {
-        println!("{}", mlf_lint::to_json(&report));
+        let loaded = match mlf_lint::load_workspace(&root, &cfg) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("mlf-lint: io error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match mlf_lint::structure::bless(&root, &loaded, &cfg) {
+            Ok(written) => {
+                for w in &written {
+                    println!("blessed {w}");
+                }
+                println!("mlf-lint: {} snapshot(s) regenerated", written.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mlf-lint: bless failed: {e}");
+                ExitCode::from(2)
+            }
+        }
     } else {
-        print!("{}", mlf_lint::to_human(&report));
-    }
-    if report.findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+        let report = if paths.is_empty() {
+            mlf_lint::lint_workspace(&root, &cfg)
+        } else {
+            mlf_lint::lint_paths(&root, &paths, &cfg)
+        };
+        let report = match report {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mlf-lint: io error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if json {
+            println!("{}", mlf_lint::to_json(&report));
+        } else {
+            print!("{}", mlf_lint::to_human(&report));
+        }
+        if report.findings.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
     }
 }

@@ -1,0 +1,23 @@
+//! cfg-gated items: feature gates, `cfg(not(test))`, `#[cfg(test)]`
+//! modules, and `cfg_attr` (which gates an attribute, not the item).
+
+#[cfg(feature = "paper-figures")]
+pub mod figures {
+    pub fn figure1() -> u64 {
+        1
+    }
+}
+
+#[cfg(not(test))]
+pub fn shipping_only() {}
+
+#[cfg_attr(test, derive(Debug))]
+pub struct Tagged;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covered() {
+        super::Tagged;
+    }
+}

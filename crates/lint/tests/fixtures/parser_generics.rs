@@ -1,0 +1,45 @@
+//! Generics-heavy headers: nested angle brackets closed by `>>`, const
+//! generics, where-clauses, `Fn(...)` bounds, and arrows that must not be
+//! read as closing brackets.
+
+pub struct Matrix<T, const N: usize> {
+    rows: Vec<Vec<T>>,
+}
+
+pub fn transpose<T: Clone>(m: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    m
+}
+
+pub fn fold_pairs<I, F>(items: I, f: F) -> u64
+where
+    I: IntoIterator<Item = Vec<Vec<u64>>>,
+    F: Fn(u64, u64) -> u64,
+{
+    let mut acc = 0;
+    for chunk in items {
+        for row in chunk {
+            acc = f(acc, row);
+        }
+    }
+    acc
+}
+
+impl<T: Ord, const N: usize> Matrix<T, N> {
+    pub fn first(&self) -> Option<&T> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+pub trait Shrink<T>
+where
+    T: Clone,
+{
+    fn shrink(self) -> Vec<Vec<T>>;
+}
+
+pub type Grid = Vec<Vec<u64>>;
+
+pub enum Tree<T> {
+    Leaf(T),
+    Node(Box<Tree<Vec<Vec<T>>>>),
+}

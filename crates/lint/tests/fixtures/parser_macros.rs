@@ -1,0 +1,19 @@
+//! Macro definitions and top-level macro invocations.
+
+#[macro_export]
+macro_rules! tally {
+    ($($x:expr),* $(,)?) => {{ 0u64 $(+ $x)* }};
+}
+
+macro_rules! internal_only {
+    () => {};
+}
+
+std::thread_local! {
+    static SLOT: u64 = 0;
+}
+
+pub fn uses_macros() -> u64 {
+    internal_only!();
+    tally!(1, 2, 3)
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env run-cargo-script
+#![allow(dead_code)]
+#![doc = "inner attributes live between the shebang and the first item"]
+
+//! Inner doc prose; invisible to the token stream.
+
+use std::collections::BTreeMap;
+
+pub const ANSWER: u64 = 42;
+
+pub static TABLE: [u8; 2] = [0, 1];
+
+fn main() {
+    let _ = BTreeMap::<u64, u64>::new();
+    let _ = ANSWER;
+}

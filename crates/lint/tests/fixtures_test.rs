@@ -5,7 +5,7 @@
 //! findings — the linter's own contract with this repository.
 
 use mlf_lint::{lint_source, meta, Config, Finding};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Classifies as library code of a deterministic, map-order-sensitive crate.
 const LIB: &str = "crates/core/src/fixture.rs";
@@ -129,13 +129,16 @@ fn workspace_is_lint_clean() {
         .canonicalize()
         .expect("workspace root resolves");
     let cfg = Config::workspace();
-    let report =
-        mlf_lint::lint_paths(&root, &[PathBuf::from(&root)], &cfg).expect("workspace scan");
+    let report = mlf_lint::lint_workspace(&root, &cfg).expect("workspace scan");
     assert!(
         report.findings.is_empty(),
         "the workspace must stay lint-clean:\n{}",
         mlf_lint::to_human(&report)
     );
+    // The whole-workspace entry point must have run the structural pass
+    // (frozen fingerprints, layering, API snapshots) — not just the token
+    // rules.
+    assert!(report.structural, "structural pass did not run");
     // Sanity: the scan actually visited the workspace, not an empty dir.
     assert!(
         report.files_scanned > 50,

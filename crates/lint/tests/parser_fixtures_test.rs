@@ -1,0 +1,122 @@
+//! Item-parser corpus: each fixture under `tests/fixtures/parser_*.rs`
+//! exercises one family of constructs the recursive-descent parser must
+//! survive — shebangs and inner attributes, nested generics whose closer
+//! is a `>>`, where-clauses, `macro_rules!` definitions, item-position
+//! macro invocations, and cfg-gated items. The fixtures never compile;
+//! only their token streams matter.
+
+use std::path::Path;
+
+use mlf_lint::lexer::lex;
+use mlf_lint::parser::{parse_items, Item, ItemKind, Visibility};
+
+fn parse_fixture(file: &str) -> Vec<Item> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(file);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    let lexed = lex(&src);
+    parse_items(&src, &lexed.tokens)
+}
+
+fn kinds_and_names(items: &[Item]) -> Vec<(ItemKind, Option<&str>)> {
+    items
+        .iter()
+        .map(|it| (it.kind, it.name.as_deref()))
+        .collect()
+}
+
+#[test]
+fn shebang_and_inner_attributes_are_skipped() {
+    let items = parse_fixture("parser_shebang.rs");
+    assert_eq!(
+        kinds_and_names(&items),
+        [
+            (ItemKind::Use, None),
+            (ItemKind::Const, Some("ANSWER")),
+            (ItemKind::Static, Some("TABLE")),
+            (ItemKind::Fn, Some("main")),
+        ],
+        "{items:#?}"
+    );
+    assert_eq!(
+        items[0].use_path.as_deref(),
+        Some("std::collections::BTreeMap")
+    );
+    assert_eq!(items[1].vis, Visibility::Public);
+    assert_eq!(items[3].vis, Visibility::Private);
+}
+
+#[test]
+fn nested_generics_and_where_clauses_parse() {
+    let items = parse_fixture("parser_generics.rs");
+    assert_eq!(
+        kinds_and_names(&items),
+        [
+            (ItemKind::Struct, Some("Matrix")),
+            (ItemKind::Fn, Some("transpose")),
+            (ItemKind::Fn, Some("fold_pairs")),
+            (ItemKind::Impl, None),
+            (ItemKind::Trait, Some("Shrink")),
+            (ItemKind::TypeAlias, Some("Grid")),
+            (ItemKind::Enum, Some("Tree")),
+        ],
+        "{items:#?}"
+    );
+    // The impl header's generics (with a const param) resolve to the base
+    // type name, and its members are parsed as children.
+    let imp = &items[3];
+    assert_eq!(imp.impl_target.as_deref(), Some("Matrix"));
+    assert!(!imp.trait_impl);
+    assert_eq!(
+        kinds_and_names(&imp.children),
+        [(ItemKind::Fn, Some("first"))]
+    );
+    assert_eq!(imp.children[0].vis, Visibility::Public);
+}
+
+#[test]
+fn macro_definitions_and_invocations_parse() {
+    let items = parse_fixture("parser_macros.rs");
+    assert_eq!(
+        kinds_and_names(&items),
+        [
+            (ItemKind::MacroRules, Some("tally")),
+            (ItemKind::MacroRules, Some("internal_only")),
+            (ItemKind::MacroCall, Some("thread_local")),
+            (ItemKind::Fn, Some("uses_macros")),
+        ],
+        "{items:#?}"
+    );
+    assert!(items[0].macro_export, "#[macro_export] must be tracked");
+    assert!(!items[1].macro_export);
+}
+
+#[test]
+fn cfg_gates_are_classified() {
+    let items = parse_fixture("parser_cfg.rs");
+    assert_eq!(
+        kinds_and_names(&items),
+        [
+            (ItemKind::Mod, Some("figures")),
+            (ItemKind::Fn, Some("shipping_only")),
+            (ItemKind::Struct, Some("Tagged")),
+            (ItemKind::Mod, Some("tests")),
+        ],
+        "{items:#?}"
+    );
+    // Feature gate: gated, but not test-only.
+    assert!(items[0].cfg_gated && !items[0].cfg_test);
+    assert_eq!(
+        kinds_and_names(&items[0].children),
+        [(ItemKind::Fn, Some("figure1"))]
+    );
+    // `cfg(not(test))` is gated but decidedly not test code.
+    assert!(items[1].cfg_gated && !items[1].cfg_test);
+    // `cfg_attr` gates an attribute, not the item.
+    assert!(!items[2].cfg_gated && !items[2].cfg_test);
+    // The test module and everything in it is test-only.
+    assert!(items[3].cfg_test);
+    assert!(items[3].children.iter().all(|c| c.cfg_test));
+}

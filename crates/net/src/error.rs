@@ -4,6 +4,7 @@ use crate::ids::{LinkId, NodeId, ReceiverId, SessionId};
 use std::fmt;
 
 /// Errors raised while building or validating a [`crate::Network`].
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetError {
     /// A link references a node index that does not exist.
@@ -63,6 +64,7 @@ pub enum NetError {
 }
 
 /// The specific way an explicit route failed validation.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteDefect {
     /// The route is empty but sender and receiver are on different nodes.
@@ -114,7 +116,7 @@ impl fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 /// Convenient result alias for network construction.
-pub type NetResult<T> = Result<T, NetError>;
+pub(crate) type NetResult<T> = Result<T, NetError>;
 
 #[cfg(test)]
 mod tests {

@@ -49,7 +49,8 @@ pub mod routing;
 pub mod session;
 pub mod topology;
 
-pub use error::{NetError, NetResult, RouteDefect};
+pub use error::NetError;
+pub use error::RouteDefect;
 pub use graph::{Graph, Link};
 pub use ids::{LinkId, NodeId, ReceiverId, SessionId};
 pub use network::Network;

@@ -293,6 +293,7 @@ impl Network {
 
     /// Fraction of sessions that are multi-rate (the `m/n` knob of Figure 6
     /// viewed from the session side; handy for experiment reporting).
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn multi_rate_fraction(&self) -> f64 {
         if self.sessions.is_empty() {
             return 0.0;

@@ -35,6 +35,7 @@ use crate::topology::{star, Star};
 
 /// A paper example: the network plus the receiver rates the paper reports
 /// for its max-min fair allocation (shaped `[session][receiver]`).
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone)]
 pub struct PaperExample {
     /// The reconstructed network.
@@ -283,11 +284,13 @@ pub fn single_link(capacity: f64) -> Network {
 /// Figure 7(a): the two-receiver analysis star (shared link + two fanout
 /// links). Capacities are immaterial for the loss-driven protocol analysis;
 /// they are set generously so the protocols, not the allocator, bind.
+// mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
 pub fn figure7a() -> Star {
     star(1024.0, &[1024.0, 1024.0])
 }
 
 /// Figure 7(b): the 100-receiver simulation star.
+// mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
 pub fn figure7b(receivers: usize) -> Star {
     star(1024.0, &vec![1024.0; receivers])
 }

@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 /// sender to the receiver. The *set* of these links is what the fairness
 /// definitions consume (`R_{i,j}` membership); order matters only for
 /// packet-level simulation.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub type Route = Vec<LinkId>;
 
 /// Compute the hop-count shortest path between two nodes as a sequence of
@@ -52,6 +53,7 @@ pub fn shortest_path(graph: &Graph, from: NodeId, to: NodeId) -> Option<Route> {
 /// Results are identical to the free [`shortest_path`] function: the
 /// buffers are scratch, not state (`seen` gates every `parent` read, so
 /// stale entries from earlier queries are never observed).
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Default, Clone)]
 pub struct PathFinder {
     /// parent[v] = (previous node, link used to reach v)

@@ -57,6 +57,7 @@ pub struct Session {
 impl Session {
     /// Stand-in for `kappa_i = infinity`: far larger than any capacity used in
     /// experiments, yet finite so rate arithmetic stays well-behaved.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub const UNBOUNDED_RATE: f64 = 1e12;
 
     /// Create a multi-rate session with unbounded desired rate.
@@ -92,7 +93,7 @@ impl Session {
     }
 
     /// Builder-style override of the session type.
-    pub fn with_kind(mut self, kind: SessionType) -> Self {
+    pub(crate) fn with_kind(mut self, kind: SessionType) -> Self {
         self.kind = kind;
         self
     }
@@ -101,11 +102,13 @@ impl Session {
     ///
     /// This is the "replacement" operation of Lemma 3: same members, same
     /// topology, only the type differs.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn as_multi_rate(&self) -> Self {
         self.clone().with_kind(SessionType::MultiRate)
     }
 
     /// Return a copy of this session with its type flipped to single-rate.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn as_single_rate(&self) -> Self {
         self.clone().with_kind(SessionType::SingleRate)
     }

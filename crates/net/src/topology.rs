@@ -42,6 +42,7 @@ fn must_link(g: &mut Graph, a: NodeId, b: NodeId, capacity: f64) -> LinkId {
 }
 
 /// A star (Figure 7): `sender --shared--> hub --fanout_k--> receiver_k`.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone)]
 pub struct Star {
     /// The assembled graph.
@@ -170,6 +171,7 @@ pub fn dumbbell(
 /// A complete `arity`-ary tree of the given depth. Returns the graph, the
 /// root, and the nodes grouped by level (`levels[0] = [root]`). Capacities
 /// are assigned per level by `capacity_at(level_of_child)`.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub fn kary_tree(
     depth: usize,
     arity: usize,
@@ -221,7 +223,7 @@ impl SplitMix64 {
     }
 
     /// Uniform float in `[lo, hi)`.
-    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+    pub(crate) fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         lo + self.unit() * (hi - lo)
     }
 }
@@ -258,7 +260,7 @@ pub fn random_tree(seed: u64, node_count: usize, cap_lo: f64, cap_hi: f64) -> Gr
 /// Asserts `graph.node_count() >= 2` and `max_receivers >= 1` — violating
 /// either is a caller bug. [`random_network_with`] validates the same
 /// parameters up front and returns a [`TopologyError`] instead.
-pub fn random_sessions(
+pub(crate) fn random_sessions(
     graph: &Graph,
     seed: u64,
     session_count: usize,
@@ -353,6 +355,7 @@ impl std::error::Error for TopologyError {}
 /// Capacity multiplier for transit-core links relative to stub links: the
 /// classic transit–stub assumption that backbone links are provisioned an
 /// order of magnitude above access links.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub const TRANSIT_CAPACITY_SCALE: f64 = 8.0;
 
 /// A structural family of random topologies, selectable per sweep. Every
@@ -397,7 +400,7 @@ impl TopologyFamily {
     }
 
     /// The smallest node count the family can realize.
-    pub fn min_nodes(&self) -> usize {
+    pub(crate) fn min_nodes(&self) -> usize {
         match self {
             TopologyFamily::FlatTree | TopologyFamily::KaryTree { .. } => 2,
             // Core, plus at least one stub node (and never below two nodes).
@@ -458,7 +461,7 @@ impl TopologyFamily {
     /// [`random_tree`]); capacity bounds are chosen by code, not by
     /// experiment parameters, so a bad range is a caller bug rather than a
     /// rejectable request.
-    pub fn build_graph(
+    pub(crate) fn build_graph(
         &self,
         seed: u64,
         node_count: usize,

@@ -33,7 +33,7 @@ use std::rc::Rc;
 /// The active node's shared controller: one target level for the subtree,
 /// driven by the representative receiver's congestion experience.
 #[derive(Debug)]
-pub struct ActiveNodeState {
+pub(crate) struct ActiveNodeState {
     layers: usize,
     target: usize,
     clean_run: u64,
@@ -53,7 +53,11 @@ impl ActiveNodeState {
     }
 
     /// The current subtree-wide target subscription level.
-    pub fn target(&self) -> usize {
+    ///
+    /// Observability hook for the unit tests below; production callers go
+    /// through [`active_node_controllers`].
+    #[cfg(test)]
+    pub(crate) fn target(&self) -> usize {
         self.target
     }
 
@@ -81,7 +85,7 @@ impl ActiveNodeState {
 /// merely tracks its target level. The receiver at `representative_index`
 /// additionally feeds its events into the shared instance.
 #[derive(Debug, Clone)]
-pub struct ActiveNodeReceiver {
+pub(crate) struct ActiveNodeReceiver {
     state: Rc<RefCell<ActiveNodeState>>,
     is_representative: bool,
 }
@@ -104,7 +108,7 @@ impl ReceiverController for ActiveNodeReceiver {
 /// Build one shared active-node state and a controller per receiver
 /// (receiver 0 is the representative). Returns the controllers plus a
 /// handle to the shared state for inspection.
-pub fn active_node_controllers(
+pub(crate) fn active_node_controllers(
     receivers: usize,
     layers: usize,
 ) -> (Vec<ActiveNodeReceiver>, Rc<RefCell<ActiveNodeState>>) {

@@ -56,13 +56,15 @@ pub mod markov;
 pub mod receiver;
 pub mod sender;
 
-pub use active::{active_node_controllers, run_trial_active, ActiveNodeReceiver};
-pub use config::{join_probability, join_threshold, ProtocolConfig, ProtocolKind};
+pub use active::run_trial_active;
+pub use config::ProtocolConfig;
+pub use config::{join_threshold, ProtocolKind};
 pub use experiment::{
     figure8_series, run_point, run_trial, validate_loss, ExperimentParamError, ExperimentParams,
     PointOutcome,
 };
-pub use markov::{two_receiver_chain, DenseChain, TwoReceiverModel};
+pub use markov::two_receiver_chain;
+pub use markov::{DenseChain, TwoReceiverModel};
 pub use receiver::{
     make_receiver, CoordinatedReceiver, DeterministicReceiver, UncoordinatedReceiver,
 };

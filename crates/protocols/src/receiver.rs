@@ -17,6 +17,7 @@ use crate::config::{join_probability, join_threshold, ProtocolKind};
 use mlf_sim::{Action, PacketEvent, ReceiverController, SimRng};
 
 /// Uncoordinated: per-packet probabilistic joins.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone)]
 pub struct UncoordinatedReceiver {
     rng: SimRng,
@@ -44,6 +45,7 @@ impl ReceiverController for UncoordinatedReceiver {
 }
 
 /// Deterministic: joins after a fixed run of clean packets.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, Default)]
 pub struct DeterministicReceiver {
     /// Clean packets received since the last join/leave event.
@@ -76,6 +78,7 @@ impl ReceiverController for DeterministicReceiver {
 }
 
 /// Coordinated: joins only on sender markers.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, Default)]
 pub struct CoordinatedReceiver;
 

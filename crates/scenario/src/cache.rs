@@ -49,8 +49,10 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Default bound on memoized sweep points.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub const DEFAULT_POINT_CAPACITY: usize = 4096;
 /// Default bound on memoized built topologies.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub const DEFAULT_NETWORK_CAPACITY: usize = 256;
 
 /// Cache telemetry: solve-cache hits/misses and capacity evictions.
@@ -72,11 +74,13 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Total lookups (`hits + misses`).
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
     }
 
     /// Fraction of lookups served from cache (0 when there were none).
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn hit_rate(&self) -> f64 {
         if self.lookups() == 0 {
             0.0
@@ -149,6 +153,7 @@ impl From<LinkRateModel> for ModelKey {
 }
 
 /// The identity of one seeded topology build: `(family, shape, seed)`.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TopologyKey {
     family: FamilyKey,
@@ -160,6 +165,7 @@ pub struct TopologyKey {
 
 impl TopologyKey {
     /// A key for one seed of a random-network source.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn random(
         family: TopologyFamily,
         nodes: usize,
@@ -193,6 +199,7 @@ impl TopologyKey {
 
 /// The identity of one sweep point's solve: a [`TopologyKey`] plus the
 /// effective uniform link-rate model.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SolveKey {
     topology: TopologyKey,
@@ -261,11 +268,13 @@ impl SolveCache {
     }
 
     /// The configured solve-entry capacity.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn point_capacity(&self) -> usize {
         self.point_capacity
     }
 
     /// The configured topology-entry capacity.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn network_capacity(&self) -> usize {
         self.network_capacity
     }
@@ -286,7 +295,7 @@ impl SolveCache {
 
     /// Memoize a freshly solved point (evicting the oldest entry at
     /// capacity). No-op when solve memoization is disabled.
-    pub fn insert_point(&mut self, key: SolveKey, point: SweepPoint) {
+    pub(crate) fn insert_point(&mut self, key: SolveKey, point: SweepPoint) {
         if self.point_capacity == 0 {
             return;
         }

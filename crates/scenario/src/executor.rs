@@ -52,6 +52,7 @@
 /// # Panics
 ///
 /// Propagates panics from `solve`/`init` (the scope joins every worker).
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub fn run_jobs_par<J, O, S, Init, Solve>(
     jobs: &[J],
     threads: usize,
@@ -77,6 +78,7 @@ where
 /// after the sweep. Shard order is deterministic (the balanced contiguous
 /// partition depends only on `jobs.len()` and `threads`), so summing
 /// per-worker counters is reproducible too.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub fn run_jobs_par_with_state<J, O, S, Init, Solve>(
     jobs: &[J],
     threads: usize,

@@ -103,9 +103,10 @@ pub mod executor;
 pub mod protocol;
 
 pub use cache::{CacheStats, SolveCache};
+pub use protocol::ProtocolScenarioError;
 pub use protocol::{
-    ProtocolScenario, ProtocolScenarioBuilder, ProtocolScenarioError, ProtocolSweepGrid,
-    ProtocolSweepPoint, ProtocolSweepReport,
+    ProtocolScenario, ProtocolScenarioBuilder, ProtocolSweepGrid, ProtocolSweepPoint,
+    ProtocolSweepReport,
 };
 
 use cache::{SolveKey, TopologyKey};
@@ -119,7 +120,7 @@ use mlf_net::{Network, ReceiverId, TopologyError, TopologyFamily};
 
 /// Where a scenario's networks come from.
 #[derive(Debug, Clone)]
-pub enum NetworkSource {
+pub(crate) enum NetworkSource {
     /// One fixed network (e.g. a paper figure).
     Fixed(Network),
     /// A `mlf_net::topology` random family, one network per sweep seed.
@@ -159,6 +160,7 @@ impl LinkRates {
 }
 
 /// Why a [`ScenarioBuilder`] refused to build.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScenarioError {
     /// Neither [`ScenarioBuilder::network`] nor
@@ -215,6 +217,7 @@ impl std::fmt::Display for ScenarioError {
 impl std::error::Error for ScenarioError {}
 
 /// Builder for [`Scenario`]. Obtain via [`Scenario::builder`].
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub struct ScenarioBuilder {
     label: String,
     source: Option<NetworkSource>,
@@ -426,7 +429,7 @@ impl Scenario {
     }
 
     /// Solve the scenario for one seed (ignored by fixed sources).
-    pub fn run_seeded(&mut self, seed: u64) -> ScenarioReport {
+    pub(crate) fn run_seeded(&mut self, seed: u64) -> ScenarioReport {
         self.run_inner(seed, None)
     }
 
@@ -733,11 +736,13 @@ impl Scenario {
     }
 
     /// The lifetime counters of the scenario's own (serial-sweep) cache.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
     /// Drop every cached topology and sweep point (counters are kept).
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
@@ -770,6 +775,7 @@ impl SweepGrid {
 }
 
 /// Scalar metrics of one solve.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioMetrics {
     /// Jain's fairness index of the receiver rates.
@@ -797,6 +803,7 @@ impl ScenarioMetrics {
 }
 
 /// How one receiver's fair rate fits the scenario's layer ladder.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerFit {
     /// The receiver.
@@ -814,6 +821,7 @@ pub struct LayerFit {
 }
 
 /// The layering report of one run: per-receiver ladder fits.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayeringSummary {
     /// Per-receiver fits, session-major.
@@ -842,6 +850,7 @@ impl LayeringSummary {
 
     /// Mean deficit across receivers (0 when every fair rate sits exactly
     /// on a ladder step).
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn mean_deficit(&self) -> f64 {
         if self.fits.is_empty() {
             return 0.0;
@@ -868,6 +877,7 @@ pub struct ScenarioReport {
 }
 
 /// One point of a sweep, compressed to comparable scalars.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// The topology seed.

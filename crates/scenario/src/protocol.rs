@@ -53,6 +53,7 @@ use mlf_sim::Tick;
 
 /// Why a [`ProtocolScenarioBuilder`] or a [`ProtocolSweepGrid`] was
 /// rejected.
+// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProtocolScenarioError {
     /// The experiment template (or a grid loss) carries an invalid loss
@@ -98,6 +99,7 @@ impl From<ExperimentParamError> for ProtocolScenarioError {
 
 /// Builder for [`ProtocolScenario`]. Obtain via
 /// [`ProtocolScenario::builder`].
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub struct ProtocolScenarioBuilder {
     label: String,
     template: ExperimentParams,
@@ -348,6 +350,7 @@ impl ProtocolSweepReport {
     }
 
     /// Mean shared-link redundancy of one protocol across the sweep.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn mean_redundancy(&self, kind: ProtocolKind) -> f64 {
         let of_kind: Vec<f64> = self
             .points

@@ -19,6 +19,7 @@ use std::collections::BinaryHeap;
 pub type Tick = u64;
 
 /// An event queue over payloads of type `E`.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
@@ -80,7 +81,7 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `at` is before the current time.
-    pub fn schedule_at(&mut self, at: Tick, payload: E) {
+    pub(crate) fn schedule_at(&mut self, at: Tick, payload: E) {
         assert!(at >= self.now, "cannot schedule into the past");
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -88,11 +89,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `payload` `delay` ticks from now.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn schedule_in(&mut self, delay: Tick, payload: E) {
         self.schedule_at(self.now + delay, payload);
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn pop(&mut self) -> Option<(Tick, E)> {
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now);
@@ -101,12 +104,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Timestamp of the next event without popping it.
-    pub fn peek_time(&self) -> Option<Tick> {
+    pub(crate) fn peek_time(&self) -> Option<Tick> {
         self.heap.peek().map(|e| e.at)
     }
 
     /// Pop all events scheduled at or before `t` (advancing the clock to at
     /// most `t`).
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn drain_until(&mut self, t: Tick) -> Vec<(Tick, E)> {
         let mut out = Vec::new();
         while self.peek_time().is_some_and(|at| at <= t) {
@@ -121,7 +125,7 @@ impl<E> EventQueue<E> {
     /// Advance the clock to `t` without popping anything (no-op when `t` is
     /// in the past). Callers that pop due events by hand (peek/pop loops
     /// that avoid `drain_until`'s `Vec`) use this to finish the drain.
-    pub fn advance_clock(&mut self, t: Tick) {
+    pub(crate) fn advance_clock(&mut self, t: Tick) {
         if self.now < t {
             self.now = t;
         }

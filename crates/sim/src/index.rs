@@ -35,6 +35,7 @@
 
 /// Incremental per-level counts and per-layer subscriber bitsets for one
 /// set of receivers with cumulative-layer subscriptions.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, Default)]
 pub struct LevelIndex {
     receiver_count: usize,
@@ -108,6 +109,7 @@ impl LevelIndex {
 
     /// The highest effective level across receivers, O(1). Zero when no
     /// receivers are tracked.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn max_effective(&self) -> usize {
         self.max_eff
     }
@@ -120,12 +122,14 @@ impl LevelIndex {
     /// The bitset row of `layer` (1-based): bit `r` set iff receiver `r` is
     /// actively subscribed to it. The engine snapshots this slice per slot
     /// and walks its set bits in ascending receiver id.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn subscribers(&self, layer: usize) -> &[u64] {
         let range = self.row_range(layer);
         &self.rows[range]
     }
 
     /// Number of receivers actively subscribed to `layer` (1-based).
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn subscriber_count(&self, layer: usize) -> usize {
         self.subscribers(layer)
             .iter()
@@ -134,6 +138,7 @@ impl LevelIndex {
     }
 
     /// Visit the active subscribers of `layer` in ascending receiver id.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn for_each_subscriber(&self, layer: usize, mut f: impl FnMut(usize)) {
         for (w, &word) in self.subscribers(layer).iter().enumerate() {
             let mut word = word;
@@ -145,6 +150,7 @@ impl LevelIndex {
     }
 
     /// Record receiver `r`'s effective level moving `old → new`.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn effective_changed(&mut self, _r: usize, old: usize, new: usize) {
         self.eff_count[old] -= 1;
         self.eff_count[new] += 1;
@@ -160,6 +166,7 @@ impl LevelIndex {
     /// Record receiver `r`'s active level (`min(requested, effective)`)
     /// moving `old → new`: flip `r`'s bit in the rows of layers
     /// `min+1..=max` of the two.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn active_changed(&mut self, r: usize, old: usize, new: usize) {
         let word = r / 64;
         let mask = 1u64 << (r % 64);
@@ -176,6 +183,7 @@ impl LevelIndex {
     /// Check every index invariant against ground-truth `effective` and
     /// `requested` level slices; returns the first violation as an error
     /// string. Used by the membership property tests.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn check_invariants(&self, requested: &[usize], effective: &[usize]) -> Result<(), String> {
         if requested.len() != self.receiver_count || effective.len() != self.receiver_count {
             return Err("level slice length mismatch".into());

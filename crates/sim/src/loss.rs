@@ -43,7 +43,7 @@ impl LossProcess {
     }
 
     /// A Gilbert–Elliott process started in the Good state.
-    pub fn gilbert_elliott(
+    pub(crate) fn gilbert_elliott(
         p_good_to_bad: f64,
         p_bad_to_good: f64,
         loss_good: f64,
@@ -103,6 +103,7 @@ impl LossProcess {
     }
 
     /// The long-run average loss rate of the process.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn average_loss_rate(&self) -> f64 {
         match *self {
             LossProcess::Bernoulli { p } => p,

@@ -130,7 +130,7 @@ impl MembershipTable {
     }
 
     /// Set the join (graft) and leave (prune) latencies in place.
-    pub fn set_latencies(&mut self, join: Tick, leave: Tick) {
+    pub(crate) fn set_latencies(&mut self, join: Tick, leave: Tick) {
         self.join_latency = join;
         self.leave_latency = leave;
     }
@@ -157,6 +157,7 @@ impl MembershipTable {
 
     /// The receiver's active level `min(requested, effective)`: the prefix
     /// of layers it both wants and effectively holds.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn active_level(&self, r: usize) -> usize {
         self.requested[r].min(self.effective[r])
     }
@@ -250,6 +251,7 @@ impl MembershipTable {
     }
 
     /// The highest requested level across receivers.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn max_requested_level(&self) -> usize {
         self.requested.iter().copied().max().unwrap_or(0)
     }
@@ -260,6 +262,7 @@ impl MembershipTable {
     }
 
     /// Whether receiver `r`'s protocol wants `layer` (1-based).
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn wants(&self, r: usize, layer: usize) -> bool {
         layer >= 1 && layer <= self.requested[r]
     }

@@ -65,6 +65,7 @@ impl RunningStats {
     }
 
     /// Build from a slice of observations.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn from_slice(xs: &[f64]) -> Self {
         let mut s = Self::new();
         for &x in xs {
@@ -84,6 +85,7 @@ impl RunningStats {
     }
 
     /// Unbiased sample variance. Zero for fewer than two observations.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
             0.0
@@ -98,7 +100,7 @@ impl RunningStats {
     }
 
     /// Standard error of the mean.
-    pub fn std_error(&self) -> f64 {
+    pub(crate) fn std_error(&self) -> f64 {
         if self.n == 0 {
             0.0
         } else {
@@ -126,6 +128,7 @@ impl RunningStats {
     /// Relative 95% CI half-width (`ci95 / mean`), the "variance less than
     /// 1% with 95% confidence" figure-of-merit the paper quotes. Zero when
     /// the mean is zero.
+    // mlf-lint: allow(unused-pub, reason = "intentional API surface kept public alongside its siblings")
     pub fn relative_ci95(&self) -> f64 {
         if self.mean == 0.0 {
             0.0

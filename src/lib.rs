@@ -103,7 +103,33 @@
 //! plus hygiene rules (no `unwrap`/`panic!` in library code, no stray
 //! `unsafe`, no `dbg!`/`println!` in libraries, `#[ignore]` needs a
 //! reason) — token-accurately over the whole tree, and CI fails on any
-//! finding. Deliberate exceptions carry inline
+//! finding.
+//!
+//! On top of the token rules, an item-level *structural pass* holds the
+//! architecture itself to snapshots committed under
+//! `crates/lint/snapshots/`:
+//!
+//! * **Frozen-reference integrity** — comment/whitespace-normalized
+//!   fingerprints of `mlf_core::reference` and `mlf_sim::reference`
+//!   (`snapshots/frozen/`); any semantic edit to a frozen engine is a
+//!   finding until deliberately re-blessed.
+//! * **Crate-layering DAG** — every `mlf_*` dependency edge, from
+//!   manifests and `use` declarations alike, must point strictly
+//!   downward in `net → core → layering → sim → protocols → scenario →
+//!   bench` (the linter itself stays dependency-free).
+//! * **API-surface snapshots** — each crate's `pub` item inventory
+//!   (`snapshots/api/`) is committed and diffed, so accidental surface
+//!   growth or loss is visible in review rather than discovered
+//!   downstream.
+//! * **Unused pub & differential coverage** — `pub` items no other crate
+//!   references are flagged with a `pub(crate)` suggestion, and every
+//!   frozen module must be exercised by at least one workspace test.
+//!
+//! Comment-only edits to a frozen module need nothing. Intentional
+//! reference or API changes are re-frozen with
+//! `cargo run -p mlf-lint -- --bless`, which regenerates all snapshots
+//! deterministically so the diff rides in review alongside the code
+//! change. Deliberate exceptions carry inline
 //! `// mlf-lint: allow(<rule>, reason = "…")` directives whose reasons
 //! are mandatory and whose targets are validated (unknown rules and
 //! unused allows are themselves errors).
