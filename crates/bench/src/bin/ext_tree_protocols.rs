@@ -11,7 +11,7 @@ use mlf_bench::{cli, knob, or_exit, write_csv, Args, Table};
 use mlf_net::{LinkId, Network, Session};
 use mlf_protocols::{make_receiver, CoordinatedSender, ProtocolKind};
 use mlf_sim::{
-    tree::{run_tree, TreeConfig},
+    tree::{run_tree_expect, TreeConfig},
     LossProcess, NoMarkers, ReceiverController, RunningStats, SimRng,
 };
 
@@ -129,7 +129,7 @@ fn run_once(
     match kind {
         ProtocolKind::Coordinated => {
             let mut sender = CoordinatedSender::new(layers);
-            run_tree(
+            run_tree_expect(
                 net,
                 &cfg,
                 &mut controllers,
@@ -138,7 +138,7 @@ fn run_once(
                 0x11 + trial,
             )
         }
-        _ => run_tree(
+        _ => run_tree_expect(
             net,
             &cfg,
             &mut controllers,

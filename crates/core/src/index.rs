@@ -65,7 +65,6 @@ impl NetworkIndex {
     }
 
     /// Rebuild the index for `net`, reusing all buffers.
-    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
     pub fn rebuild(&mut self, net: &Network) {
         self.link_count = net.link_count();
         self.session_count = net.session_count();

@@ -1,0 +1,5 @@
+# mlf-lint frozen-reference fingerprint (comment/whitespace-normalized).
+# Re-bless a deliberate re-freeze: cargo run -p mlf-lint -- --bless
+file crates/sim/src/reference_tree.rs
+tokens 1664
+fnv64 0x276cf1bba2704cc7

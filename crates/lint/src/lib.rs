@@ -156,12 +156,14 @@ impl Config {
                 "crates/core/src/index.rs",
                 "crates/sim/src/engine.rs",
                 "crates/sim/src/index.rs",
+                "crates/sim/src/tree.rs",
             ]),
             unsafe_allow_files: v(&["crates/bench/benches/workspace_reuse.rs"]),
             tooling_crates: v(&["bench", "lint"]),
             frozen_files: v(&[
                 "crates/core/src/reference.rs",
                 "crates/sim/src/reference.rs",
+                "crates/sim/src/reference_tree.rs",
             ]),
             layering: v(&[
                 "net",

@@ -35,9 +35,12 @@ pub struct Network {
     routes: Vec<Vec<Route>>,
     /// `on_link[j][i]` = indices `k` of receivers `r_{i,k}` in `R_{i,j}`.
     on_link: Vec<Vec<Vec<usize>>>,
-    /// `crosses[i][k][j]` = whether `r_{i,k} ∈ R_j`, as a flat bitvec per
-    /// receiver for O(1) membership tests.
-    crosses: Vec<Vec<Vec<bool>>>,
+    /// `crosses[i][k]` = the sorted, deduplicated link ids of `r_{i,k}`'s
+    /// data-path, for O(log route) membership tests. Stored per receiver
+    /// (not as a links-wide bitvec) so memory scales with total route
+    /// length, not receivers × links — the 10⁵-receiver tree benches would
+    /// otherwise need tens of gigabytes here.
+    crosses: Vec<Vec<Vec<usize>>>,
     receiver_count: usize,
 }
 
@@ -108,20 +111,23 @@ impl Network {
             if !graph.contains_node(s.sender) {
                 return Err(NetError::UnknownNode(s.sender));
             }
-            // tau restriction: no two members of one session on the same node.
+            // tau restriction: no two members of one session on the same
+            // node. Sort-and-scan keeps this O(n log n) — a linear
+            // `contains` per receiver would go quadratic at bench scale.
             let mut members: Vec<NodeId> = Vec::with_capacity(s.receivers.len() + 1);
             members.push(s.sender);
             for &r in &s.receivers {
                 if !graph.contains_node(r) {
                     return Err(NetError::UnknownNode(r));
                 }
-                if members.contains(&r) {
-                    return Err(NetError::DuplicateMember {
-                        session: sid,
-                        node: r,
-                    });
-                }
                 members.push(r);
+            }
+            members.sort_unstable_by_key(|n| n.0);
+            if let Some(pair) = members.windows(2).find(|w| w[0] == w[1]) {
+                return Err(NetError::DuplicateMember {
+                    session: sid,
+                    node: pair[0],
+                });
             }
         }
 
@@ -133,12 +139,14 @@ impl Network {
             let mut session_crosses = Vec::with_capacity(session_routes.len());
             for (k, route) in session_routes.iter().enumerate() {
                 receiver_count += 1;
-                let mut bits = vec![false; n_links];
+                let mut ids: Vec<usize> = Vec::with_capacity(route.len());
                 for &l in route {
-                    bits[l.0] = true;
+                    ids.push(l.0);
                     on_link[l.0][i].push(k);
                 }
-                session_crosses.push(bits);
+                ids.sort_unstable();
+                ids.dedup();
+                session_crosses.push(ids);
             }
             crosses.push(session_crosses);
         }
@@ -226,8 +234,11 @@ impl Network {
     }
 
     /// Whether receiver `r`'s data-path traverses link `j` (`r ∈ R_j`).
+    /// O(log route length) over the receiver's sorted link-id list.
     pub fn crosses(&self, r: ReceiverId, link: LinkId) -> bool {
-        self.crosses[r.session.0][r.index][link.0]
+        self.crosses[r.session.0][r.index]
+            .binary_search(&link.0)
+            .is_ok()
     }
 
     /// The session's data-path: the set of links carrying data to *any* of
@@ -244,6 +255,7 @@ impl Network {
 
     /// Whether two receivers' data-paths traverse exactly the same link set
     /// (the premise of same-path-receiver-fairness, Fairness Property 2).
+    /// Compares the two sorted link-id sets directly.
     pub fn same_data_path(&self, a: ReceiverId, b: ReceiverId) -> bool {
         self.crosses[a.session.0][a.index] == self.crosses[b.session.0][b.index]
     }

@@ -171,7 +171,6 @@ pub fn dumbbell(
 /// A complete `arity`-ary tree of the given depth. Returns the graph, the
 /// root, and the nodes grouped by level (`levels[0] = [root]`). Capacities
 /// are assigned per level by `capacity_at(level_of_child)`.
-// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 pub fn kary_tree(
     depth: usize,
     arity: usize,

@@ -32,6 +32,22 @@
 //! recount of active levels; the cached maximum matches the occupied
 //! buckets) are property-tested in `crates/sim/tests/membership_proptest.rs`
 //! via [`LevelIndex::check_invariants`].
+//!
+//! [`LinkLevelIndex`] generalizes the same idea from the star's one shared
+//! link to every link of a sender-rooted tree: per *link*, a per-level
+//! bucket count of downstream effective levels plus a cached downstream
+//! maximum, and per *layer* a carrying-link bitset row (bit `a` set iff
+//! link rank `a`'s downstream maximum is `≥ L` — exactly the paper's
+//! "some downstream receiver subscribes" carry condition). A ±1 level
+//! transition updates one bucket pair and at most one bitset word per
+//! *ancestor link* of the moving receiver — O(route length) — instead of
+//! the O(links × downstream receivers) rescan the pre-bitset tree engine
+//! performed every slot. Links are identified by dense *ranks* assigned in
+//! `(depth, link id)` order so that every link's parent has a smaller
+//! rank; the tree engine exploits that to resolve end-to-end loss in one
+//! ascending-rank sweep per slot. The index is topology-only data — routes
+//! come in as a flat CSR of link ids, so the structure stays independent
+//! of `mlf_net`.
 
 /// Incremental per-level counts and per-layer subscriber bitsets for one
 /// set of receivers with cumulative-layer subscriptions.
@@ -228,6 +244,397 @@ impl LevelIndex {
     }
 }
 
+/// `rank_of`/`pred` sentinel: link not on any route (carries nothing).
+const UNSEEN: u32 = u32::MAX;
+/// `pred` sentinel: link is the first hop of its routes (root-adjacent).
+const ROOT_PRED: u32 = u32::MAX - 1;
+/// `parent` sentinel: rank has no parent rank (root-adjacent link).
+const NO_PARENT: u32 = u32::MAX;
+
+/// Error from [`LinkLevelIndex::rebuild`]: the supplied routes are not the
+/// paths of a sender-rooted tree, so per-link downstream maxima (and the
+/// parent-chain loss propagation built on them) would be ill-defined.
+// mlf-lint: allow(unused-pub, reason = "error type of the public LinkLevelIndex::rebuild API; in-crate consumers are invisible to the analyzer")
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkIndexError {
+    /// A receiver's route contains no links (receiver colocated with the
+    /// sender, which the session model forbids).
+    EmptyRoute {
+        /// Receiver index within the session.
+        receiver: usize,
+    },
+    /// A link appears at two different depths or with two different
+    /// predecessor links across routes — impossible on a tree.
+    NotATree {
+        /// Receiver index whose route first exposed the inconsistency.
+        receiver: usize,
+    },
+}
+
+impl std::fmt::Display for LinkIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkIndexError::EmptyRoute { receiver } => {
+                write!(f, "receiver {receiver} has an empty route")
+            }
+            LinkIndexError::NotATree { receiver } => write!(
+                f,
+                "receiver {receiver}'s route is not a path of a sender-rooted tree \
+                 (a link appears with two different prefixes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinkIndexError {}
+
+/// Incremental per-link downstream-level counts and per-layer
+/// carrying-link bitsets for one multicast session on a sender-rooted
+/// tree.
+///
+/// Links that appear on at least one receiver route get dense **ranks**,
+/// assigned in ascending `(depth, link id)` order; links on no route are
+/// excluded (they can never carry a packet). Because a link's predecessor
+/// on a tree path is unique, every rank's parent rank is smaller than the
+/// rank itself, so one ascending-rank pass visits parents before children
+/// — the property the tree engine uses to push per-link loss fates down
+/// the tree in a single sweep.
+///
+/// Dynamic state mirrors [`LevelIndex`] per rank: `eff_count` buckets of
+/// downstream receivers' *effective* levels, a cached per-rank downstream
+/// maximum with lazy downward repair, and per-layer bitset rows over ranks
+/// (`carrying(L)` bit `a` set iff rank `a`'s downstream maximum is `≥ L`).
+/// [`MembershipTable`](crate::multicast::MembershipTable) drives it
+/// through [`LinkLevelIndex::effective_changed`] from the same two
+/// notification sites that maintain the receiver-level index, so the
+/// carry sets stay exact under join/leave latencies.
+// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
+#[derive(Debug, Clone, Default)]
+pub struct LinkLevelIndex {
+    receiver_count: usize,
+    layer_count: usize,
+    link_count: usize,
+    /// Links on at least one route (the only ones that can carry).
+    rank_count: usize,
+    /// Words per bitset row: `ceil(rank_count / 64)`.
+    words: usize,
+    /// Link id → rank, [`UNSEEN`] for links on no route.
+    rank_of: Vec<u32>,
+    /// Rank → link id.
+    link_ids: Vec<u32>,
+    /// Rank → parent rank ([`NO_PARENT`] for root-adjacent links).
+    parent: Vec<u32>,
+    /// CSR over receivers: `route_ranks[route_start[r]..route_start[r+1]]`
+    /// is receiver `r`'s route as ranks, sender → receiver order.
+    route_start: Vec<u32>,
+    route_ranks: Vec<u32>,
+    /// Rank-major `(layer_count + 1)` buckets: `eff_count[a * (M+1) + v]`
+    /// = downstream receivers of rank `a` at effective level exactly `v`.
+    eff_count: Vec<u32>,
+    /// Rank → cached maximum downstream effective level.
+    max_eff: Vec<u32>,
+    /// Row-major bitsets, row `L-1` of `words` words: bit `a` set iff
+    /// `max_eff[a] >= L`.
+    rows: Vec<u64>,
+    /// Rebuild scratch: link id → predecessor link id / depth on routes.
+    pred: Vec<u32>,
+    depth: Vec<u32>,
+}
+
+impl LinkLevelIndex {
+    /// (Re)build the static topology from routes given as a CSR of link
+    /// ids (`route_links[route_start[r]..route_start[r+1]]` = receiver
+    /// `r`'s route, sender → receiver order), reusing prior allocations.
+    /// Dynamic state is reset to *no* receivers counted; call
+    /// [`LinkLevelIndex::sync_levels`] with the current effective levels
+    /// before querying.
+    ///
+    /// Fails when the routes are not tree paths: every link must appear at
+    /// one depth with one predecessor across all routes.
+    pub fn rebuild(
+        &mut self,
+        layer_count: usize,
+        link_count: usize,
+        route_start: &[u32],
+        route_links: &[u32],
+    ) -> Result<(), LinkIndexError> {
+        let receivers = route_start.len().saturating_sub(1);
+        self.receiver_count = receivers;
+        self.layer_count = layer_count;
+        self.link_count = link_count;
+
+        // Pass 1: predecessor + depth per link, consistency-checked. On a
+        // tree every route containing a link shares that link's full
+        // prefix, so a consistent predecessor at every position is both
+        // the validation and the parent relation.
+        self.pred.clear();
+        self.pred.resize(link_count, UNSEEN);
+        self.depth.clear();
+        self.depth.resize(link_count, 0);
+        let mut max_depth = 0u32;
+        for r in 0..receivers {
+            let s = route_start[r] as usize;
+            let e = route_start[r + 1] as usize;
+            if s == e {
+                return Err(LinkIndexError::EmptyRoute { receiver: r });
+            }
+            for i in s..e {
+                let l = route_links[i] as usize;
+                if l >= link_count {
+                    return Err(LinkIndexError::NotATree { receiver: r });
+                }
+                let p = if i == s {
+                    ROOT_PRED
+                } else {
+                    route_links[i - 1]
+                };
+                let d = (i - s + 1) as u32;
+                if self.pred[l] == UNSEEN {
+                    self.pred[l] = p;
+                    self.depth[l] = d;
+                    max_depth = max_depth.max(d);
+                } else if self.pred[l] != p || self.depth[l] != d {
+                    return Err(LinkIndexError::NotATree { receiver: r });
+                }
+            }
+        }
+
+        // Pass 2: counting-sort the on-route links by (depth, link id)
+        // into ranks; parents land at strictly smaller ranks.
+        let mut start = vec![0u32; max_depth as usize + 2];
+        for l in 0..link_count {
+            if self.pred[l] != UNSEEN {
+                start[self.depth[l] as usize + 1] += 1;
+            }
+        }
+        for d in 1..start.len() {
+            start[d] += start[d - 1];
+        }
+        self.rank_count = start[max_depth as usize + 1] as usize;
+        self.words = self.rank_count.div_ceil(64);
+        self.rank_of.clear();
+        self.rank_of.resize(link_count, UNSEEN);
+        self.link_ids.clear();
+        self.link_ids.resize(self.rank_count, 0);
+        for l in 0..link_count {
+            if self.pred[l] != UNSEEN {
+                let slot = &mut start[self.depth[l] as usize];
+                self.rank_of[l] = *slot;
+                self.link_ids[*slot as usize] = l as u32;
+                *slot += 1;
+            }
+        }
+        self.parent.clear();
+        self.parent.resize(self.rank_count, NO_PARENT);
+        for a in 0..self.rank_count {
+            let p = self.pred[self.link_ids[a] as usize];
+            if p != ROOT_PRED {
+                self.parent[a] = self.rank_of[p as usize];
+            }
+        }
+
+        // Pass 3: routes re-expressed as ranks.
+        self.route_start.clear();
+        self.route_start.extend_from_slice(route_start);
+        self.route_ranks.clear();
+        self.route_ranks
+            .extend(route_links.iter().map(|&l| self.rank_of[l as usize]));
+
+        // Dynamic state: sized but empty until `sync_levels`.
+        self.eff_count.clear();
+        self.eff_count
+            .resize(self.rank_count * (layer_count + 1), 0);
+        self.max_eff.clear();
+        self.max_eff.resize(self.rank_count, 0);
+        self.rows.clear();
+        self.rows.resize(layer_count * self.words, 0);
+        Ok(())
+    }
+
+    /// Recompute all dynamic state (buckets, cached maxima, carrying rows)
+    /// from ground-truth per-receiver effective levels. Called once when
+    /// the index is attached to a [`MembershipTable`]; incremental updates
+    /// flow through [`LinkLevelIndex::effective_changed`] afterwards.
+    ///
+    /// [`MembershipTable`]: crate::multicast::MembershipTable
+    // mlf-lint: allow(unused-pub, reason = "documented public API of the exported index; doc links and in-crate consumers are invisible to the analyzer")
+    pub fn sync_levels(&mut self, effective: &[usize]) {
+        assert_eq!(effective.len(), self.receiver_count, "receiver count");
+        let m = self.layer_count;
+        self.eff_count.fill(0);
+        for (r, &e) in effective.iter().enumerate() {
+            debug_assert!(e <= m);
+            let s = self.route_start[r] as usize;
+            let t = self.route_start[r + 1] as usize;
+            for &a in &self.route_ranks[s..t] {
+                self.eff_count[a as usize * (m + 1) + e] += 1;
+            }
+        }
+        self.rows.fill(0);
+        for a in 0..self.rank_count {
+            let base = a * (m + 1);
+            let mut v = m;
+            while v > 0 && self.eff_count[base + v] == 0 {
+                v -= 1;
+            }
+            self.max_eff[a] = v as u32;
+            for layer in 1..=v {
+                self.rows[(layer - 1) * self.words + a / 64] |= 1u64 << (a % 64);
+            }
+        }
+    }
+
+    /// Record receiver `r`'s effective level moving `old → new`: one
+    /// bucket move, cached-max repair, and at most `|old − new|` bitset
+    /// word flips per ancestor link of `r`.
+    // mlf-lint: allow(unused-pub, reason = "documented public API of the exported index; doc links and in-crate consumers are invisible to the analyzer")
+    pub fn effective_changed(&mut self, r: usize, old: usize, new: usize) {
+        let m = self.layer_count;
+        let s = self.route_start[r] as usize;
+        let e = self.route_start[r + 1] as usize;
+        for i in s..e {
+            let a = self.route_ranks[i] as usize;
+            let base = a * (m + 1);
+            self.eff_count[base + old] -= 1;
+            self.eff_count[base + new] += 1;
+            let cur = self.max_eff[a] as usize;
+            if new > cur {
+                self.flip_rows(a, cur + 1, new, true);
+                self.max_eff[a] = new as u32;
+            } else if old == cur && self.eff_count[base + cur] == 0 {
+                let mut v = cur;
+                while v > 0 && self.eff_count[base + v] == 0 {
+                    v -= 1;
+                }
+                self.flip_rows(a, v + 1, cur, false);
+                self.max_eff[a] = v as u32;
+            }
+        }
+    }
+
+    fn flip_rows(&mut self, rank: usize, lo: usize, hi: usize, set: bool) {
+        let word = rank / 64;
+        let mask = 1u64 << (rank % 64);
+        for layer in lo..=hi {
+            let at = (layer - 1) * self.words + word;
+            if set {
+                self.rows[at] |= mask;
+            } else {
+                self.rows[at] &= !mask;
+            }
+        }
+    }
+
+    /// The carrying-link bitset row of `layer` (1-based): bit `a` set iff
+    /// rank `a`'s downstream maximum effective level is `≥ layer`. The
+    /// engine walks its set bits in ascending rank order — parents before
+    /// children.
+    // mlf-lint: allow(unused-pub, reason = "documented public API of the exported index; doc links and in-crate consumers are invisible to the analyzer")
+    pub fn carrying(&self, layer: usize) -> &[u64] {
+        debug_assert!(
+            (1..=self.layer_count).contains(&layer),
+            "layer out of range"
+        );
+        let start = (layer - 1) * self.words;
+        &self.rows[start..start + self.words]
+    }
+
+    /// Number of link ranks (links on at least one route).
+    // mlf-lint: allow(unused-pub, reason = "documented public API of the exported index; doc links and in-crate consumers are invisible to the analyzer")
+    pub fn rank_count(&self) -> usize {
+        self.rank_count
+    }
+
+    /// Number of receivers the routes cover.
+    pub fn receiver_count(&self) -> usize {
+        self.receiver_count
+    }
+
+    /// Number of layers `M`.
+    pub fn layer_count(&self) -> usize {
+        self.layer_count
+    }
+
+    /// The link id of rank `a`.
+    // mlf-lint: allow(unused-pub, reason = "documented public API of the exported index; doc links and in-crate consumers are invisible to the analyzer")
+    pub fn link_of(&self, a: usize) -> usize {
+        self.link_ids[a] as usize
+    }
+
+    /// The parent rank of rank `a` (`None` for root-adjacent links).
+    /// Always strictly less than `a` when present.
+    // mlf-lint: allow(unused-pub, reason = "documented public API of the exported index; doc links and in-crate consumers are invisible to the analyzer")
+    pub fn parent_of(&self, a: usize) -> Option<usize> {
+        let p = self.parent[a];
+        (p != NO_PARENT).then_some(p as usize)
+    }
+
+    /// The rank of receiver `r`'s access link (last link of its route);
+    /// its fate decides `r`'s end-to-end delivery.
+    // mlf-lint: allow(unused-pub, reason = "documented public API of the exported index; doc links and in-crate consumers are invisible to the analyzer")
+    pub fn last_rank(&self, r: usize) -> usize {
+        self.route_ranks[self.route_start[r + 1] as usize - 1] as usize
+    }
+
+    /// Check every index invariant against ground-truth per-receiver
+    /// `effective` levels; returns the first violation as an error string.
+    /// Used by the membership property tests.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
+    pub fn check_invariants(&self, effective: &[usize]) -> Result<(), String> {
+        if effective.len() != self.receiver_count {
+            return Err("level slice length mismatch".into());
+        }
+        let m = self.layer_count;
+        let mut expect_count = vec![0u32; self.rank_count * (m + 1)];
+        for (r, &e) in effective.iter().enumerate() {
+            let s = self.route_start[r] as usize;
+            let t = self.route_start[r + 1] as usize;
+            for &a in &self.route_ranks[s..t] {
+                expect_count[a as usize * (m + 1) + e] += 1;
+            }
+        }
+        if expect_count != self.eff_count {
+            return Err("per-link effective buckets diverged".into());
+        }
+        for a in 0..self.rank_count {
+            let base = a * (m + 1);
+            let mut v = m;
+            while v > 0 && expect_count[base + v] == 0 {
+                v -= 1;
+            }
+            if self.max_eff[a] as usize != v {
+                return Err(format!(
+                    "rank {a}: cached downstream max {} but recount is {v}",
+                    self.max_eff[a]
+                ));
+            }
+            if let Some(p) = self.parent_of(a) {
+                if p >= a {
+                    return Err(format!("rank {a}: parent rank {p} not smaller"));
+                }
+                if self.max_eff[p] < self.max_eff[a] {
+                    return Err(format!(
+                        "rank {a}: downstream max {} exceeds parent's {}",
+                        self.max_eff[a], self.max_eff[p]
+                    ));
+                }
+            }
+        }
+        for layer in 1..=m {
+            let mut expect = vec![0u64; self.words];
+            for a in 0..self.rank_count {
+                if self.max_eff[a] as usize >= layer {
+                    expect[a / 64] |= 1u64 << (a % 64);
+                }
+            }
+            if expect != self.carrying(layer) {
+                return Err(format!("carrying bitset of layer {layer} diverged"));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +705,74 @@ mod tests {
         assert_eq!(ix.subscriber_count(3), 0);
         let levels = vec![2usize; 64];
         ix.check_invariants(&levels, &levels).unwrap();
+    }
+
+    /// Routes of a 2-level binary tree: trunks l0, l1 then leaf links
+    /// l2..=l5, receivers 0..4.
+    fn binary_routes() -> (Vec<u32>, Vec<u32>) {
+        let route_links = vec![0, 2, 0, 3, 1, 4, 1, 5];
+        let route_start = vec![0, 2, 4, 6, 8];
+        (route_start, route_links)
+    }
+
+    #[test]
+    fn link_index_ranks_parents_before_children() {
+        let (start, links) = binary_routes();
+        let mut ix = LinkLevelIndex::default();
+        ix.rebuild(4, 6, &start, &links).unwrap();
+        assert_eq!(ix.rank_count(), 6);
+        assert_eq!(ix.receiver_count(), 4);
+        // Depth-1 trunks take ranks 0..2, leaf links 2..6, id order within.
+        assert_eq!(
+            (0..6).map(|a| ix.link_of(a)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert_eq!(ix.parent_of(0), None);
+        assert_eq!(ix.parent_of(2), Some(0));
+        assert_eq!(ix.parent_of(5), Some(1));
+        assert_eq!(ix.last_rank(2), 4);
+    }
+
+    #[test]
+    fn link_index_tracks_downstream_maxima() {
+        let (start, links) = binary_routes();
+        let mut ix = LinkLevelIndex::default();
+        ix.rebuild(4, 6, &start, &links).unwrap();
+        let mut eff = vec![1usize; 4];
+        ix.sync_levels(&eff);
+        ix.check_invariants(&eff).unwrap();
+        // All trunks and leaves carry layer 1 only.
+        assert_eq!(ix.carrying(1), &[0b111111]);
+        assert_eq!(ix.carrying(2), &[0]);
+        // Receiver 3 (behind trunk l1, leaf l5) rises to 3: its ancestor
+        // chain flips in layers 2..=3.
+        ix.effective_changed(3, 1, 3);
+        eff[3] = 3;
+        ix.check_invariants(&eff).unwrap();
+        assert_eq!(ix.carrying(3), &[0b100010]);
+        // Back down to 2: lazy repair clears layer 3 only.
+        ix.effective_changed(3, 3, 2);
+        eff[3] = 2;
+        ix.check_invariants(&eff).unwrap();
+        assert_eq!(ix.carrying(3), &[0]);
+        assert_eq!(ix.carrying(2), &[0b100010]);
+    }
+
+    #[test]
+    fn link_index_rejects_non_tree_routes() {
+        // Two routes disagree on l2's predecessor: not tree paths.
+        let start = vec![0u32, 2, 4];
+        let links = vec![0u32, 2, 1, 2];
+        let mut ix = LinkLevelIndex::default();
+        assert_eq!(
+            ix.rebuild(2, 3, &start, &links),
+            Err(LinkIndexError::NotATree { receiver: 1 })
+        );
+        // An empty route is rejected too.
+        let mut ix = LinkLevelIndex::default();
+        assert_eq!(
+            ix.rebuild(2, 3, &[0, 0], &[]),
+            Err(LinkIndexError::EmptyRoute { receiver: 0 })
+        );
     }
 }

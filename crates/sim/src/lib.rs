@@ -26,11 +26,17 @@
 //!   ([`events`]);
 //! * a general-tree engine ([`tree`]) extending the star model to arbitrary
 //!   sender-rooted multicast trees with per-link loss and per-link
-//!   redundancy measurement.
+//!   redundancy measurement — running on the per-link carrying bitsets of
+//!   [`index::LinkLevelIndex`] (per-slot cost O(carrying links) +
+//!   O(subscribed receivers), good for 10⁵+ receivers in one session),
+//!   with the pre-bitset scan engine frozen in [`mod@reference_tree`] and
+//!   bitwise equality pinned by `tests/tree_engine_differential.rs`.
 //!
 //! The Section 4 protocol state machines themselves live in
 //! `mlf-protocols`; this crate only knows the [`engine::ReceiverController`]
-//! interface they implement.
+//! interface they implement. The workspace-level `ARCHITECTURE.md`
+//! explains how these engines, their frozen references, and the bench
+//! regression gates fit together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +47,7 @@ pub mod index;
 pub mod loss;
 pub mod multicast;
 pub mod reference;
+pub mod reference_tree;
 pub mod rng;
 pub mod stats;
 pub mod tree;
@@ -50,9 +57,11 @@ pub use engine::{
     ReceiverController, StarConfig, StarReport, StarScratch,
 };
 pub use events::{EventQueue, Tick};
-pub use index::LevelIndex;
+pub use index::{LevelIndex, LinkLevelIndex};
 pub use loss::LossProcess;
 pub use multicast::MembershipTable;
 pub use rng::SimRng;
 pub use stats::RunningStats;
-pub use tree::{run_tree, TreeConfig, TreeReport};
+pub use tree::{
+    run_tree, run_tree_expect, run_tree_into, TreeConfig, TreeConfigError, TreeReport, TreeScratch,
+};

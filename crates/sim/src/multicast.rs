@@ -47,6 +47,14 @@
 //!   sequence too, so a stale in-flight join can never override a newer
 //!   instant leave).
 //!
+//! A table can additionally carry a [`LinkLevelIndex`]
+//! ([`attach_link_index`]/[`detach_link_index`]) for the tree engine:
+//! both effective-level notification sites — the zero-latency fast path
+//! in [`request_level`] and delayed changes landing in [`advance_to`] —
+//! forward the same `old → new` transition to it, so per-link carry sets
+//! stay exact under join/leave latencies without any extra bookkeeping at
+//! the call sites.
+//!
 //! ## The RNG-draw-preservation contract
 //!
 //! The star engine's reproducibility across the indexed rewrite rests on
@@ -62,12 +70,21 @@
 //! bitwise equality — which is what `tests/star_engine_differential.rs`
 //! pins.
 //!
+//! The tree engine extends the same contract to links: every link owns a
+//! private RNG substream too, so preserving each link's *carried-slot set*
+//! (which the link-index carry bitsets decide) preserves its loss-sample
+//! sequence exactly, whatever order links are visited within a slot.
+//! `tests/tree_engine_differential.rs` pins that side against the frozen
+//! [`crate::reference_tree`].
+//!
 //! [`request_level`]: MembershipTable::request_level
 //! [`advance_to`]: MembershipTable::advance_to
 //! [`max_effective_level`]: MembershipTable::max_effective_level
+//! [`attach_link_index`]: MembershipTable::attach_link_index
+//! [`detach_link_index`]: MembershipTable::detach_link_index
 
 use crate::events::{EventQueue, Tick};
-use crate::index::LevelIndex;
+use crate::index::{LevelIndex, LinkLevelIndex};
 
 /// Pending membership-change event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +109,10 @@ pub struct MembershipTable {
     next_seq: u64,
     /// Incrementally maintained level buckets + subscriber bitsets.
     index: LevelIndex,
+    /// Optional per-link index for the tree engine (boxed: star runs
+    /// carry no tree topology and pay one null pointer). Kept in sync
+    /// with every effective-level transition while attached.
+    links: Option<Box<LinkLevelIndex>>,
 }
 
 impl MembershipTable {
@@ -121,6 +142,9 @@ impl MembershipTable {
         self.layer_count = layer_count;
         self.next_seq = 0;
         self.index.reset(receivers, layer_count, initial);
+        // A fresh table has no link index; callers that reuse one across
+        // trials detach it first and re-attach after the reset.
+        self.links = None;
     }
 
     /// Builder-style join (graft) and leave (prune) latencies in ticks.
@@ -168,12 +192,44 @@ impl MembershipTable {
         &self.index
     }
 
-    /// Apply an effective-level change, keeping the index in sync. The
+    /// Attach a per-link index (tree engine). Its static topology must be
+    /// built ([`LinkLevelIndex::rebuild`]) for this table's receiver
+    /// count; the dynamic state is synced to the current effective levels
+    /// here, and every later transition keeps it current until
+    /// [`MembershipTable::detach_link_index`].
+    // mlf-lint: allow(unused-pub, reason = "documented public API; the tree engine consumes it in-crate, invisibly to the analyzer")
+    pub fn attach_link_index(&mut self, mut links: Box<LinkLevelIndex>) {
+        assert_eq!(
+            links.receiver_count(),
+            self.receiver_count(),
+            "link index receiver count"
+        );
+        links.sync_levels(&self.effective);
+        self.links = Some(links);
+    }
+
+    /// Detach and return the link index (if any), so engine scratch can
+    /// reuse its allocations across trials.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; the tree engine consumes it in-crate, invisibly to the analyzer")
+    pub fn detach_link_index(&mut self) -> Option<Box<LinkLevelIndex>> {
+        self.links.take()
+    }
+
+    /// The attached per-link index, if any.
+    // mlf-lint: allow(unused-pub, reason = "documented public API; the tree engine consumes it in-crate, invisibly to the analyzer")
+    pub fn link_index(&self) -> Option<&LinkLevelIndex> {
+        self.links.as_deref()
+    }
+
+    /// Apply an effective-level change, keeping the indexes in sync. The
     /// requested level must already hold its final value.
     fn apply_effective(&mut self, r: usize, level: usize) {
         let old_eff = self.effective[r];
         self.effective[r] = level;
         self.index.effective_changed(r, old_eff, level);
+        if let Some(links) = self.links.as_deref_mut() {
+            links.effective_changed(r, old_eff, level);
+        }
         let old_active = self.requested[r].min(old_eff);
         let new_active = self.requested[r].min(level);
         self.index.active_changed(r, old_active, new_active);
@@ -202,6 +258,9 @@ impl MembershipTable {
             let old_eff = self.effective[r];
             self.effective[r] = level;
             self.index.effective_changed(r, old_eff, level);
+            if let Some(links) = self.links.as_deref_mut() {
+                links.effective_changed(r, old_eff, level);
+            }
             self.index.active_changed(r, old_active, level);
         } else {
             // The requested level moved while the effective one did not:
@@ -268,10 +327,15 @@ impl MembershipTable {
     }
 
     /// Check every index invariant against the table's ground-truth level
-    /// vectors (see [`crate::index::LevelIndex::check_invariants`]).
+    /// vectors (see [`crate::index::LevelIndex::check_invariants`]), plus
+    /// the attached link index's (if any).
     pub fn check_index_invariants(&self) -> Result<(), String> {
         self.index
-            .check_invariants(&self.requested, &self.effective)
+            .check_invariants(&self.requested, &self.effective)?;
+        if let Some(links) = self.links.as_deref() {
+            links.check_invariants(&self.effective)?;
+        }
+        Ok(())
     }
 }
 
@@ -389,5 +453,41 @@ mod tests {
     fn level_above_m_panics() {
         let mut t = MembershipTable::new(1, 4, 1);
         t.request_level(0, 0, 5);
+    }
+
+    #[test]
+    fn attached_link_index_follows_latent_transitions() {
+        // Star of 3: shared link 0 (rank 0), fanouts 1..=3; receiver r's
+        // route is [0, r+1].
+        let route_start = [0u32, 2, 4, 6];
+        let route_links = [0u32, 1, 0, 2, 0, 3];
+        let mut links = Box::<LinkLevelIndex>::default();
+        links.rebuild(8, 4, &route_start, &route_links).unwrap();
+        let mut t = MembershipTable::new(3, 8, 1).with_latencies(4, 9);
+        t.attach_link_index(links);
+        t.check_index_invariants().unwrap();
+        assert_eq!(t.link_index().unwrap().carrying(1), &[0b1111]);
+        assert_eq!(t.link_index().unwrap().carrying(2), &[0]);
+
+        // Receiver 1 joins level 3: nothing carries it until the graft
+        // lands, then the shared link and r1's fanout do.
+        t.request_level(0, 1, 3);
+        t.check_index_invariants().unwrap();
+        assert_eq!(t.link_index().unwrap().carrying(3), &[0]);
+        t.advance_to(4);
+        t.check_index_invariants().unwrap();
+        assert_eq!(t.link_index().unwrap().carrying(3), &[0b0101]);
+
+        // An instant (zero-latency) transition flows through the fast
+        // path too: drop the leave latency and prune back to 1.
+        t.set_latencies(4, 0);
+        t.request_level(5, 1, 1);
+        t.check_index_invariants().unwrap();
+        assert_eq!(t.link_index().unwrap().carrying(2), &[0]);
+
+        // Detach returns the index for reuse; the table stops updating it.
+        let links = t.detach_link_index().unwrap();
+        assert_eq!(links.rank_count(), 4);
+        assert!(t.link_index().is_none());
     }
 }

@@ -1,5 +1,6 @@
 //! Packet-level simulation on arbitrary multicast **trees** — a
-//! generalization of the Figure 7 star engine.
+//! generalization of the Figure 7 star engine, running on per-link
+//! carrying bitsets.
 //!
 //! The paper's quantitative experiments use the modified star because the
 //! shared link is where redundancy lives. Its *model*, however, is a
@@ -9,17 +10,62 @@
 //! implements that model for any sender-rooted tree, measuring redundancy
 //! on every link:
 //!
-//! * the star reduces to a depth-2 tree (the regression tests pin engine
-//!   agreement on that case);
+//! * the star reduces to a depth-2 tree (`tests/star_tree_agreement.rs`
+//!   pins bitwise per-receiver agreement with [`crate::engine::run_star`]
+//!   on that case);
 //! * deeper trees expose the correlation structure the star cannot: two
 //!   receivers behind a common lossy branch see correlated congestion and
 //!   stay synchronized, receivers on disjoint branches drift apart — so
 //!   redundancy concentrates on links whose subtrees straddle independent
 //!   loss, exactly the paper's "coordination matters where loss is
 //!   uncorrelated" reading at every level of the hierarchy.
+//!
+//! ## The bitset engine
+//!
+//! The original implementation (frozen verbatim in
+//! [`crate::reference_tree`]) scanned every link × downstream receiver per
+//! slot plus a full `0..n` receiver loop with a per-receiver route
+//! re-scan. This one runs on the incrementally maintained
+//! [`LinkLevelIndex`], so a slot costs
+//! O(carrying links) + O(subscribed receivers on the slot's layer):
+//!
+//! * **Carried links** are the set bits of the layer's carrying-link
+//!   bitset row, walked word-at-a-time in ascending rank order — parents
+//!   before children — so each link's end-to-end fate is one OR of its own
+//!   loss draw with its parent's already-computed fate, resolved down the
+//!   whole tree in a single sweep.
+//! * **Delivery** walks the layer's active-subscriber bitset row from the
+//!   receiver-level [`LevelIndex`](crate::index::LevelIndex) in ascending
+//!   receiver id; a receiver's fate is a single lookup of its access
+//!   link's fate. Both indexes are maintained by the one
+//!   [`MembershipTable`], so a ±1 level transition costs O(route length)
+//!   words.
+//! * **Offered accounting** is settled lazily from per-layer cumulative
+//!   slot counters at the (rare) join/leave events, exactly like the star
+//!   engine's.
+//!
+//! Every RNG draw and counter lands bit-identically to the frozen
+//! reference: links own private RNG substreams (split by [`LinkId`]) and
+//! carry on identical slot sets; receivers are visited in the same
+//! ascending-id order. `tests/tree_engine_differential.rs` proves
+//! bitwise-equal [`TreeReport`]s by proptest across topologies × loss
+//! processes × latencies × controller mixes.
+//!
+//! ## Error contract
+//!
+//! [`run_tree`]/[`run_tree_into`] validate the run configuration up front
+//! and return a typed [`TreeConfigError`] instead of asserting: the
+//! network must hold exactly **one session**, with **one controller per
+//! receiver** and **one loss process per link**, at least one layer with
+//! **finite positive rates**, and routes that are the paths of a
+//! **sender-rooted tree**. Validation happens before any RNG draw or
+//! controller callback, so a failed call has no side effects beyond the
+//! scratch. [`run_tree_expect`] is the panicking convenience wrapper for
+//! tests and examples.
 
 use crate::engine::{Action, LayerInterleaver, MarkerSource, PacketEvent, ReceiverController};
 use crate::events::Tick;
+use crate::index::{LinkIndexError, LinkLevelIndex};
 use crate::loss::LossProcess;
 use crate::multicast::MembershipTable;
 use crate::rng::SimRng;
@@ -39,8 +85,88 @@ pub struct TreeConfig {
     pub leave_latency: Tick,
 }
 
+/// A tree run configuration [`run_tree`] cannot execute. See the module
+/// docs for the full contract; every variant names the offending input.
+// mlf-lint: allow(unused-pub, reason = "the typed error contract of run_tree; workspace tests match it via expect, invisibly to the analyzer")
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeConfigError {
+    /// The network holds `sessions` sessions; the engine wants exactly one.
+    SessionCountNotOne {
+        /// Sessions found in the network.
+        sessions: usize,
+    },
+    /// `controllers.len()` does not match the session's receiver count.
+    ControllerCountMismatch {
+        /// Controllers supplied.
+        controllers: usize,
+        /// Receivers in the session.
+        receivers: usize,
+    },
+    /// `cfg.link_loss.len()` does not match the network's link count.
+    LossProcessCountMismatch {
+        /// Loss processes supplied.
+        processes: usize,
+        /// Links in the network.
+        links: usize,
+    },
+    /// `cfg.layer_rates` is empty.
+    NoLayers,
+    /// A layer rate is zero, negative, or non-finite.
+    BadLayerRate {
+        /// 1-based layer whose rate is bad.
+        layer: usize,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A receiver's route is not a path of a sender-rooted tree (or is
+    /// empty), so per-link downstream subscription — and the parent-chain
+    /// loss propagation built on it — would be ill-defined.
+    NotATree {
+        /// Receiver index whose route exposed the problem.
+        receiver: usize,
+    },
+}
+
+impl std::fmt::Display for TreeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeConfigError::SessionCountNotOne { sessions } => {
+                write!(
+                    f,
+                    "tree run wants exactly one session, network has {sessions}"
+                )
+            }
+            TreeConfigError::ControllerCountMismatch {
+                controllers,
+                receivers,
+            } => write!(
+                f,
+                "one controller per receiver: got {controllers} controllers for {receivers} \
+                 receivers"
+            ),
+            TreeConfigError::LossProcessCountMismatch { processes, links } => write!(
+                f,
+                "one loss process per link: got {processes} processes for {links} links"
+            ),
+            TreeConfigError::NoLayers => write!(f, "layer_rates must name at least one layer"),
+            TreeConfigError::BadLayerRate { layer, rate } => {
+                write!(
+                    f,
+                    "layer {layer} rate {rate} is not a finite positive number"
+                )
+            }
+            TreeConfigError::NotATree { receiver } => write!(
+                f,
+                "receiver {receiver}'s route is not a sender-rooted tree path"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TreeConfigError {}
+
 /// Measurements from one tree run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeReport {
     /// Slots simulated.
     pub slots: u64,
@@ -59,6 +185,20 @@ pub struct TreeReport {
 }
 
 impl TreeReport {
+    /// An empty report shell for [`run_tree_into`]; every field is resized
+    /// and overwritten by the run.
+    pub fn empty() -> Self {
+        TreeReport {
+            slots: 0,
+            carried: Vec::new(),
+            offered: Vec::new(),
+            delivered: Vec::new(),
+            congestion_events: Vec::new(),
+            final_levels: Vec::new(),
+            downstream: Vec::new(),
+        }
+    }
+
     /// Redundancy of one link (Definition 3): packets carried over the
     /// largest downstream receiver's offered count. `None` for links with
     /// no subscribed downstream traffic.
@@ -70,6 +210,7 @@ impl TreeReport {
         if max == 0 {
             return None;
         }
+        // mlf-lint: allow(as-float-cast, reason = "slot and packet counters stay far below 2^53, so the casts are exact")
         Some(self.carried[link.0] as f64 / max as f64)
     }
 
@@ -81,13 +222,62 @@ impl TreeReport {
     }
 }
 
+/// Reusable buffers for [`run_tree_into`]: the membership table with its
+/// two indexes, per-link RNG/loss state, the lazy offered-accounting
+/// counters, and the per-slot fate/snapshot rows. A bench loop keeps one
+/// scratch across trials so steady-state runs are allocation-light.
+#[derive(Debug, Clone, Default)]
+pub struct TreeScratch {
+    membership: MembershipTable,
+    /// The per-link index, parked here between runs (the table owns it
+    /// while a run is in flight).
+    link_index: Option<Box<LinkLevelIndex>>,
+    link_rng: Vec<SimRng>,
+    link_loss: Vec<LossProcess>,
+    /// `layer_cum[L-1]` = slots of layer ≤ `L` emitted so far… summed by
+    /// prefix: cumulative emitted-slot counters per layer.
+    layer_cum: Vec<u64>,
+    /// Per receiver: the offered prefix already credited.
+    settled_prefix: Vec<u64>,
+    /// Snapshot of the slot layer's active-subscriber bitset row.
+    row: Vec<u64>,
+    /// Per link rank: this slot's end-to-end fate (valid for carried ranks).
+    path_lost: Vec<bool>,
+    /// Per receiver: rank of its access link.
+    last_rank: Vec<u32>,
+    /// Route CSR handed to the link index (link ids, sender → receiver).
+    route_start: Vec<u32>,
+    route_links: Vec<u32>,
+}
+
+/// Settle receiver `r`'s lazily accounted `offered` counter at a level
+/// change `old_level → new_level` (current slot billed at the old level,
+/// matching the reference engine's visit order).
+fn settle_offered(
+    offered: &mut [u64],
+    layer_cum: &[u64],
+    settled_prefix: &mut [u64],
+    r: usize,
+    old_level: usize,
+    new_level: usize,
+) {
+    let prefix_old: u64 = layer_cum[..old_level].iter().sum();
+    offered[r] += prefix_old - settled_prefix[r];
+    settled_prefix[r] = if new_level == old_level {
+        prefix_old
+    } else {
+        layer_cum[..new_level].iter().sum()
+    };
+}
+
 /// Run a layered session over a tree network.
 ///
 /// `net` must contain exactly one session (the multicast under test) whose
 /// routes form a sender-rooted tree: every receiver's data-path must be the
 /// unique tree path (guaranteed when the graph is a tree, e.g. from
-/// `mlf_net::topology::{star, kary_tree, random_tree}`).
-#[allow(clippy::needless_range_loop)] // parallel per-receiver tables
+/// `mlf_net::topology::{star, kary_tree, random_tree}`). Invalid
+/// configurations come back as a typed [`TreeConfigError`] (see the module
+/// docs); [`run_tree_expect`] panics instead, for tests.
 pub fn run_tree<C: ReceiverController, M: MarkerSource>(
     net: &Network,
     cfg: &TreeConfig,
@@ -95,106 +285,263 @@ pub fn run_tree<C: ReceiverController, M: MarkerSource>(
     marker: &mut M,
     slots: u64,
     seed: u64,
+) -> Result<TreeReport, TreeConfigError> {
+    let mut report = TreeReport::empty();
+    let mut scratch = TreeScratch::default();
+    run_tree_into(
+        net,
+        cfg,
+        controllers,
+        marker,
+        slots,
+        seed,
+        &mut report,
+        &mut scratch,
+    )?;
+    Ok(report)
+}
+
+/// [`run_tree`] that panics on an invalid configuration — the convenience
+/// wrapper for tests and examples, where a [`TreeConfigError`] is a bug in
+/// the test itself.
+pub fn run_tree_expect<C: ReceiverController, M: MarkerSource>(
+    net: &Network,
+    cfg: &TreeConfig,
+    controllers: &mut [C],
+    marker: &mut M,
+    slots: u64,
+    seed: u64,
 ) -> TreeReport {
-    assert_eq!(net.session_count(), 1, "one session per tree run");
+    match run_tree(net, cfg, controllers, marker, slots, seed) {
+        Ok(report) => report,
+        // mlf-lint: allow(panic-unwrap, reason = "documented panicking wrapper for tests; run_tree is the typed alternative")
+        Err(err) => panic!("invalid tree run configuration: {err}"),
+    }
+}
+
+/// [`run_tree`] into caller-owned `report` and `scratch` buffers, reusing
+/// their allocations — the bench loops call this in steady state. The
+/// report's previous contents are fully overwritten.
+#[allow(clippy::too_many_arguments)] // mirrors run_star_into's shape
+pub fn run_tree_into<C: ReceiverController, M: MarkerSource>(
+    net: &Network,
+    cfg: &TreeConfig,
+    controllers: &mut [C],
+    marker: &mut M,
+    slots: u64,
+    seed: u64,
+    report: &mut TreeReport,
+    scratch: &mut TreeScratch,
+) -> Result<(), TreeConfigError> {
+    if net.session_count() != 1 {
+        return Err(TreeConfigError::SessionCountNotOne {
+            sessions: net.session_count(),
+        });
+    }
     let session = SessionId(0);
     let n = net.session(session).receivers.len();
-    assert_eq!(controllers.len(), n, "one controller per receiver");
+    if controllers.len() != n {
+        return Err(TreeConfigError::ControllerCountMismatch {
+            controllers: controllers.len(),
+            receivers: n,
+        });
+    }
     let n_links = net.link_count();
-    assert_eq!(cfg.link_loss.len(), n_links, "one loss process per link");
+    if cfg.link_loss.len() != n_links {
+        return Err(TreeConfigError::LossProcessCountMismatch {
+            processes: cfg.link_loss.len(),
+            links: n_links,
+        });
+    }
     let m = cfg.layer_rates.len();
+    if m == 0 {
+        return Err(TreeConfigError::NoLayers);
+    }
+    for (i, &rate) in cfg.layer_rates.iter().enumerate() {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(TreeConfigError::BadLayerRate { layer: i + 1, rate });
+        }
+    }
 
-    // Downstream receiver sets per link (R_{1,j}).
-    let downstream: Vec<Vec<usize>> = (0..n_links)
-        .map(|j| {
-            net.receivers_of_session_on_link(LinkId(j), session)
-                .to_vec()
-        })
-        .collect();
+    // Routes as a CSR of link ids, then the per-link index over them. A
+    // rejected topology hands the (unbuilt) index back to the scratch.
+    scratch.route_start.clear();
+    scratch.route_start.push(0);
+    scratch.route_links.clear();
+    for r in 0..n {
+        let route = net.route(ReceiverId::new(session.0, r));
+        scratch
+            .route_links
+            .extend(route.iter().map(|&l| l.0 as u32));
+        scratch.route_start.push(scratch.route_links.len() as u32);
+    }
+    let mut links = scratch.link_index.take().unwrap_or_default();
+    if let Err(err) = links.rebuild(m, n_links, &scratch.route_start, &scratch.route_links) {
+        scratch.link_index = Some(links);
+        let (LinkIndexError::EmptyRoute { receiver } | LinkIndexError::NotATree { receiver }) = err;
+        return Err(TreeConfigError::NotATree { receiver });
+    }
+
+    scratch.last_rank.clear();
+    scratch
+        .last_rank
+        .extend((0..n).map(|r| links.last_rank(r) as u32));
 
     let base = SimRng::seed_from_u64(seed);
-    let mut link_rng: Vec<SimRng> = (0..n_links).map(|j| base.split(j as u64)).collect();
-    let mut link_loss = cfg.link_loss.clone();
-    let mut membership =
-        MembershipTable::new(n, m, 1).with_latencies(cfg.join_latency, cfg.leave_latency);
+    scratch.link_rng.clear();
+    scratch
+        .link_rng
+        .extend((0..n_links).map(|j| base.split(j as u64)));
+    scratch.link_loss.clear();
+    scratch.link_loss.extend_from_slice(&cfg.link_loss);
+
+    scratch.membership.reset(n, m, 1);
+    scratch
+        .membership
+        .set_latencies(cfg.join_latency, cfg.leave_latency);
+    scratch.membership.attach_link_index(links);
+    let rank_count = scratch
+        .membership
+        .link_index()
+        .map_or(0, LinkLevelIndex::rank_count);
+
     let mut interleaver = LayerInterleaver::new(&cfg.layer_rates);
 
-    let mut report = TreeReport {
-        slots,
-        carried: vec![0; n_links],
-        offered: vec![0; n],
-        delivered: vec![0; n],
-        congestion_events: vec![0; n],
-        final_levels: vec![1; n],
-        downstream,
-    };
+    report.slots = slots;
+    report.carried.clear();
+    report.carried.resize(n_links, 0);
+    report.offered.clear();
+    report.offered.resize(n, 0);
+    report.delivered.clear();
+    report.delivered.resize(n, 0);
+    report.congestion_events.clear();
+    report.congestion_events.resize(n, 0);
+    report.final_levels.clear();
+    report.final_levels.resize(n, 1);
+    report.downstream.truncate(n_links);
+    report.downstream.resize_with(n_links, Vec::new);
+    for (j, d) in report.downstream.iter_mut().enumerate() {
+        d.clear();
+        d.extend_from_slice(net.receivers_of_session_on_link(LinkId(j), session));
+    }
 
-    // Per-slot scratch: loss fate per link (None = not carried this slot).
-    let mut link_lost: Vec<Option<bool>> = vec![None; n_links];
+    scratch.layer_cum.clear();
+    scratch.layer_cum.resize(m, 0);
+    scratch.settled_prefix.clear();
+    scratch.settled_prefix.resize(n, 0);
+    scratch.path_lost.clear();
+    scratch.path_lost.resize(rank_count, false);
+
+    let TreeScratch {
+        membership,
+        link_index,
+        link_rng,
+        link_loss,
+        layer_cum,
+        settled_prefix,
+        row,
+        path_lost,
+        last_rank,
+        ..
+    } = scratch;
 
     for slot in 0..slots {
         membership.advance_to(slot);
         let layer = interleaver.next_layer();
         let mk = marker.marker(slot, layer);
+        layer_cum[layer - 1] += 1;
 
-        // Which links carry this packet: those with an effectively
-        // subscribed downstream receiver. Draw loss once per carrying link
-        // (the draw is what correlates the subtree).
-        for j in 0..n_links {
-            let sub = report.downstream[j]
-                .iter()
-                .any(|&r| membership.subscribed(r, layer));
-            link_lost[j] = if sub {
+        // Carried links: the layer's carrying-row set bits, ascending rank
+        // — parents first, so one sweep resolves every end-to-end fate.
+        // Loss draws happen exactly on the slots the link carries, from the
+        // link's private substream, matching the reference's draw sequence.
+        let Some(lx) = membership.link_index() else {
+            break; // unreachable: attached above; break degrades safely
+        };
+        for (w, &bits) in lx.carrying(layer).iter().enumerate() {
+            let mut word = bits;
+            while word != 0 {
+                let a = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let j = lx.link_of(a);
                 report.carried[j] += 1;
-                Some(link_loss[j].sample(&mut link_rng[j]))
-            } else {
-                None
-            };
+                let own = link_loss[j].sample(&mut link_rng[j]);
+                let upstream = match lx.parent_of(a) {
+                    Some(p) => path_lost[p],
+                    None => false,
+                };
+                path_lost[a] = own || upstream;
+            }
         }
 
-        for r in 0..n {
-            let level = membership.requested_level(r);
-            if layer <= level {
-                report.offered[r] += 1;
-            }
-            if !(membership.wants(r, layer) && membership.subscribed(r, layer)) {
-                continue;
-            }
-            // End-to-end fate: OR of the losses on the receiver's path.
-            let rid = ReceiverId::new(0, r);
-            let lost = net.route(rid).iter().any(|&l| link_lost[l.0] == Some(true));
-            if lost {
-                report.congestion_events[r] += 1;
-            } else {
-                report.delivered[r] += 1;
-            }
-            let ev = PacketEvent {
-                slot,
-                layer,
-                lost,
-                marker: if lost { None } else { mk },
-                level,
-                layer_count: m,
-            };
-            match controllers[r].on_packet(&ev) {
-                Action::Stay => {}
-                Action::JoinUp => {
-                    if level < m {
-                        membership.request_level(slot, r, level + 1);
-                    }
+        // Delivery: snapshot the layer's active-subscriber row, then walk
+        // its set bits in ascending receiver id. Every visited receiver's
+        // whole route carried this slot, so its fate is its access link's.
+        row.clear();
+        row.extend_from_slice(membership.index().subscribers(layer));
+        for (w, &bits) in row.iter().enumerate() {
+            let mut word = bits;
+            while word != 0 {
+                let r = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let lost = path_lost[last_rank[r] as usize];
+                if lost {
+                    report.congestion_events[r] += 1;
+                } else {
+                    report.delivered[r] += 1;
                 }
-                Action::LeaveDown => {
-                    if level > 1 {
-                        membership.request_level(slot, r, level - 1);
+                let level = membership.requested_level(r);
+                let ev = PacketEvent {
+                    slot,
+                    layer,
+                    lost,
+                    marker: if lost { None } else { mk },
+                    level,
+                    layer_count: m,
+                };
+                match controllers[r].on_packet(&ev) {
+                    Action::Stay => {}
+                    Action::JoinUp => {
+                        if level < m {
+                            settle_offered(
+                                &mut report.offered,
+                                layer_cum,
+                                settled_prefix,
+                                r,
+                                level,
+                                level + 1,
+                            );
+                            membership.request_level(slot, r, level + 1);
+                        }
+                    }
+                    Action::LeaveDown => {
+                        if level > 1 {
+                            settle_offered(
+                                &mut report.offered,
+                                layer_cum,
+                                settled_prefix,
+                                r,
+                                level,
+                                level - 1,
+                            );
+                            membership.request_level(slot, r, level - 1);
+                        }
                     }
                 }
             }
         }
     }
-    for r in 0..n {
-        report.final_levels[r] = membership.requested_level(r);
+
+    // Final settle at the end-of-run levels, then park the link index for
+    // the next run.
+    for (r, settled) in settled_prefix.iter().enumerate().take(n) {
+        let level = membership.requested_level(r);
+        let prefix: u64 = layer_cum[..level].iter().sum();
+        report.offered[r] += prefix - settled;
+        report.final_levels[r] = level;
     }
-    report
+    *link_index = membership.detach_link_index();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -255,7 +602,7 @@ mod tests {
         let cfg = lossless_cfg(&net, 4); // rates 1,1,2,4; total 8
                                          // Levels: r0=4, r1=1 (A side); r2=2, r3=2 (B side).
         let mut ctls = vec![Pin(4), Pin(1), Pin(2), Pin(2)];
-        let report = run_tree(&net, &cfg, &mut ctls, &mut NoMarkers, 80_000, 1);
+        let report = run_tree_expect(&net, &cfg, &mut ctls, &mut NoMarkers, 80_000, 1);
         // Steady state: l0 (A trunk) carries level 4 = all slots; l1 (B
         // trunk) carries level 2 = rate 2 of 8.
         let total = report.slots as f64;
@@ -273,7 +620,7 @@ mod tests {
         let mut cfg = lossless_cfg(&net, 4);
         cfg.link_loss[0] = LossProcess::bernoulli(0.2); // A trunk lossy
         let mut ctls = vec![Pin(4), Pin(4), Pin(4), Pin(4)];
-        let report = run_tree(&net, &cfg, &mut ctls, &mut NoMarkers, 40_000, 2);
+        let report = run_tree_expect(&net, &cfg, &mut ctls, &mut NoMarkers, 40_000, 2);
         // r0 and r1 (below the lossy trunk) lose the same packets.
         assert_eq!(report.congestion_events[0], report.congestion_events[1]);
         assert!(report.congestion_events[0] > 0);
@@ -284,13 +631,12 @@ mod tests {
 
     #[test]
     fn star_reduces_to_the_flat_engine() {
-        // Depth-2 tree == the engine::run_star model: compare redundancy of
-        // the Deterministic-like Pin oscillation… instead compare exact
+        // Depth-2 tree == the engine::run_star model: compare exact
         // accounting with a static configuration.
         let star = mlf_net::topology::star_network(3, 1000.0, 1000.0);
         let cfg = lossless_cfg(&star, 4);
         let mut ctls = vec![Pin(3), Pin(2), Pin(1)];
-        let report = run_tree(&star, &cfg, &mut ctls, &mut NoMarkers, 8_000, 3);
+        let report = run_tree_expect(&star, &cfg, &mut ctls, &mut NoMarkers, 8_000, 3);
         // Shared link (l0) carries the max level 3 = rate 4/8 of slots.
         assert!((report.carried[0] as f64 / 8000.0 - 0.5).abs() < 0.02);
         assert!((report.link_redundancy(LinkId(0)).unwrap() - 1.0).abs() < 0.05);
@@ -308,7 +654,7 @@ mod tests {
         }
         let run = |seed| {
             let mut ctls = vec![Pin(5), Pin(3), Pin(6), Pin(2)];
-            let r = run_tree(&net, &cfg, &mut ctls, &mut NoMarkers, 10_000, seed);
+            let r = run_tree_expect(&net, &cfg, &mut ctls, &mut NoMarkers, 10_000, seed);
             // With pinned levels, `carried`/`offered` are loss-independent;
             // the seed shows up in the loss draws, i.e. `delivered`.
             (r.carried.clone(), r.offered.clone(), r.delivered.clone())
@@ -318,7 +664,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one session")]
+    fn scratch_reuse_across_shapes_is_equivalent_to_fresh_runs() {
+        let tree = two_level_tree();
+        let star = mlf_net::topology::star_network(5, 1000.0, 1000.0);
+        let tree_cfg = {
+            let mut c = lossless_cfg(&tree, 4);
+            c.link_loss[0] = LossProcess::bursty_with_average(0.05, 3.0);
+            c.join_latency = 2;
+            c
+        };
+        let star_cfg = {
+            let mut c = lossless_cfg(&star, 6);
+            c.link_loss[3] = LossProcess::bernoulli(0.04);
+            c.leave_latency = 9;
+            c
+        };
+        let mut scratch = TreeScratch::default();
+        let mut report = TreeReport::empty();
+        for round in 0..3 {
+            let mut ctls = vec![Pin(4), Pin(1), Pin(3), Pin(2)];
+            run_tree_into(
+                &tree,
+                &tree_cfg,
+                &mut ctls,
+                &mut NoMarkers,
+                5_000,
+                round,
+                &mut report,
+                &mut scratch,
+            )
+            .unwrap();
+            let mut fresh_ctls = vec![Pin(4), Pin(1), Pin(3), Pin(2)];
+            let fresh = run_tree_expect(
+                &tree,
+                &tree_cfg,
+                &mut fresh_ctls,
+                &mut NoMarkers,
+                5_000,
+                round,
+            );
+            assert_eq!(report, fresh, "tree round {round}");
+
+            let mut ctls = vec![Pin(6), Pin(2), Pin(5), Pin(1), Pin(3)];
+            run_tree_into(
+                &star,
+                &star_cfg,
+                &mut ctls,
+                &mut NoMarkers,
+                5_000,
+                round,
+                &mut report,
+                &mut scratch,
+            )
+            .unwrap();
+            let mut fresh_ctls = vec![Pin(6), Pin(2), Pin(5), Pin(1), Pin(3)];
+            let fresh = run_tree_expect(
+                &star,
+                &star_cfg,
+                &mut fresh_ctls,
+                &mut NoMarkers,
+                5_000,
+                round,
+            );
+            assert_eq!(report, fresh, "star round {round}");
+        }
+    }
+
+    #[test]
     fn rejects_multi_session_networks() {
         let mut g = Graph::new();
         let n = g.add_nodes(2);
@@ -335,6 +747,50 @@ mod tests {
             leave_latency: 0,
         };
         let mut ctls = vec![Pin(1)];
-        let _ = run_tree(&net, &cfg, &mut ctls, &mut NoMarkers, 10, 0);
+        let err = run_tree(&net, &cfg, &mut ctls, &mut NoMarkers, 10, 0).unwrap_err();
+        assert_eq!(err, TreeConfigError::SessionCountNotOne { sessions: 2 });
+        assert!(err.to_string().contains("one session"));
+    }
+
+    #[test]
+    fn rejects_mismatched_and_degenerate_configs() {
+        let net = two_level_tree();
+        let cfg = lossless_cfg(&net, 4);
+        let run = |cfg: &TreeConfig, ctls: &mut Vec<Pin>| {
+            run_tree(&net, cfg, ctls, &mut NoMarkers, 10, 0).unwrap_err()
+        };
+        // Wrong controller count.
+        assert_eq!(
+            run(&cfg, &mut vec![Pin(1)]),
+            TreeConfigError::ControllerCountMismatch {
+                controllers: 1,
+                receivers: 4
+            }
+        );
+        let four = || vec![Pin(1), Pin(1), Pin(1), Pin(1)];
+        // Wrong loss process count.
+        let mut bad = cfg.clone();
+        bad.link_loss.pop();
+        assert_eq!(
+            run(&bad, &mut four()),
+            TreeConfigError::LossProcessCountMismatch {
+                processes: 5,
+                links: 6
+            }
+        );
+        // No layers at all.
+        let mut bad = cfg.clone();
+        bad.layer_rates.clear();
+        assert_eq!(run(&bad, &mut four()), TreeConfigError::NoLayers);
+        // A non-positive rate.
+        let mut bad = cfg.clone();
+        bad.layer_rates[2] = 0.0;
+        assert_eq!(
+            run(&bad, &mut four()),
+            TreeConfigError::BadLayerRate {
+                layer: 3,
+                rate: 0.0
+            }
+        );
     }
 }

@@ -13,6 +13,11 @@
 //! | [`sim`] (`mlf-sim`) | §4 substrate | deterministic packet-level star simulator, loss processes, statistics |
 //! | [`protocols`] (`mlf-protocols`) | §4 | the Uncoordinated/Deterministic/Coordinated protocols, the Figure 8 harness, the Figure 7(a) Markov model |
 //!
+//! The repo-level `ARCHITECTURE.md` is the written guide to how these
+//! crates, the frozen-reference differential pattern, and the CI gates
+//! fit together; `docs/benchmarks.md` catalogs the benchmarks and the
+//! baseline re-seed procedure.
+//!
 //! ## Quickstart
 //!
 //! Declare an experiment as a [`Scenario`](mlf_scenario::Scenario): the
@@ -94,9 +99,9 @@
 //!   [`f64::total_cmp`]; a NaN leaking from an upstream model degrades
 //!   deterministically instead of panicking a sweep or flipping an order.
 //! * **Frozen references.** Optimized engines are proven against frozen
-//!   pre-refactor copies (`mlf_core::reference`, `mlf_sim::reference`) by
-//!   bitwise differentials; reference modules only ever change in
-//!   comments.
+//!   pre-refactor copies (`mlf_core::reference`, `mlf_sim::reference`,
+//!   `mlf_sim::reference_tree`) by bitwise differentials; reference
+//!   modules only ever change in comments.
 //!
 //! The contract is *enforced*, not aspirational: the workspace linter
 //! (`cargo run -p mlf-lint`, in `crates/lint`) checks these invariants —
@@ -110,9 +115,9 @@
 //! `crates/lint/snapshots/`:
 //!
 //! * **Frozen-reference integrity** — comment/whitespace-normalized
-//!   fingerprints of `mlf_core::reference` and `mlf_sim::reference`
-//!   (`snapshots/frozen/`); any semantic edit to a frozen engine is a
-//!   finding until deliberately re-blessed.
+//!   fingerprints of `mlf_core::reference`, `mlf_sim::reference`, and
+//!   `mlf_sim::reference_tree` (`snapshots/frozen/`); any semantic edit
+//!   to a frozen engine is a finding until deliberately re-blessed.
 //! * **Crate-layering DAG** — every `mlf_*` dependency edge, from
 //!   manifests and `use` declarations alike, must point strictly
 //!   downward in `net → core → layering → sim → protocols → scenario →
