@@ -22,6 +22,7 @@
 //!    sampling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mlf_bench::or_exit;
 use mlf_bench::regression::{check_mode, measure_and_emit, time_best_of_three};
 use mlf_core::allocator::MultiRate;
 use mlf_core::LinkRateModel;
@@ -62,9 +63,9 @@ fn assert_parallel_matches_serial(scenario: &mut Scenario) {
 /// regression gate (serial points-per-second tracks per-solve cost without
 /// parallel scheduling noise).
 fn emit_artifact(scenario: &Scenario) -> std::time::Duration {
-    measure_and_emit("parallel_sweep", FULL_SWEEP_SEEDS, || {
+    or_exit(measure_and_emit("parallel_sweep", FULL_SWEEP_SEEDS, || {
         scenario.sweep_par(0..FULL_SWEEP_SEEDS, 1).points.len()
-    })
+    }))
 }
 
 fn report_wall_clock_speedup(scenario: &Scenario, serial: std::time::Duration) {

@@ -19,6 +19,7 @@
 //!    mode), where the determinism assert and the artifact are the point.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mlf_bench::or_exit;
 use mlf_bench::regression::{check_mode, measure_and_emit, time_best_of_three};
 use mlf_protocols::ExperimentParams;
 use mlf_scenario::{ProtocolScenario, ProtocolSweepGrid};
@@ -66,9 +67,9 @@ fn assert_parallel_matches_serial(scenario: &ProtocolScenario, grid: &ProtocolSw
 
 fn emit_artifact(scenario: &ProtocolScenario, grid: &ProtocolSweepGrid) -> Duration {
     let points = grid.kinds.len() * grid.independent_losses.len() * grid.seeds.len();
-    measure_and_emit("protocol_sweep", points as u64, || {
+    or_exit(measure_and_emit("protocol_sweep", points as u64, || {
         scenario.sweep(grid).points.len()
-    })
+    }))
 }
 
 fn report_wall_clock_speedup(

@@ -19,6 +19,7 @@
 //!    ratio is far higher). Asserted, then printed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mlf_bench::or_exit;
 use mlf_bench::regression::{check_mode, measure_and_emit, time_best_of_three};
 use mlf_core::allocator::MultiRate;
 use mlf_core::LinkRateModel;
@@ -120,9 +121,9 @@ fn bench_solver_hot_path(c: &mut Criterion) {
 
     // Cold throughput: the gated number. Fresh scenario per pass, so every
     // point pays topology build + index build + solve.
-    let cold = measure_and_emit("solver_hot_path", points, || {
+    let cold = or_exit(measure_and_emit("solver_hot_path", points, || {
         sweep_cold(&ws).iter().map(|r| r.points.len()).sum()
-    });
+    }));
     let cold_pps = points as f64 / cold.as_secs_f64();
 
     // Warm throughput: the same grids against scenarios whose caches

@@ -20,6 +20,7 @@
 //!    determinism assert, the artifact, and the 3x floor are the point.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mlf_bench::or_exit;
 use mlf_bench::regression::{check_mode, measure_and_emit, time_best_of_three};
 use mlf_protocols::{make_receiver, CoordinatedSender, ProtocolKind};
 use mlf_sim::engine::{MarkerSource, NoMarkers, ReceiverController, StarConfig, StarReport};
@@ -106,7 +107,7 @@ fn bench_star_engine(c: &mut Criterion) {
     // Gated throughput: total slots across the three protocols per pass of
     // the indexed engine (scratch reused, as in a trial loop).
     let total_slots = SLOTS * ProtocolKind::ALL.len() as u64;
-    let indexed = measure_and_emit("star_engine", total_slots, || {
+    let indexed = or_exit(measure_and_emit("star_engine", total_slots, || {
         let mut report = StarReport::default();
         let mut scratch = StarScratch::default();
         let mut sum = 0usize;
@@ -115,7 +116,7 @@ fn bench_star_engine(c: &mut Criterion) {
             sum += report.final_levels.len();
         }
         black_box(sum)
-    });
+    }));
     let indexed_sps = total_slots as f64 / indexed.as_secs_f64();
 
     let cold = time_best_of_three(|| {

@@ -25,6 +25,7 @@
 //!    are the point.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mlf_bench::or_exit;
 use mlf_bench::regression::{check_mode, measure_and_emit, time_best_of_three};
 use mlf_net::{Graph, LinkId, Network, Session};
 use mlf_protocols::{make_receiver, CoordinatedSender, ProtocolKind};
@@ -178,7 +179,7 @@ fn bench_tree_engine(c: &mut Criterion) {
     // Gated throughput: total slots across the three protocols per pass of
     // the bitset engine (scratch reused, as in a trial loop).
     let total_slots = BIG_SLOTS * ProtocolKind::ALL.len() as u64;
-    let bitset = measure_and_emit("tree_engine", total_slots, || {
+    let bitset = or_exit(measure_and_emit("tree_engine", total_slots, || {
         let mut report = TreeReport::empty();
         let mut scratch = TreeScratch::default();
         let mut sum = 0usize;
@@ -187,7 +188,7 @@ fn bench_tree_engine(c: &mut Criterion) {
             sum += report.final_levels.len();
         }
         black_box(sum)
-    });
+    }));
     let bitset_sps = total_slots as f64 / bitset.as_secs_f64();
 
     let ref_total_slots = BIG_REF_SLOTS * ProtocolKind::ALL.len() as u64;

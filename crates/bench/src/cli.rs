@@ -145,9 +145,11 @@ impl Args {
     }
 }
 
-/// Unwrap a CLI result or print the error and exit with status 2 — the
-/// binaries' error funnel for post-parse failures (bad values).
-pub fn or_exit<T>(result: Result<T, CliError>) -> T {
+/// Unwrap a result or print the error and exit with status 2 — the
+/// binaries' error funnel for post-parse failures: bad values
+/// ([`CliError`]) and artifact IO ([`crate::regression::RecordError`])
+/// alike.
+pub fn or_exit<T, E: fmt::Display>(result: Result<T, E>) -> T {
     match result {
         Ok(v) => v,
         Err(e) => {

@@ -29,5 +29,5 @@ pub mod table;
 
 pub use cli::{knob, or_exit, usage, Args, CliError, Knob};
 pub use csvout::write_csv;
-pub use regression::{check_regression, BenchRecord, GateOutcome};
+pub use regression::{check_regression, BenchRecord, GateOutcome, RecordError};
 pub use table::Table;

@@ -39,13 +39,49 @@ pub struct BenchRecord {
     pub points_per_second: f64,
 }
 
-/// A malformed record file.
+/// Why an artifact could not be produced, read, or gated. Every artifact
+/// IO failure is a value on this type — the binaries funnel it through
+/// the CLI exit-2 contract ([`crate::or_exit`]) instead of panicking.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RecordError(String);
+pub enum RecordError {
+    /// The filesystem refused an artifact operation.
+    Io {
+        /// The artifact path involved.
+        path: PathBuf,
+        /// What was being attempted (`"create"`, `"write"`, `"read"`).
+        op: &'static str,
+        /// The OS error rendered as text (io::Error does not implement
+        /// `Clone`/`Eq`).
+        message: String,
+    },
+    /// A record file or field did not parse.
+    Malformed(String),
+    /// A bench name outside `[A-Za-z0-9_-]` (it names the artifact file).
+    BadName(String),
+    /// Gate inputs describe different benches or workloads.
+    Mismatch(String),
+}
+
+impl RecordError {
+    fn io(path: &Path, op: &'static str, e: std::io::Error) -> Self {
+        RecordError::Io {
+            path: path.to_path_buf(),
+            op,
+            message: e.to_string(),
+        }
+    }
+}
 
 impl std::fmt::Display for RecordError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        match self {
+            RecordError::Io { path, op, message } => {
+                write!(f, "cannot {op} {}: {message}", path.display())
+            }
+            RecordError::Malformed(detail)
+            | RecordError::BadName(detail)
+            | RecordError::Mismatch(detail) => f.write_str(detail),
+        }
     }
 }
 
@@ -63,22 +99,26 @@ impl BenchRecord {
         }
     }
 
-    /// Render the canonical JSON form.
-    pub fn to_json(&self) -> String {
-        // The bench name is a known identifier (no quoting needed beyond
-        // rejecting quotes/backslashes, which `parse` would mangle).
-        assert!(
-            self.bench
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
-            "bench names are [A-Za-z0-9_-]: {:?}",
-            self.bench
-        );
-        format!(
+    /// Render the canonical JSON form. The bench name must be a plain
+    /// identifier (`[A-Za-z0-9_-]`) — it is embedded unescaped and names
+    /// the artifact file — anything else is a [`RecordError::BadName`].
+    pub fn to_json(&self) -> Result<String, RecordError> {
+        if !self
+            .bench
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            || self.bench.is_empty()
+        {
+            return Err(RecordError::BadName(format!(
+                "bench names are [A-Za-z0-9_-]: {:?}",
+                self.bench
+            )));
+        }
+        Ok(format!(
             "{{\n  \"bench\": \"{}\",\n  \"points\": {},\n  \"elapsed_seconds\": {:.6},\n  \
              \"points_per_second\": {:.3}\n}}\n",
             self.bench, self.points, self.elapsed_seconds, self.points_per_second
-        )
+        ))
     }
 
     /// Parse a record from its JSON form (accepts any field order and
@@ -98,18 +138,20 @@ impl BenchRecord {
 
     /// Write the record as `BENCH_<bench>.json` under `dir`, returning the
     /// path.
-    pub fn write(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+    pub fn write(&self, dir: impl AsRef<Path>) -> Result<PathBuf, RecordError> {
+        let json = self.to_json()?;
         let path = dir.as_ref().join(format!("BENCH_{}.json", self.bench));
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(self.to_json().as_bytes())?;
+        let mut f =
+            std::fs::File::create(&path).map_err(|e| RecordError::io(&path, "create", e))?;
+        f.write_all(json.as_bytes())
+            .map_err(|e| RecordError::io(&path, "write", e))?;
         Ok(path)
     }
 
     /// Read and parse a record file.
     pub fn read(path: impl AsRef<Path>) -> Result<Self, RecordError> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| RecordError(format!("cannot read {}: {e}", path.display())))?;
+        let text = std::fs::read_to_string(path).map_err(|e| RecordError::io(path, "read", e))?;
         Self::parse(&text)
     }
 }
@@ -118,12 +160,12 @@ fn field_start<'a>(json: &'a str, key: &str) -> Result<&'a str, RecordError> {
     let needle = format!("\"{key}\"");
     let at = json
         .find(&needle)
-        .ok_or_else(|| RecordError(format!("missing field {key:?}")))?;
+        .ok_or_else(|| RecordError::Malformed(format!("missing field {key:?}")))?;
     let rest = &json[at + needle.len()..];
     let rest = rest.trim_start();
     let rest = rest
         .strip_prefix(':')
-        .ok_or_else(|| RecordError(format!("field {key:?} has no ':'")))?;
+        .ok_or_else(|| RecordError::Malformed(format!("field {key:?} has no ':'")))?;
     Ok(rest.trim_start())
 }
 
@@ -131,10 +173,10 @@ fn string_field(json: &str, key: &str) -> Result<String, RecordError> {
     let rest = field_start(json, key)?;
     let rest = rest
         .strip_prefix('"')
-        .ok_or_else(|| RecordError(format!("field {key:?} is not a string")))?;
+        .ok_or_else(|| RecordError::Malformed(format!("field {key:?} is not a string")))?;
     let end = rest
         .find('"')
-        .ok_or_else(|| RecordError(format!("field {key:?} is unterminated")))?;
+        .ok_or_else(|| RecordError::Malformed(format!("field {key:?} is unterminated")))?;
     Ok(rest[..end].to_string())
 }
 
@@ -144,11 +186,13 @@ fn number_field(json: &str, key: &str) -> Result<f64, RecordError> {
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
         .unwrap_or(rest.len());
     let token = &rest[..end];
-    let value: f64 = token
-        .parse()
-        .map_err(|_| RecordError(format!("field {key:?} is not a number (got {token:?})")))?;
+    let value: f64 = token.parse().map_err(|_| {
+        RecordError::Malformed(format!("field {key:?} is not a number (got {token:?})"))
+    })?;
     if !value.is_finite() {
-        return Err(RecordError(format!("field {key:?} is not finite")));
+        return Err(RecordError::Malformed(format!(
+            "field {key:?} is not finite"
+        )));
     }
     Ok(value)
 }
@@ -176,13 +220,13 @@ pub fn check_regression(
     max_regression: f64,
 ) -> Result<GateOutcome, RecordError> {
     if baseline.bench != current.bench {
-        return Err(RecordError(format!(
+        return Err(RecordError::Mismatch(format!(
             "bench mismatch: baseline {:?} vs current {:?}",
             baseline.bench, current.bench
         )));
     }
     if baseline.points != current.points {
-        return Err(RecordError(format!(
+        return Err(RecordError::Mismatch(format!(
             "workload mismatch for {:?}: baseline ran {} points, current ran {} \
              (re-seed the baseline when the bench grid changes)",
             baseline.bench, baseline.points, current.points
@@ -191,7 +235,7 @@ pub fn check_regression(
     // partial_cmp keeps NaN (a hand-built record; parse rejects it) on the
     // error path alongside zero and negatives.
     if baseline.points_per_second.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-        return Err(RecordError(format!(
+        return Err(RecordError::Mismatch(format!(
             "baseline for {:?} has non-positive points_per_second",
             baseline.bench
         )));
@@ -223,36 +267,37 @@ pub fn check_mode() -> bool {
 /// Time `f` best-of-three (the minimum keeps the report stable without a
 /// stats stack).
 pub fn time_best_of_three(f: impl Fn() -> usize) -> std::time::Duration {
-    (0..3)
-        .map(|_| {
-            let start = std::time::Instant::now();
-            std::hint::black_box(f());
-            start.elapsed()
-        })
-        .min()
-        .expect("three runs")
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
 }
 
 /// The gated-bench measurement both sweep benches share: time the serial
 /// `sweep` best-of-three, write the `BENCH_<bench>.json` artifact into
 /// [`artifact_dir`], print the throughput line, and return the elapsed
 /// time for the speedup report.
+///
+/// An unwritable artifact is a [`RecordError`], not a warning: CI gates on
+/// the file existing, so the benches funnel this through [`crate::or_exit`]
+/// and fail with exit status 2 rather than silently passing.
 pub fn measure_and_emit(
     bench: &str,
     points: u64,
     sweep: impl Fn() -> usize,
-) -> std::time::Duration {
+) -> Result<std::time::Duration, RecordError> {
     let serial = time_best_of_three(sweep);
     let record = BenchRecord::new(bench, points, serial.as_secs_f64());
-    match record.write(artifact_dir()) {
-        Ok(path) => println!(
-            "throughput: {:.3} points/s serial ({points} points in {serial:?}) -> {}",
-            record.points_per_second,
-            path.display()
-        ),
-        Err(e) => eprintln!("warning: could not write bench artifact: {e}"),
-    }
-    serial
+    let path = record.write(artifact_dir())?;
+    println!(
+        "throughput: {:.3} points/s serial ({points} points in {serial:?}) -> {}",
+        record.points_per_second,
+        path.display()
+    );
+    Ok(serial)
 }
 
 #[cfg(test)]
@@ -267,7 +312,7 @@ mod tests {
     fn json_roundtrips() {
         let r = record();
         assert!((r.points_per_second - 28.8).abs() < 1e-9);
-        let parsed = BenchRecord::parse(&r.to_json()).unwrap();
+        let parsed = BenchRecord::parse(&r.to_json().unwrap()).unwrap();
         assert_eq!(parsed.bench, "protocol_sweep");
         assert_eq!(parsed.points, 36);
         assert!((parsed.elapsed_seconds - 1.25).abs() < 1e-6);

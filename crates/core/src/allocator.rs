@@ -35,7 +35,7 @@
 
 use crate::allocation::Allocation;
 use crate::index::NetworkIndex;
-use crate::linkrate::LinkRateConfig;
+use crate::linkrate::{LinkRateConfig, LinkRateModel};
 use crate::maxmin::{solve_in, FreezeReason, MaxMinSolution};
 use crate::unicast::unicast_solve_in;
 use crate::weighted::{weighted_solve_in, Weights};
@@ -313,6 +313,55 @@ pub trait Allocator: Send + Sync {
     fn name(&self) -> &'static str {
         "allocator"
     }
+
+    /// A stable textual identity of everything about this allocator that
+    /// can change a solve's bits: the regime and any carried link-rate
+    /// configuration, with float parameters spelled as exact bit patterns.
+    ///
+    /// Two allocators with equal signatures produce bitwise-equal
+    /// solutions for the same network and link-rate inputs, which is what
+    /// lets scenarios that differ only in *reporting* (label, layering
+    /// ladder) share one solve cache. Return `None` when the identity is
+    /// not cheaply representable (e.g. explicit per-receiver weights) —
+    /// shared caches then simply bypass memoization for that scenario
+    /// rather than risk serving another configuration's bits.
+    fn cache_signature(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Render a [`LinkRateConfig`] for [`Allocator::cache_signature`]:
+/// per-session model tags with parameters as exact `f64` bit patterns.
+fn signature_of_cfg(cfg: &LinkRateConfig) -> String {
+    let mut out = String::from("[");
+    for i in 0..cfg.len() {
+        if i > 0 {
+            out.push(',');
+        }
+        match cfg.model(i) {
+            LinkRateModel::Efficient => out.push_str("eff"),
+            LinkRateModel::Sum => out.push_str("sum"),
+            LinkRateModel::Scaled(v) => {
+                out.push_str("scaled:");
+                out.push_str(&v.to_bits().to_string());
+            }
+            LinkRateModel::RandomJoin { sigma } => {
+                out.push_str("rj:");
+                out.push_str(&sigma.to_bits().to_string());
+            }
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// The common shape of most regime signatures: `name` plus the carried
+/// configuration (or `@eff` when the allocator solves the efficient model).
+fn signature_with_cfg(name: &str, cfg: Option<&LinkRateConfig>) -> String {
+    match cfg {
+        None => format!("{name}@eff"),
+        Some(c) => format!("{name}@{}", signature_of_cfg(c)),
+    }
 }
 
 fn solve_regime(
@@ -382,6 +431,10 @@ impl Allocator for MultiRate {
     fn name(&self) -> &'static str {
         "multi-rate"
     }
+
+    fn cache_signature(&self) -> Option<String> {
+        Some(signature_with_cfg("multi-rate", self.cfg.as_ref()))
+    }
 }
 
 /// Every session treated as single-rate (the Tzeng–Siu setting).
@@ -432,6 +485,10 @@ impl Allocator for SingleRate {
 
     fn name(&self) -> &'static str {
         "single-rate"
+    }
+
+    fn cache_signature(&self) -> Option<String> {
+        Some(signature_with_cfg("single-rate", self.cfg.as_ref()))
     }
 }
 
@@ -495,6 +552,19 @@ impl Allocator for Hybrid {
     fn name(&self) -> &'static str {
         "hybrid"
     }
+
+    fn cache_signature(&self) -> Option<String> {
+        let regimes = match &self.regimes {
+            Regimes::AsDeclared => "declared".to_string(),
+            Regimes::Uniform(t) => format!("uniform:{t:?}"),
+            Regimes::PerSession(kinds) => format!("per-session:{kinds:?}"),
+        };
+        Some(format!(
+            "{}|{}",
+            signature_with_cfg("hybrid", self.cfg.as_ref()),
+            regimes
+        ))
+    }
 }
 
 /// Weighted multi-rate max-min fairness (the Section 5 TCP-fairness
@@ -545,6 +615,16 @@ impl Allocator for Weighted {
     fn name(&self) -> &'static str {
         "weighted"
     }
+
+    /// Uniform weights have a stable identity; explicit per-receiver
+    /// weights are deliberately unrepresentable (`None`), so shared caches
+    /// bypass rather than fingerprint a large float matrix.
+    fn cache_signature(&self) -> Option<String> {
+        match &self.weights {
+            WeightSpec::Uniform => Some("weighted@uniform".to_string()),
+            WeightSpec::Explicit(_) => None,
+        }
+    }
 }
 
 /// The textbook Bertsekas–Gallager unicast water-filling, kept
@@ -568,6 +648,10 @@ impl Allocator for Unicast {
 
     fn name(&self) -> &'static str {
         "unicast"
+    }
+
+    fn cache_signature(&self) -> Option<String> {
+        Some("unicast@eff".to_string())
     }
 }
 

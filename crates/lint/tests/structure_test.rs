@@ -16,6 +16,7 @@ use mlf_lint::{classify, Config, LoadedFile};
 
 const CORE_REFERENCE: &str = "crates/core/src/reference.rs";
 const SIM_REFERENCE: &str = "crates/sim/src/reference.rs";
+const TREE_REFERENCE: &str = "crates/sim/src/reference_tree.rs";
 
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -43,6 +44,7 @@ fn frozen_findings(core_src: String) -> Vec<mlf_lint::Finding> {
     let files = vec![
         loaded(CORE_REFERENCE, core_src, &cfg),
         loaded(SIM_REFERENCE, read_frozen(SIM_REFERENCE), &cfg),
+        loaded(TREE_REFERENCE, read_frozen(TREE_REFERENCE), &cfg),
     ];
     structure::analyze(&workspace_root(), &files, &cfg)
         .into_iter()

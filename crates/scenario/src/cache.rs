@@ -20,14 +20,22 @@
 //! `Scaled(2.0)` and a scenario default of `Uniform(Scaled(2.0))` are the
 //! same solve and share an entry; model parameters are compared by exact
 //! bit pattern, so `Scaled(2.0)` and `Scaled(2.0 + ε)` never collide).
-//! Everything else that shapes a point — the allocator, the
-//! property-audit switch, explicit per-session configs — is fixed at
-//! [`Scenario::build`](crate::Scenario) time, which is why a cache is
-//! owned per scenario (and per parallel worker) and **never** shared
-//! between scenarios: no entry can outlive a configuration it depends on.
-//! Scenarios whose link rates are an explicit per-session
+//! Everything else that shapes a point — the allocator configuration and
+//! the property-audit switch — enters the key as the `scenario` identity
+//! digest, derived from the allocator's
+//! [`cache_signature`](mlf_core::Allocator::cache_signature). Scenarios
+//! whose link rates are an explicit per-session
 //! [`LinkRateConfig`](mlf_core::LinkRateConfig) are not representable as a
 //! uniform model key and bypass the cache entirely.
+//!
+//! Caches come in two ownership shapes. A scenario-owned cache (the
+//! default, plus one per parallel worker) sees a single configuration for
+//! its whole life. A [`SharedSolveCache`] handle can additionally be
+//! cloned into several scenarios that differ only in reporting, pooling
+//! their solves; the `scenario` key component keeps configurations that
+//! *do* differ in solve-relevant ways on disjoint entries, and an
+//! allocator that cannot state its signature (`cache_signature() ==
+//! None`) simply bypasses the shared pool.
 //!
 //! Entries never expire by time; capacity is the only pressure. Both maps
 //! evict in insertion (FIFO) order once their capacity is reached, and
@@ -46,7 +54,7 @@ use crate::SweepPoint;
 use mlf_core::LinkRateModel;
 use mlf_net::{Network, TopologyFamily};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Default bound on memoized sweep points.
 // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
@@ -197,21 +205,33 @@ impl TopologyKey {
     }
 }
 
-/// The identity of one sweep point's solve: a [`TopologyKey`] plus the
-/// effective uniform link-rate model.
+/// The identity of one sweep point's solve: a [`TopologyKey`], the
+/// effective uniform link-rate model, and the owning scenario's
+/// solve-relevant identity.
+///
+/// The `scenario` component is an FNV-1a digest of everything *outside*
+/// the key that can still change a solve's bytes — the allocator's
+/// [`cache_signature`](mlf_core::Allocator::cache_signature) and the
+/// property-audit switch. Scenario-owned caches always see a single
+/// scenario and could omit it; a [`SharedSolveCache`] spanning scenarios
+/// that differ only in reporting relies on it to keep distinct allocators
+/// from colliding while letting solve-identical scenarios share entries.
 // mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SolveKey {
     topology: TopologyKey,
     model: ModelKey,
+    scenario: u64,
 }
 
 impl SolveKey {
-    /// A key from the topology identity and the effective model.
-    pub fn new(topology: TopologyKey, model: LinkRateModel) -> Self {
+    /// A key from the topology identity, the effective model, and the
+    /// scenario's solve-relevant identity digest.
+    pub fn new(topology: TopologyKey, model: LinkRateModel, scenario: u64) -> Self {
         SolveKey {
             topology,
             model: model.into(),
+            scenario,
         }
     }
 
@@ -341,6 +361,77 @@ impl SolveCache {
     }
 }
 
+/// A cloneable handle to one [`SolveCache`] shared by several scenarios.
+///
+/// Scenarios that differ only in *reporting* — same source, same link
+/// rates, same allocator configuration, same property-audit switch —
+/// perform bitwise-identical solves, so re-solving the grid once per
+/// scenario is pure waste. A `SharedSolveCache` lets them pool one memo:
+/// clone the handle into each [`ScenarioBuilder`](crate::ScenarioBuilder)
+/// via [`shared_cache`](crate::ScenarioBuilder::shared_cache).
+///
+/// Safety of sharing rests on the `scenario` component of [`SolveKey`]:
+/// scenarios whose solve-relevant identity differs (different allocator
+/// signature or audit switch) key disjoint entries and can share a handle
+/// without ever observing each other's points. An allocator that cannot
+/// cheaply describe its solve identity (`cache_signature() == None`)
+/// makes the scenario bypass a shared cache entirely — correctness over
+/// reuse.
+///
+/// Sharing is by mutex: serial sweeps hold the lock for the whole sweep
+/// (one acquisition, not one per point). Lock *scheduling* never affects
+/// results — every point is a pure function of its key, so whichever
+/// scenario populates an entry first, the bytes are the same. Parallel
+/// sweeps keep worker-local caches and do not consult the shared handle.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSolveCache {
+    inner: Arc<Mutex<SolveCache>>,
+}
+
+impl SharedSolveCache {
+    /// A shared cache with the default capacities.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_POINT_CAPACITY, DEFAULT_NETWORK_CAPACITY)
+    }
+
+    /// A shared cache bounded like [`SolveCache::with_capacity`].
+    pub fn with_capacity(points: usize, networks: usize) -> Self {
+        SharedSolveCache {
+            inner: Arc::new(Mutex::new(SolveCache::with_capacity(points, networks))),
+        }
+    }
+
+    /// Lock the underlying cache. Poisoning is survivable here: the cache
+    /// is a memo whose entries are pure functions of their keys, so state
+    /// left by a panicking holder is either absent or correct.
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, SolveCache> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Lifetime counters of the pooled cache.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Number of memoized sweep points in the pooled cache.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the pooled cache has no memoized sweep points.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drop every pooled entry (counters are preserved).
+    pub fn clear(&self) {
+        self.lock().clear()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +456,7 @@ mod tests {
         SolveKey::new(
             TopologyKey::random(TopologyFamily::FlatTree, 10, 3, 3, seed),
             model,
+            0,
         )
     }
 
@@ -485,6 +577,33 @@ mod tests {
         assert_eq!(builds, 1, "topology built exactly once");
         // Stats untouched by topology traffic.
         assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn scenario_component_keys_disjoint_entries() {
+        // Two scenarios sharing a cache must never see each other's points
+        // unless their solve-relevant identity digests agree.
+        let mut c = SolveCache::new();
+        let tk = TopologyKey::random(TopologyFamily::FlatTree, 10, 3, 3, 0);
+        let ka = SolveKey::new(tk, LinkRateModel::Efficient, 11);
+        let kb = SolveKey::new(tk, LinkRateModel::Efficient, 22);
+        c.insert_point(ka, dummy_point(0));
+        assert!(c.point(&ka).is_some());
+        assert!(c.point(&kb).is_none(), "distinct scenario digests collide");
+    }
+
+    #[test]
+    fn shared_cache_pools_across_handles() {
+        let shared = SharedSolveCache::with_capacity(8, 8);
+        let handle = shared.clone();
+        let k = key(3, LinkRateModel::Sum);
+        shared.lock().insert_point(k, dummy_point(3));
+        assert_eq!(handle.lock().point(&k).map(|p| p.seed), Some(3));
+        assert_eq!(shared.len(), 1);
+        assert!(!shared.is_empty());
+        assert_eq!(shared.stats().hits, 1);
+        shared.clear();
+        assert!(handle.is_empty());
     }
 
     #[test]

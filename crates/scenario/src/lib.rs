@@ -99,10 +99,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
+pub mod coordinator;
 pub mod executor;
+mod hash;
 pub mod protocol;
 
-pub use cache::{CacheStats, SolveCache};
+pub use cache::{CacheStats, SharedSolveCache, SolveCache};
+pub use checkpoint::CheckpointError;
+pub use coordinator::{
+    CoordinatorConfig, CoordinatorError, CoordinatorReport, CoordinatorStats, FaultEvent,
+    FaultKind, FaultPlan,
+};
 pub use protocol::ProtocolScenarioError;
 pub use protocol::{
     ProtocolScenario, ProtocolScenarioBuilder, ProtocolSweepGrid, ProtocolSweepPoint,
@@ -110,6 +118,7 @@ pub use protocol::{
 };
 
 use cache::{SolveKey, TopologyKey};
+use hash::Fnv1a;
 use mlf_core::allocator::{Allocator, Hybrid, SolverWorkspace};
 use mlf_core::{
     metrics, properties, FairnessReport, LinkRateConfig, LinkRateModel, MaxMinSolution,
@@ -227,6 +236,7 @@ pub struct ScenarioBuilder {
     check_properties: bool,
     cache_points: usize,
     cache_networks: usize,
+    shared_cache: Option<SharedSolveCache>,
 }
 
 impl Default for ScenarioBuilder {
@@ -240,6 +250,7 @@ impl Default for ScenarioBuilder {
             check_properties: true,
             cache_points: cache::DEFAULT_POINT_CAPACITY,
             cache_networks: cache::DEFAULT_NETWORK_CAPACITY,
+            shared_cache: None,
         }
     }
 }
@@ -323,6 +334,21 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Pool this scenario's serial-sweep solve cache with other scenarios
+    /// holding a clone of the same [`SharedSolveCache`] handle. Scenarios
+    /// that differ only in *reporting* (label, layering ladder) perform
+    /// identical solves and serve each other's points; scenarios whose
+    /// solve-relevant configuration differs key disjoint entries via the
+    /// scenario-identity component of the cache key, so sharing one handle
+    /// across heterogeneous scenarios is always safe. An allocator that
+    /// cannot state its [`cache_signature`](Allocator::cache_signature)
+    /// falls back to the scenario-owned cache. Parallel sweeps keep
+    /// worker-local caches and never consult the shared handle.
+    pub fn shared_cache(mut self, shared: &SharedSolveCache) -> Self {
+        self.shared_cache = Some(shared.clone());
+        self
+    }
+
     /// Validate and assemble the scenario.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let source = self.source.ok_or(ScenarioError::MissingNetwork)?;
@@ -358,6 +384,17 @@ impl ScenarioBuilder {
                 }
             }
         }
+        // The scenario's solve-relevant identity: everything outside the
+        // per-point `SolveKey` that can still change a solve's bytes. `None`
+        // when the allocator cannot cheaply state its signature — the
+        // scenario-owned cache then keys with a sentinel (it only ever sees
+        // this one configuration) and shared caches are bypassed.
+        let scenario_sig = self.allocator.cache_signature().map(|sig| {
+            let mut h = Fnv1a::new();
+            h.write(sig.as_bytes());
+            h.write_u64(u64::from(self.check_properties));
+            h.finish()
+        });
         Ok(Scenario {
             label: self.label,
             source,
@@ -369,6 +406,8 @@ impl ScenarioBuilder {
             cache: SolveCache::with_capacity(self.cache_points, self.cache_networks),
             cache_points: self.cache_points,
             cache_networks: self.cache_networks,
+            shared_cache: self.shared_cache,
+            scenario_sig,
         })
     }
 }
@@ -397,6 +436,8 @@ pub struct Scenario {
     cache: SolveCache,
     cache_points: usize,
     cache_networks: usize,
+    shared_cache: Option<SharedSolveCache>,
+    scenario_sig: Option<u64>,
 }
 
 impl Scenario {
@@ -548,7 +589,14 @@ impl Scenario {
                 max_receivers,
             } => TopologyKey::random(*family, *nodes, *sessions, *max_receivers, seed),
         };
-        Some(SolveKey::new(topology, model))
+        // Owned caches only ever see this scenario's configuration, so a
+        // signature-less allocator can safely key with a sentinel digest;
+        // shared caches require a real signature (checked by the caller).
+        Some(SolveKey::new(
+            topology,
+            model,
+            self.scenario_sig.unwrap_or(0),
+        ))
     }
 
     /// One sweep point through the cache (when one is supplied and the
@@ -624,25 +672,47 @@ impl Scenario {
         self.sweep_jobs_serial(&jobs)
     }
 
-    /// The serial executor: one workspace, the scenario's own cache, jobs
-    /// in order. [`SweepReport::cache`] carries this sweep's share of the
-    /// cache counters.
+    /// The serial executor: one workspace, the scenario's own cache (or
+    /// the pooled [`SharedSolveCache`] when one is configured and the
+    /// allocator can state its signature), jobs in order.
+    /// [`SweepReport::cache`] carries this sweep's share of the cache
+    /// counters.
     fn sweep_jobs_serial(&mut self, jobs: &[(Option<LinkRateModel>, u64)]) -> SweepReport {
         // Detach the owned workspace/cache so the shared solve path can
         // borrow `self` immutably (the same path the parallel workers use).
         let mut ws = std::mem::take(&mut self.ws);
-        let mut cache = std::mem::take(&mut self.cache);
-        let before = cache.stats();
-        let enabled = self.caching_enabled();
-        let points = jobs
-            .iter()
-            .map(|&(model, seed)| {
-                self.sweep_point_with(seed, model, &mut ws, enabled.then_some(&mut cache))
-            })
-            .collect();
-        let stats = cache.stats().since(&before);
+        let shared = match self.scenario_sig {
+            // Sharing is only sound when the scenario identity digest is
+            // real — a sentinel would let unrelated configurations collide.
+            Some(_) => self.shared_cache.clone(),
+            None => None,
+        };
+        let (points, stats) = if let Some(shared) = shared {
+            // One lock acquisition for the whole sweep, not one per point.
+            let mut guard = shared.lock();
+            let before = guard.stats();
+            let points = jobs
+                .iter()
+                .map(|&(model, seed)| {
+                    self.sweep_point_with(seed, model, &mut ws, Some(&mut *guard))
+                })
+                .collect();
+            (points, guard.stats().since(&before))
+        } else {
+            let mut cache = std::mem::take(&mut self.cache);
+            let before = cache.stats();
+            let enabled = self.caching_enabled();
+            let points = jobs
+                .iter()
+                .map(|&(model, seed)| {
+                    self.sweep_point_with(seed, model, &mut ws, enabled.then_some(&mut cache))
+                })
+                .collect();
+            let stats = cache.stats().since(&before);
+            self.cache = cache;
+            (points, stats)
+        };
         self.ws = ws;
-        self.cache = cache;
         SweepReport {
             label: self.label.clone(),
             points,
@@ -775,7 +845,6 @@ impl SweepGrid {
 }
 
 /// Scalar metrics of one solve.
-// mlf-lint: allow(unused-pub, reason = "reachable through public fn signatures and returned values; the ident-based usage scan cannot see type flow")
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioMetrics {
     /// Jain's fairness index of the receiver rates.
@@ -877,7 +946,6 @@ pub struct ScenarioReport {
 }
 
 /// One point of a sweep, compressed to comparable scalars.
-// mlf-lint: allow(unused-pub, reason = "documented public API; doc examples and links are invisible to the analyzer")
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// The topology seed.

@@ -1,0 +1,158 @@
+//! Integration tests for [`SharedSolveCache`]: pooling solves across
+//! reporting-variant scenarios while keeping solve-relevant variants
+//! disjoint, and the population-order regression — however the pool was
+//! warmed, a canonical sweep replays all hits with bitwise-identical
+//! points.
+
+use mlf_core::allocator::{MultiRate, SingleRate};
+use mlf_layering::LayerSchedule;
+use mlf_scenario::{Scenario, SharedSolveCache};
+
+#[test]
+fn shared_cache_pools_solves_across_reporting_variants() {
+    // Scenarios that differ only in reporting — label, layering ladder —
+    // perform identical solves; pooling one SharedSolveCache means the
+    // second scenario never solves at all.
+    let shared = SharedSolveCache::new();
+    let mut a = Scenario::builder()
+        .label("reporting-a")
+        .random_networks(12, 4, 4)
+        .allocator(MultiRate::new())
+        .shared_cache(&shared)
+        .build()
+        .unwrap();
+    let mut b = Scenario::builder()
+        .label("reporting-b")
+        .random_networks(12, 4, 4)
+        .allocator(MultiRate::new())
+        .layering(LayerSchedule::exponential(4))
+        .shared_cache(&shared)
+        .build()
+        .unwrap();
+    let ra = a.sweep(0..8);
+    let rb = b.sweep(0..8);
+    assert_eq!((ra.cache.hits, ra.cache.misses), (0, 8));
+    assert_eq!(
+        (rb.cache.hits, rb.cache.misses),
+        (8, 0),
+        "reporting variant must be served entirely from the pool"
+    );
+    assert_eq!(b.solves(), 0);
+    assert_eq!(shared.len(), 8);
+    assert!(!shared.is_empty());
+    // Pooled points agree bit for bit with an unshared, uncached run.
+    let fresh = Scenario::builder()
+        .random_networks(12, 4, 4)
+        .allocator(MultiRate::new())
+        .cache_capacity(0, 0)
+        .build()
+        .unwrap()
+        .sweep(0..8);
+    assert_eq!(rb.points, fresh.points);
+    // Dropping the pool is observable; a later sweep re-misses, repopulates,
+    // and still produces the same bytes.
+    shared.clear();
+    assert!(shared.is_empty());
+    let rc = a.sweep(0..8);
+    assert_eq!(
+        (rc.cache.hits, rc.cache.misses),
+        (0, 8),
+        "cleared pool re-misses"
+    );
+    assert_eq!(shared.len(), 8, "the sweep repopulates the pool");
+    assert_eq!(rc.points, fresh.points);
+}
+
+#[test]
+fn shared_cache_keeps_solve_relevant_variants_disjoint() {
+    // One pool, three scenarios whose *solves* differ: a different
+    // allocator and a disabled property audit must each miss and
+    // produce exactly the points their unshared equivalents would.
+    let shared = SharedSolveCache::new();
+    let rm = Scenario::builder()
+        .random_networks(12, 4, 4)
+        .allocator(MultiRate::new())
+        .shared_cache(&shared)
+        .build()
+        .unwrap()
+        .sweep(0..6);
+    let rs = Scenario::builder()
+        .random_networks(12, 4, 4)
+        .allocator(SingleRate::new())
+        .shared_cache(&shared)
+        .build()
+        .unwrap()
+        .sweep(0..6);
+    assert_eq!(
+        (rs.cache.hits, rs.cache.misses),
+        (0, 6),
+        "a different allocator must never hit the pool"
+    );
+    let ro = Scenario::builder()
+        .random_networks(12, 4, 4)
+        .allocator(MultiRate::new())
+        .check_properties(false)
+        .shared_cache(&shared)
+        .build()
+        .unwrap()
+        .sweep(0..6);
+    assert_eq!(
+        (ro.cache.hits, ro.cache.misses),
+        (0, 6),
+        "the audit switch shapes points and must key disjoint entries"
+    );
+    assert!(ro.points.iter().all(|p| p.properties_holding.is_none()));
+    let unshared = |single: bool| {
+        let b = Scenario::builder()
+            .random_networks(12, 4, 4)
+            .cache_capacity(0, 0);
+        let b = if single {
+            b.allocator(SingleRate::new())
+        } else {
+            b.allocator(MultiRate::new())
+        };
+        b.build().unwrap().sweep(0..6)
+    };
+    assert_eq!(rm.points, unshared(false).points);
+    assert_eq!(rs.points, unshared(true).points);
+    assert_ne!(rm.points, rs.points, "regimes actually differ here");
+}
+
+#[test]
+fn shared_cache_population_order_is_immaterial() {
+    // The satellite regression: whatever order (and through whichever
+    // scenario) the pool was populated, a canonical sweep replays all
+    // hits and bitwise-identical points.
+    let canonical = Scenario::builder()
+        .random_networks(12, 4, 4)
+        .allocator(MultiRate::new())
+        .cache_capacity(0, 0)
+        .build()
+        .unwrap()
+        .sweep(0..8);
+    let orders: [[u64; 8]; 3] = [
+        [0, 1, 2, 3, 4, 5, 6, 7],
+        [7, 6, 5, 4, 3, 2, 1, 0],
+        [3, 0, 7, 2, 5, 1, 6, 4],
+    ];
+    for order in orders {
+        let shared = SharedSolveCache::new();
+        let mk = |label: &str| {
+            Scenario::builder()
+                .label(label)
+                .random_networks(12, 4, 4)
+                .allocator(MultiRate::new())
+                .shared_cache(&shared)
+                .build()
+                .unwrap()
+        };
+        mk("warmer").sweep(order);
+        let out = mk("reader").sweep(0..8);
+        assert_eq!(
+            (out.cache.hits, out.cache.misses),
+            (8, 0),
+            "population order {order:?} left the pool incomplete"
+        );
+        assert_eq!(out.points, canonical.points, "order {order:?} diverged");
+    }
+}
