@@ -208,7 +208,8 @@ pub(crate) fn model_code(model: Option<LinkRateModel>) -> (u8, u64) {
     }
 }
 
-fn model_from_code(tag: u8, bits: u64) -> Result<Option<LinkRateModel>, String> {
+/// Inverse of [`model_code`] (shared with the transport frame codec).
+pub(crate) fn model_from_code(tag: u8, bits: u64) -> Result<Option<LinkRateModel>, String> {
     match tag {
         0 => Ok(None),
         1 => Ok(Some(LinkRateModel::Efficient)),
@@ -592,7 +593,10 @@ impl CheckpointWriter {
         Ok(w)
     }
 
-    /// Append one accepted shard and flush it to the OS.
+    /// Append one accepted shard, flush it, and **fsync** it — the shard
+    /// is durably on disk before the coordinator treats it as accepted,
+    /// so a coordinator killed between accept and merge (even by power
+    /// loss, not just SIGKILL) never loses an accepted shard line.
     pub fn append_shard(&mut self, rec: &ShardRecord) -> Result<(), CheckpointError> {
         self.write_line(&shard_line(rec))
     }
@@ -606,7 +610,20 @@ impl CheckpointWriter {
             .map_err(|e| io_err(&self.path, "write", e))?;
         self.file
             .flush()
-            .map_err(|e| io_err(&self.path, "flush", e))
+            .map_err(|e| io_err(&self.path, "flush", e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err(&self.path, "sync", e))
+    }
+}
+
+impl Drop for CheckpointWriter {
+    fn drop(&mut self) {
+        // Belt and braces: every line is already flushed and synced as it
+        // is written, but a final best-effort sync on any exit path costs
+        // nothing and covers future buffered-writer refactors.
+        let _ = self.file.flush();
+        let _ = self.file.sync_data();
     }
 }
 

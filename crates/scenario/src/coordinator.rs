@@ -42,6 +42,13 @@
 //!   retried elsewhere with capped exponential backoff.
 //! * [`FaultKind::DuplicateShard`] — the shard is delivered twice; the
 //!   second copy is dropped.
+//! * [`FaultKind::KillProcess`] — (process fleets) the supervisor
+//!   SIGKILLs the worker child mid-shard; the death is observed, the
+//!   shard requeued, and the slot respawned with capped backoff. Thread
+//!   fleets model it as a clean worker exit.
+//! * [`FaultKind::TornFrame`] — the assignment frame is damaged on the
+//!   wire; the frame checksum catches it, the worker rejects it, and the
+//!   coordinator requeues. Thread fleets deliver the rejection directly.
 //!
 //! Retries are capped ([`CoordinatorConfig::max_retries`], then
 //! [`CoordinatorError::ShardFailed`]); when every worker is lost the
@@ -58,6 +65,22 @@
 //! **scheduling only** (when to reassign, when to give up waiting). Every
 //! accepted shard's bytes are a pure function of the job list, so a slow
 //! machine retries more but merges the same report.
+//!
+//! # Transports and the spill tier
+//!
+//! The event loop is generic over the crate-private `WorkerTransport`
+//! seam: [`TransportKind::Threads`] runs the classic in-process fleet
+//! over typed mpsc channels, [`TransportKind::Process`] a **supervised
+//! fleet of child worker processes** that self-exec the current binary
+//! and speak the framed protocol of [`crate::transport`]. Dead processes
+//! are respawned with capped backoff up to
+//! [`ProcessConfig::max_respawns`] per slot; an exhausted fleet degrades
+//! to the serial fallback like a lost thread fleet. With
+//! [`CoordinatorConfig::spill_dir`] set, each worker's solve cache
+//! additionally spills evicted points to a crash-safe, self-checksummed
+//! on-disk segment and consults it on memory misses. Neither knob can
+//! change the merged bytes — both only move *where* the same pure solves
+//! run and *whether* they are recomputed or reread.
 
 use crate::cache::SolveCache;
 use crate::checkpoint::{
@@ -65,10 +88,13 @@ use crate::checkpoint::{
     TailPolicy,
 };
 use crate::hash::Fnv1a;
+use crate::spill::SpillStats;
+use crate::transport::{TransportCounters, TransportError, TransportPoll, WorkerTransport};
 use crate::{LinkRates, NetworkSource, Scenario, SweepGrid, SweepPoint, SweepReport};
 use mlf_core::allocator::SolverWorkspace;
 use mlf_core::LinkRateModel;
 use mlf_sim::SimRng;
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::time::Duration;
@@ -78,7 +104,7 @@ type Deadline = std::time::Instant;
 
 /// One `(model override, seed)` sweep job — the coordinator speaks the
 /// same job language as the serial and parallel executors.
-type Job = (Option<LinkRateModel>, u64);
+pub(crate) type Job = (Option<LinkRateModel>, u64);
 
 /// The kinds of failure the seeded harness can inject.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +117,13 @@ pub enum FaultKind {
     CorruptHash,
     /// The delivery arrives twice.
     DuplicateShard,
+    /// The worker *process* is SIGKILLed mid-shard by the supervisor
+    /// (thread fleets model it as a clean worker exit — either way the
+    /// coordinator observes a dead worker).
+    KillProcess,
+    /// The assignment frame is damaged on the wire; the frame checksum
+    /// catches it and the worker rejects instead of computing.
+    TornFrame,
 }
 
 /// One injected fault: `kind` fires when `worker` receives `shard` on the
@@ -152,6 +185,36 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
+    /// Like [`FaultPlan::from_seed`], drawing from the full fault
+    /// alphabet including the process-transport kinds
+    /// ([`FaultKind::KillProcess`], [`FaultKind::TornFrame`]) — the plan
+    /// the process-chaos differentials run at every fleet size.
+    pub fn from_seed_process(seed: u64, workers: usize, shards: u64) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let workers = workers.max(1) as u64;
+        let mut events = Vec::new();
+        for shard in 0..shards {
+            if !rng.bernoulli(0.4) {
+                continue;
+            }
+            let kind = match rng.below(6) {
+                0 => FaultKind::CrashWorker,
+                1 => FaultKind::Stall,
+                2 => FaultKind::CorruptHash,
+                3 => FaultKind::DuplicateShard,
+                4 => FaultKind::KillProcess,
+                _ => FaultKind::TornFrame,
+            };
+            let worker = rng.below(workers) as usize;
+            events.push(FaultEvent {
+                kind,
+                worker,
+                shard,
+            });
+        }
+        FaultPlan { events }
+    }
+
     /// The scheduled events.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -162,7 +225,7 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
-    fn fires(&self, worker: usize, shard: u64, attempt: u32) -> Option<FaultKind> {
+    pub(crate) fn fires(&self, worker: usize, shard: u64, attempt: u32) -> Option<FaultKind> {
         if attempt != 0 {
             return None;
         }
@@ -170,6 +233,50 @@ impl FaultPlan {
             .iter()
             .find(|e| e.worker == worker && e.shard == shard)
             .map(|e| e.kind)
+    }
+}
+
+/// Which worker fleet a coordinated sweep runs on.
+#[derive(Debug, Clone, Default)]
+pub enum TransportKind {
+    /// In-process worker threads over typed mpsc channels.
+    #[default]
+    Threads,
+    /// Supervised child worker processes over the framed stdin/stdout
+    /// protocol of [`crate::transport`].
+    Process(ProcessConfig),
+}
+
+/// Knobs of the process-fleet supervisor.
+#[derive(Debug, Clone)]
+pub struct ProcessConfig {
+    /// The worker binary (`None` = re-exec the current executable, which
+    /// must call [`crate::transport::maybe_run_process_worker`] first
+    /// thing in `main`).
+    pub program: Option<PathBuf>,
+    /// Respawn budget per worker slot; a slot that exhausts it stays
+    /// down (and a fully exhausted fleet falls back to the serial path).
+    pub max_respawns: u32,
+    /// First respawn backoff; doubles per respawn.
+    pub respawn_backoff: Duration,
+    /// Respawn backoff ceiling.
+    pub respawn_backoff_cap: Duration,
+    /// A worker silent for this long while holding an assignment is
+    /// declared dead, killed, and respawned. Generous by default — the
+    /// per-shard [`CoordinatorConfig::shard_timeout`] already requeues
+    /// slow shards; the heartbeat only reclaims truly wedged processes.
+    pub heartbeat: Duration,
+}
+
+impl Default for ProcessConfig {
+    fn default() -> Self {
+        ProcessConfig {
+            program: None,
+            max_respawns: 4,
+            respawn_backoff: Duration::from_millis(10),
+            respawn_backoff_cap: Duration::from_millis(200),
+            heartbeat: Duration::from_secs(30),
+        }
     }
 }
 
@@ -199,6 +306,14 @@ pub struct CoordinatorConfig {
     /// Stop with [`CoordinatorError::Interrupted`] after accepting this
     /// many *new* shards — the simulated-kill hook the resume tests drive.
     pub max_new_shards: Option<u64>,
+    /// Which fleet to run on (threads or supervised processes).
+    pub transport: TransportKind,
+    /// Enable the disk spill tier: each worker's solve cache spills
+    /// evicted points to `<dir>/worker-<id>.spill` (the serial fallback
+    /// uses `serial.spill`) and consults the segment on memory misses.
+    /// The directory is created if missing; an unopenable or corrupt
+    /// segment disables/starts a fresh tier, never fails the sweep.
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for CoordinatorConfig {
@@ -214,6 +329,8 @@ impl Default for CoordinatorConfig {
             checkpoint: None,
             fault_plan: FaultPlan::none(),
             max_new_shards: None,
+            transport: TransportKind::Threads,
+            spill_dir: None,
         }
     }
 }
@@ -236,6 +353,18 @@ pub enum CoordinatorError {
     },
     /// The checkpoint file could not be written, read, or trusted.
     Checkpoint(CheckpointError),
+    /// The process fleet could not be launched (spawning the initial
+    /// children failed at the OS level). Wire-level damage *after*
+    /// launch never surfaces here — it is retried, respawned around, or
+    /// absorbed by the serial fallback.
+    Transport(TransportError),
+    /// The scenario cannot be shipped to worker processes (fixed
+    /// network, explicit link-rate config, or unregistered allocator);
+    /// run it on [`TransportKind::Threads`] instead.
+    UnsupportedScenario {
+        /// Why the scenario spec could not be built.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CoordinatorError {
@@ -248,6 +377,10 @@ impl std::fmt::Display for CoordinatorError {
                 write!(f, "interrupted after accepting {accepted} new shards")
             }
             CoordinatorError::Checkpoint(e) => write!(f, "{e}"),
+            CoordinatorError::Transport(e) => write!(f, "process fleet failed to launch: {e}"),
+            CoordinatorError::UnsupportedScenario { reason } => {
+                write!(f, "scenario cannot run on the process transport: {reason}")
+            }
         }
     }
 }
@@ -256,6 +389,7 @@ impl std::error::Error for CoordinatorError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoordinatorError::Checkpoint(e) => Some(e),
+            CoordinatorError::Transport(e) => Some(e),
             _ => None,
         }
     }
@@ -264,6 +398,12 @@ impl std::error::Error for CoordinatorError {
 impl From<CheckpointError> for CoordinatorError {
     fn from(e: CheckpointError) -> Self {
         CoordinatorError::Checkpoint(e)
+    }
+}
+
+impl From<TransportError> for CoordinatorError {
+    fn from(e: TransportError) -> Self {
+        CoordinatorError::Transport(e)
     }
 }
 
@@ -294,6 +434,50 @@ pub struct CoordinatorStats {
     pub spot_checks_skipped: u64,
     /// Whether the run finished by computing remaining shards serially.
     pub serial_fallback: bool,
+    /// Worker processes respawned by the supervisor.
+    pub respawns: u64,
+    /// Assignment frames rejected by workers as damaged in flight.
+    pub frames_rejected: u64,
+    /// Points the workers' spill tiers served from disk.
+    pub spill_hits: u64,
+    /// Spill-tier lookups that found nothing on disk.
+    pub spill_misses: u64,
+    /// Corrupt spill segments or records detected, skipped, and never
+    /// merged.
+    pub spill_corrupt_segments: u64,
+}
+
+impl std::fmt::Display for CoordinatorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "shards: {} total, {} from checkpoint",
+            self.shards, self.shards_from_checkpoint
+        )?;
+        writeln!(
+            f,
+            "recovery: {} retries, {} timeouts, {} hash rejects, {} duplicates dropped",
+            self.retries, self.timeouts, self.hash_rejects, self.duplicates_dropped
+        )?;
+        writeln!(
+            f,
+            "fleet: {} workers lost, {} respawns, {} frames rejected, serial fallback: {}",
+            self.workers_lost,
+            self.respawns,
+            self.frames_rejected,
+            if self.serial_fallback { "yes" } else { "no" }
+        )?;
+        writeln!(
+            f,
+            "audit: {} spot checks passed, {} skipped",
+            self.spot_checks_passed, self.spot_checks_skipped
+        )?;
+        write!(
+            f,
+            "spill: {} hits, {} misses, {} corrupt segments",
+            self.spill_hits, self.spill_misses, self.spill_corrupt_segments
+        )
+    }
 }
 
 /// A merged coordinated sweep: the (bitwise canonical) report plus the
@@ -312,19 +496,22 @@ pub struct CoordinatorReport {
 // Wire types
 // ---------------------------------------------------------------------------
 
+/// What a worker was asked to compute: a real shard, or the spot-check
+/// audit of one. Shared with the transport frame codec.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TaskId {
+pub(crate) enum TaskId {
     Shard(u64),
     Spot(u64),
 }
 
+/// One unit of dispatched work. Shared with the transport frame codec.
 #[derive(Debug, Clone)]
-struct Assignment {
-    task: TaskId,
-    attempt: u32,
-    shard: u64,
-    start: u64,
-    jobs: Vec<Job>,
+pub(crate) struct Assignment {
+    pub(crate) task: TaskId,
+    pub(crate) attempt: u32,
+    pub(crate) shard: u64,
+    pub(crate) start: u64,
+    pub(crate) jobs: Vec<Job>,
 }
 
 #[derive(Debug)]
@@ -333,20 +520,17 @@ enum ToWorker {
     Shutdown,
 }
 
+/// One delivered computation. Shared with the transport frame codec;
+/// `spill` carries the worker's spill-tier activity since its previous
+/// report (telemetry only — never part of any verified bytes).
 #[derive(Debug, Clone)]
-struct WorkerReport {
-    worker: usize,
-    task: TaskId,
-    attempt: u32,
-    points: Vec<SweepPoint>,
-    hash: u64,
-}
-
-struct WorkerSlot {
-    tx: mpsc::Sender<ToWorker>,
-    /// The assignment the worker is believed to be computing.
-    current: Option<(TaskId, u32)>,
-    alive: bool,
+pub(crate) struct WorkerReport {
+    pub(crate) worker: usize,
+    pub(crate) task: TaskId,
+    pub(crate) attempt: u32,
+    pub(crate) points: Vec<SweepPoint>,
+    pub(crate) hash: u64,
+    pub(crate) spill: SpillStats,
 }
 
 struct ShardSpec {
@@ -391,9 +575,11 @@ fn worker_loop(
     tx: mpsc::Sender<WorkerReport>,
     plan: &FaultPlan,
     stall: Duration,
+    spill: Option<PathBuf>,
 ) {
     let mut ws = SolverWorkspace::new();
-    let mut cache: Option<SolveCache> = scenario.worker_cache();
+    let mut cache: Option<SolveCache> = scenario.worker_cache_with_spill(spill.as_deref());
+    let mut last_spill = SpillStats::default();
     while let Ok(msg) = rx.recv() {
         let a = match msg {
             ToWorker::Shutdown => return,
@@ -405,9 +591,11 @@ fn worker_loop(
             TaskId::Shard(_) => plan.fires(id, a.shard, a.attempt),
             TaskId::Spot(_) => None,
         };
-        if matches!(fault, Some(FaultKind::CrashWorker)) {
+        if matches!(fault, Some(FaultKind::CrashWorker | FaultKind::KillProcess)) {
             // Crash: exit without replying. Dropping `rx` is what the
-            // coordinator eventually observes as a dead channel.
+            // coordinator eventually observes as a dead channel. (A
+            // thread cannot be SIGKILLed, so KillProcess degrades to the
+            // same observable outcome.)
             return;
         }
         if matches!(fault, Some(FaultKind::Stall)) {
@@ -422,12 +610,19 @@ fn worker_loop(
         if matches!(fault, Some(FaultKind::CorruptHash)) {
             hash ^= 0x5eed_bad0_dead_beef;
         }
+        let now_spill = cache
+            .as_ref()
+            .and_then(|c| c.spill_stats())
+            .unwrap_or_default();
+        let spill_delta = now_spill.since(&last_spill);
+        last_spill = now_spill;
         let report = WorkerReport {
             worker: id,
             task: a.task,
             attempt: a.attempt,
             points,
             hash,
+            spill: spill_delta,
         };
         let duplicate = matches!(fault, Some(FaultKind::DuplicateShard));
         if duplicate && tx.send(report.clone()).is_err() {
@@ -436,6 +631,90 @@ fn worker_loop(
         if tx.send(report).is_err() {
             return;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread transport
+// ---------------------------------------------------------------------------
+
+struct ThreadSlot {
+    tx: mpsc::Sender<ToWorker>,
+    alive: bool,
+}
+
+/// The in-process fleet: one worker thread per slot over typed mpsc
+/// channels — the original coordinator transport, now behind
+/// [`WorkerTransport`] so the event loop cannot tell it from a process
+/// fleet.
+struct ThreadTransport<'p> {
+    slots: Vec<ThreadSlot>,
+    rrx: mpsc::Receiver<WorkerReport>,
+    plan: &'p FaultPlan,
+    /// Synthetic events (torn-frame rejections) delivered ahead of the
+    /// report channel.
+    pending: VecDeque<TransportPoll>,
+    counters: TransportCounters,
+}
+
+impl WorkerTransport for ThreadTransport<'_> {
+    fn worker_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn usable(&self, worker: usize) -> bool {
+        self.slots[worker].alive
+    }
+
+    fn try_send(&mut self, worker: usize, assignment: &Assignment) -> bool {
+        if !self.slots[worker].alive {
+            return false;
+        }
+        // A torn frame never reaches the worker: model the damage as an
+        // immediate rejection — exactly what a process worker sends back
+        // after a checksum mismatch.
+        if matches!(assignment.task, TaskId::Shard(_))
+            && self
+                .plan
+                .fires(worker, assignment.shard, assignment.attempt)
+                == Some(FaultKind::TornFrame)
+        {
+            self.pending.push_back(TransportPoll::Rejected { worker });
+            return true;
+        }
+        if self.slots[worker]
+            .tx
+            .send(ToWorker::Assign(assignment.clone()))
+            .is_ok()
+        {
+            true
+        } else {
+            // The channel is dead: the worker crashed some time ago.
+            self.slots[worker].alive = false;
+            self.counters.workers_lost += 1;
+            false
+        }
+    }
+
+    fn recv_timeout(&mut self, wait: Duration) -> TransportPoll {
+        if let Some(ev) = self.pending.pop_front() {
+            return ev;
+        }
+        match self.rrx.recv_timeout(wait) {
+            Ok(rep) => TransportPoll::Report(rep),
+            Err(mpsc::RecvTimeoutError::Timeout) => TransportPoll::Timeout,
+            Err(mpsc::RecvTimeoutError::Disconnected) => TransportPoll::AllDown,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        for s in &self.slots {
+            let _ = s.tx.send(ToWorker::Shutdown);
+        }
+    }
+
+    fn counters(&self) -> TransportCounters {
+        self.counters
     }
 }
 
@@ -659,7 +938,7 @@ impl Scenario {
         })
     }
 
-    /// The coordinator event loop: dispatch, verify, retry, merge.
+    /// Launch the configured fleet and drive the event loop over it.
     #[allow(clippy::too_many_arguments)]
     fn run_workers(
         &self,
@@ -694,135 +973,421 @@ impl Scenario {
             })
             .collect();
         let mut attempts: Vec<u32> = vec![0; shards.len()];
+        if let Some(dir) = &cfg.spill_dir {
+            // Best-effort: the spill tier is an optimization, never a
+            // reason to fail a sweep.
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let worker_spill = |id: usize| {
+            cfg.spill_dir
+                .as_ref()
+                .map(|d| d.join(format!("worker-{id}.spill")))
+        };
 
-        std::thread::scope(|scope| -> Result<(), CoordinatorError> {
-            let (rtx, rrx) = mpsc::channel::<WorkerReport>();
-            let mut slots: Vec<WorkerSlot> = (0..workers)
-                .map(|id| {
-                    let (tx, rx) = mpsc::channel::<ToWorker>();
-                    let rtx = rtx.clone();
-                    scope.spawn(move || worker_loop(self, id, rx, rtx, plan, stall));
-                    WorkerSlot {
-                        tx,
-                        current: None,
-                        alive: true,
-                    }
-                })
-                .collect();
-            drop(rtx);
-            let mut stuck_probes = 0u32;
+        match &cfg.transport {
+            TransportKind::Threads => std::thread::scope(|scope| {
+                let (rtx, rrx) = mpsc::channel::<WorkerReport>();
+                let slots: Vec<ThreadSlot> = (0..workers)
+                    .map(|id| {
+                        let (tx, rx) = mpsc::channel::<ToWorker>();
+                        let rtx = rtx.clone();
+                        let spill = worker_spill(id);
+                        scope.spawn(move || worker_loop(self, id, rx, rtx, plan, stall, spill));
+                        ThreadSlot { tx, alive: true }
+                    })
+                    .collect();
+                drop(rtx);
+                let mut transport = ThreadTransport {
+                    slots,
+                    rrx,
+                    plan,
+                    pending: VecDeque::new(),
+                    counters: TransportCounters::default(),
+                };
+                self.drive(
+                    &mut transport,
+                    cfg,
+                    shards,
+                    &mut state,
+                    &mut attempts,
+                    done,
+                    writer,
+                    remaining,
+                    accepted_new,
+                    stats,
+                )
+            }),
+            TransportKind::Process(pc) => {
+                let spec = self
+                    .process_spec()
+                    .map_err(|reason| CoordinatorError::UnsupportedScenario { reason })?;
+                let mut transport = crate::supervisor::ProcessTransport::launch(
+                    spec,
+                    workers,
+                    pc.clone(),
+                    plan.clone(),
+                    stall,
+                    cfg.spill_dir.clone(),
+                )?;
+                self.drive(
+                    &mut transport,
+                    cfg,
+                    shards,
+                    &mut state,
+                    &mut attempts,
+                    done,
+                    writer,
+                    remaining,
+                    accepted_new,
+                    stats,
+                )
+            }
+        }
+    }
 
-            let result = loop {
-                // --- dispatch ready work to idle live workers ------------
-                for i in 0..state.len() {
-                    let now = Deadline::now();
-                    match &state[i] {
-                        ShardState::Queued { ready_at } if ready_at.map_or(true, |t| t <= now) => {
-                            let spec = &shards[i];
-                            let assignment = Assignment {
-                                task: TaskId::Shard(i as u64),
-                                attempt: attempts[i],
-                                shard: i as u64,
-                                start: spec.start,
-                                jobs: spec.jobs.clone(),
+    /// Drive one launched fleet to completion, then shut it down
+    /// (whatever the outcome — process children are reaped even on
+    /// error) and fold its counters into the stats.
+    #[allow(clippy::too_many_arguments)]
+    fn drive<T: WorkerTransport>(
+        &self,
+        transport: &mut T,
+        cfg: &CoordinatorConfig,
+        shards: &[ShardSpec],
+        state: &mut [ShardState],
+        attempts: &mut [u32],
+        done: &mut [Option<Vec<SweepPoint>>],
+        writer: &mut Option<CheckpointWriter>,
+        remaining: &mut usize,
+        accepted_new: &mut u64,
+        stats: &mut CoordinatorStats,
+    ) -> Result<(), CoordinatorError> {
+        let mut current: Vec<Option<(TaskId, u32)>> = vec![None; transport.worker_count()];
+        let result = self.drive_loop(
+            transport,
+            cfg,
+            shards,
+            state,
+            attempts,
+            &mut current,
+            done,
+            writer,
+            remaining,
+            accepted_new,
+            stats,
+        );
+        transport.shutdown();
+        let c = transport.counters();
+        stats.workers_lost += c.workers_lost;
+        stats.respawns += c.respawns;
+        result
+    }
+
+    /// The transport-generic event loop: dispatch, verify, retry, merge.
+    /// Scheduling decisions are identical for thread and process fleets —
+    /// which is why the two transports merge identical bytes.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_loop<T: WorkerTransport>(
+        &self,
+        transport: &mut T,
+        cfg: &CoordinatorConfig,
+        shards: &[ShardSpec],
+        state: &mut [ShardState],
+        attempts: &mut [u32],
+        current: &mut [Option<(TaskId, u32)>],
+        done: &mut [Option<Vec<SweepPoint>>],
+        writer: &mut Option<CheckpointWriter>,
+        remaining: &mut usize,
+        accepted_new: &mut u64,
+        stats: &mut CoordinatorStats,
+    ) -> Result<(), CoordinatorError> {
+        let mut stuck_probes = 0u32;
+
+        loop {
+            // --- dispatch ready work to idle live workers ------------
+            for i in 0..state.len() {
+                let now = Deadline::now();
+                match &state[i] {
+                    ShardState::Queued { ready_at } if ready_at.map_or(true, |t| t <= now) => {
+                        let spec = &shards[i];
+                        let assignment = Assignment {
+                            task: TaskId::Shard(i as u64),
+                            attempt: attempts[i],
+                            shard: i as u64,
+                            start: spec.start,
+                            jobs: spec.jobs.clone(),
+                        };
+                        if dispatch_to(transport, current, None, &assignment).is_some() {
+                            state[i] = ShardState::Running {
+                                deadline: now + cfg.shard_timeout,
                             };
-                            if let Some(w) = dispatch(&mut slots, None, assignment, stats) {
-                                state[i] = ShardState::Running {
-                                    deadline: now + cfg.shard_timeout,
-                                };
-                                slots[w].current = Some((TaskId::Shard(i as u64), attempts[i]));
-                                stuck_probes = 0;
-                            }
+                            stuck_probes = 0;
                         }
-                        ShardState::Held { ready_at, .. }
-                            if ready_at.map_or(true, |t| t <= now) =>
-                        {
-                            let (points, computed_by, spot_attempt) = match std::mem::replace(
-                                &mut state[i],
-                                ShardState::Queued { ready_at: None },
-                            ) {
-                                ShardState::Held {
-                                    points,
-                                    computed_by,
-                                    spot_attempt,
-                                    ..
-                                } => (points, computed_by, spot_attempt),
-                                // Unreachable: we matched Held above.
-                                other => {
-                                    state[i] = other;
-                                    continue;
-                                }
-                            };
-                            let second_exists = slots
-                                .iter()
-                                .enumerate()
-                                .any(|(w, s)| s.alive && w != computed_by);
-                            if !second_exists {
-                                // No independent worker left to audit with:
-                                // accept on the (already verified) content
-                                // hash alone.
-                                stats.spot_checks_skipped += 1;
-                                accept_shard(
-                                    i,
-                                    points,
-                                    shards,
-                                    writer,
-                                    done,
-                                    &mut state,
-                                    remaining,
-                                    accepted_new,
-                                )?;
-                                if interrupted(cfg, *accepted_new, *remaining) {
-                                    break;
-                                }
+                    }
+                    ShardState::Held { ready_at, .. } if ready_at.map_or(true, |t| t <= now) => {
+                        let (points, computed_by, spot_attempt) = match std::mem::replace(
+                            &mut state[i],
+                            ShardState::Queued { ready_at: None },
+                        ) {
+                            ShardState::Held {
+                                points,
+                                computed_by,
+                                spot_attempt,
+                                ..
+                            } => (points, computed_by, spot_attempt),
+                            // Unreachable: we matched Held above.
+                            other => {
+                                state[i] = other;
                                 continue;
                             }
-                            let spec = &shards[i];
-                            let spot_len = cfg.spot_check.min(spec.jobs.len());
-                            let assignment = Assignment {
-                                task: TaskId::Spot(i as u64),
-                                attempt: spot_attempt,
-                                shard: i as u64,
-                                start: spec.start,
-                                jobs: spec.jobs[..spot_len].to_vec(),
-                            };
-                            if let Some(w) =
-                                dispatch(&mut slots, Some(computed_by), assignment, stats)
-                            {
-                                slots[w].current = Some((TaskId::Spot(i as u64), spot_attempt));
-                                state[i] = ShardState::SpotRunning {
-                                    points,
-                                    computed_by,
-                                    spot_attempt,
-                                    deadline: now + cfg.shard_timeout,
-                                };
-                                stuck_probes = 0;
-                            } else {
-                                state[i] = ShardState::Held {
-                                    points,
-                                    computed_by,
-                                    spot_attempt,
-                                    ready_at: None,
-                                };
+                        };
+                        let second_exists = (0..transport.worker_count())
+                            .any(|w| w != computed_by && transport.usable(w));
+                        if !second_exists {
+                            // No independent worker left to audit with:
+                            // accept on the (already verified) content
+                            // hash alone.
+                            stats.spot_checks_skipped += 1;
+                            accept_shard(
+                                i,
+                                points,
+                                shards,
+                                writer,
+                                done,
+                                state,
+                                remaining,
+                                accepted_new,
+                            )?;
+                            if interrupted(cfg, *accepted_new, *remaining) {
+                                break;
                             }
+                            continue;
                         }
-                        _ => {}
+                        let spec = &shards[i];
+                        let spot_len = cfg.spot_check.min(spec.jobs.len());
+                        let assignment = Assignment {
+                            task: TaskId::Spot(i as u64),
+                            attempt: spot_attempt,
+                            shard: i as u64,
+                            start: spec.start,
+                            jobs: spec.jobs[..spot_len].to_vec(),
+                        };
+                        if dispatch_to(transport, current, Some(computed_by), &assignment).is_some()
+                        {
+                            state[i] = ShardState::SpotRunning {
+                                points,
+                                computed_by,
+                                spot_attempt,
+                                deadline: now + cfg.shard_timeout,
+                            };
+                            stuck_probes = 0;
+                        } else {
+                            state[i] = ShardState::Held {
+                                points,
+                                computed_by,
+                                spot_attempt,
+                                ready_at: None,
+                            };
+                        }
                     }
+                    _ => {}
                 }
-                if *remaining == 0 {
-                    break Ok(());
+            }
+            if *remaining == 0 {
+                return Ok(());
+            }
+            if interrupted(cfg, *accepted_new, *remaining) {
+                return Err(CoordinatorError::Interrupted {
+                    accepted: *accepted_new,
+                });
+            }
+            if !(0..transport.worker_count()).any(|w| transport.usable(w)) {
+                stats.serial_fallback = true;
+                return self.serial_remainder(
+                    cfg,
+                    shards,
+                    state,
+                    done,
+                    writer,
+                    remaining,
+                    accepted_new,
+                    stats,
+                );
+            }
+
+            // --- wait for the next delivery or deadline --------------
+            let now = Deadline::now();
+            let mut next: Option<Deadline> = None;
+            let mut in_flight = false;
+            for s in state.iter() {
+                let t = match s {
+                    ShardState::Running { deadline } => {
+                        in_flight = true;
+                        Some(*deadline)
+                    }
+                    ShardState::SpotRunning { deadline, .. } => {
+                        in_flight = true;
+                        Some(*deadline)
+                    }
+                    ShardState::Queued { ready_at } => *ready_at,
+                    ShardState::Held { ready_at, .. } => *ready_at,
+                    ShardState::Done => None,
+                };
+                if let Some(t) = t {
+                    next = Some(next.map_or(t, |n: Deadline| n.min(t)));
                 }
-                if interrupted(cfg, *accepted_new, *remaining) {
-                    break Err(CoordinatorError::Interrupted {
-                        accepted: *accepted_new,
-                    });
-                }
-                if !slots.iter().any(|s| s.alive) {
-                    stats.serial_fallback = true;
-                    break self.serial_remainder(
+            }
+            let wait = match next {
+                Some(t) => t.saturating_duration_since(now),
+                // Nothing scheduled at all: either every live worker is
+                // busy (possibly crashed without detection) or work is
+                // waiting on a worker. Probe in timeout-sized windows.
+                None => cfg.shard_timeout,
+            };
+            match transport.recv_timeout(wait.max(Duration::from_millis(1))) {
+                TransportPoll::Report(rep) => {
+                    stuck_probes = 0;
+                    self.handle_report(
+                        rep,
                         cfg,
                         shards,
-                        &mut state,
+                        current,
+                        state,
+                        attempts,
+                        done,
+                        writer,
+                        remaining,
+                        accepted_new,
+                        stats,
+                    )?;
+                }
+                TransportPoll::Rejected { worker } => {
+                    // A damaged assignment frame: the worker never saw
+                    // the work. Requeue it like a lost worker's.
+                    stuck_probes = 0;
+                    stats.frames_rejected += 1;
+                    requeue_lost(
+                        cfg,
+                        worker,
+                        current,
+                        shards,
+                        state,
+                        attempts,
+                        done,
+                        writer,
+                        remaining,
+                        accepted_new,
+                        stats,
+                    )?;
+                }
+                TransportPoll::Down { worker } => {
+                    stuck_probes = 0;
+                    requeue_lost(
+                        cfg,
+                        worker,
+                        current,
+                        shards,
+                        state,
+                        attempts,
+                        done,
+                        writer,
+                        remaining,
+                        accepted_new,
+                        stats,
+                    )?;
+                }
+                TransportPoll::Timeout => {
+                    let now = Deadline::now();
+                    let mut expired_any = false;
+                    for i in 0..state.len() {
+                        match &state[i] {
+                            ShardState::Running { deadline } if *deadline <= now => {
+                                expired_any = true;
+                                stats.timeouts += 1;
+                                stats.retries += 1;
+                                attempts[i] += 1;
+                                if attempts[i] > cfg.max_retries {
+                                    return Err(CoordinatorError::ShardFailed {
+                                        shard: i as u64,
+                                        attempts: attempts[i],
+                                    });
+                                }
+                                state[i] = ShardState::Queued {
+                                    ready_at: Some(now + backoff(cfg, attempts[i])),
+                                };
+                            }
+                            ShardState::SpotRunning { deadline, .. } if *deadline <= now => {
+                                expired_any = true;
+                                stats.timeouts += 1;
+                                let (points, computed_by, spot_attempt) = match std::mem::replace(
+                                    &mut state[i],
+                                    ShardState::Queued { ready_at: None },
+                                ) {
+                                    ShardState::SpotRunning {
+                                        points,
+                                        computed_by,
+                                        spot_attempt,
+                                        ..
+                                    } => (points, computed_by, spot_attempt + 1),
+                                    other => {
+                                        state[i] = other;
+                                        continue;
+                                    }
+                                };
+                                if spot_attempt > cfg.max_retries {
+                                    // The content hash already verified;
+                                    // losing the audit repeatedly must
+                                    // not fail the sweep.
+                                    stats.spot_checks_skipped += 1;
+                                    accept_shard(
+                                        i,
+                                        points,
+                                        shards,
+                                        writer,
+                                        done,
+                                        state,
+                                        remaining,
+                                        accepted_new,
+                                    )?;
+                                } else {
+                                    state[i] = ShardState::Held {
+                                        points,
+                                        computed_by,
+                                        spot_attempt,
+                                        ready_at: Some(now + backoff(cfg, spot_attempt)),
+                                    };
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    if !expired_any && !in_flight {
+                        stuck_probes += 1;
+                        if stuck_probes >= 3 {
+                            // Live-but-silent workers have had three
+                            // full timeout windows; treat the fleet as
+                            // lost and finish serially.
+                            stats.serial_fallback = true;
+                            return self.serial_remainder(
+                                cfg,
+                                shards,
+                                state,
+                                done,
+                                writer,
+                                remaining,
+                                accepted_new,
+                                stats,
+                            );
+                        }
+                    }
+                }
+                TransportPoll::AllDown => {
+                    // Every worker is permanently gone.
+                    stats.serial_fallback = true;
+                    return self.serial_remainder(
+                        cfg,
+                        shards,
+                        state,
                         done,
                         writer,
                         remaining,
@@ -830,163 +1395,8 @@ impl Scenario {
                         stats,
                     );
                 }
-
-                // --- wait for the next delivery or deadline --------------
-                let now = Deadline::now();
-                let mut next: Option<Deadline> = None;
-                let mut in_flight = false;
-                for s in state.iter() {
-                    let t = match s {
-                        ShardState::Running { deadline } => {
-                            in_flight = true;
-                            Some(*deadline)
-                        }
-                        ShardState::SpotRunning { deadline, .. } => {
-                            in_flight = true;
-                            Some(*deadline)
-                        }
-                        ShardState::Queued { ready_at } => *ready_at,
-                        ShardState::Held { ready_at, .. } => *ready_at,
-                        ShardState::Done => None,
-                    };
-                    if let Some(t) = t {
-                        next = Some(next.map_or(t, |n: Deadline| n.min(t)));
-                    }
-                }
-                let wait = match next {
-                    Some(t) => t.saturating_duration_since(now),
-                    // Nothing scheduled at all: either every live worker is
-                    // busy (possibly crashed without detection) or work is
-                    // waiting on a worker. Probe in timeout-sized windows.
-                    None => cfg.shard_timeout,
-                };
-                match rrx.recv_timeout(wait.max(Duration::from_millis(1))) {
-                    Ok(rep) => {
-                        stuck_probes = 0;
-                        if let Err(e) = self.handle_report(
-                            rep,
-                            cfg,
-                            shards,
-                            &mut slots,
-                            &mut state,
-                            &mut attempts,
-                            done,
-                            writer,
-                            remaining,
-                            accepted_new,
-                            stats,
-                        ) {
-                            break Err(e);
-                        }
-                    }
-                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                        let now = Deadline::now();
-                        let mut expired_any = false;
-                        for i in 0..state.len() {
-                            match &state[i] {
-                                ShardState::Running { deadline } if *deadline <= now => {
-                                    expired_any = true;
-                                    stats.timeouts += 1;
-                                    stats.retries += 1;
-                                    attempts[i] += 1;
-                                    if attempts[i] > cfg.max_retries {
-                                        return Err(CoordinatorError::ShardFailed {
-                                            shard: i as u64,
-                                            attempts: attempts[i],
-                                        });
-                                    }
-                                    state[i] = ShardState::Queued {
-                                        ready_at: Some(now + backoff(cfg, attempts[i])),
-                                    };
-                                }
-                                ShardState::SpotRunning { deadline, .. } if *deadline <= now => {
-                                    expired_any = true;
-                                    stats.timeouts += 1;
-                                    let (points, computed_by, spot_attempt) =
-                                        match std::mem::replace(
-                                            &mut state[i],
-                                            ShardState::Queued { ready_at: None },
-                                        ) {
-                                            ShardState::SpotRunning {
-                                                points,
-                                                computed_by,
-                                                spot_attempt,
-                                                ..
-                                            } => (points, computed_by, spot_attempt + 1),
-                                            other => {
-                                                state[i] = other;
-                                                continue;
-                                            }
-                                        };
-                                    if spot_attempt > cfg.max_retries {
-                                        // The content hash already verified;
-                                        // losing the audit repeatedly must
-                                        // not fail the sweep.
-                                        stats.spot_checks_skipped += 1;
-                                        accept_shard(
-                                            i,
-                                            points,
-                                            shards,
-                                            writer,
-                                            done,
-                                            &mut state,
-                                            remaining,
-                                            accepted_new,
-                                        )?;
-                                    } else {
-                                        state[i] = ShardState::Held {
-                                            points,
-                                            computed_by,
-                                            spot_attempt,
-                                            ready_at: Some(now + backoff(cfg, spot_attempt)),
-                                        };
-                                    }
-                                }
-                                _ => {}
-                            }
-                        }
-                        if !expired_any && !in_flight {
-                            stuck_probes += 1;
-                            if stuck_probes >= 3 {
-                                // Live-but-silent workers have had three
-                                // full timeout windows; treat the fleet as
-                                // lost and finish serially.
-                                stats.serial_fallback = true;
-                                break self.serial_remainder(
-                                    cfg,
-                                    shards,
-                                    &mut state,
-                                    done,
-                                    writer,
-                                    remaining,
-                                    accepted_new,
-                                    stats,
-                                );
-                            }
-                        }
-                    }
-                    Err(mpsc::RecvTimeoutError::Disconnected) => {
-                        // Every worker thread is gone.
-                        stats.serial_fallback = true;
-                        break self.serial_remainder(
-                            cfg,
-                            shards,
-                            &mut state,
-                            done,
-                            writer,
-                            remaining,
-                            accepted_new,
-                            stats,
-                        );
-                    }
-                }
-            };
-
-            for s in &slots {
-                let _ = s.tx.send(ToWorker::Shutdown);
             }
-            result
-        })
+        }
     }
 
     /// Process one delivery: verify, settle, or retry.
@@ -996,7 +1406,7 @@ impl Scenario {
         rep: WorkerReport,
         cfg: &CoordinatorConfig,
         shards: &[ShardSpec],
-        slots: &mut [WorkerSlot],
+        current: &mut [Option<(TaskId, u32)>],
         state: &mut [ShardState],
         attempts: &mut [u32],
         done: &mut [Option<Vec<SweepPoint>>],
@@ -1005,9 +1415,14 @@ impl Scenario {
         accepted_new: &mut u64,
         stats: &mut CoordinatorStats,
     ) -> Result<(), CoordinatorError> {
-        if rep.worker < slots.len() && slots[rep.worker].current == Some((rep.task, rep.attempt)) {
-            slots[rep.worker].current = None;
+        if rep.worker < current.len() && current[rep.worker] == Some((rep.task, rep.attempt)) {
+            current[rep.worker] = None;
         }
+        // Spill telemetry rides every report (a duplicate delivery can
+        // double-count — acceptable for counters that steer nothing).
+        stats.spill_hits += rep.spill.hits;
+        stats.spill_misses += rep.spill.misses;
+        stats.spill_corrupt_segments += rep.spill.corrupt_segments;
         match rep.task {
             TaskId::Shard(shard) => {
                 let i = shard as usize;
@@ -1130,7 +1545,9 @@ impl Scenario {
         stats: &mut CoordinatorStats,
     ) -> Result<(), CoordinatorError> {
         let mut ws = SolverWorkspace::new();
-        let mut cache: Option<SolveCache> = self.worker_cache();
+        let spill = cfg.spill_dir.as_ref().map(|d| d.join("serial.spill"));
+        let mut cache: Option<SolveCache> = self.worker_cache_with_spill(spill.as_deref());
+        let mut outcome: Result<(), CoordinatorError> = Ok(());
         for i in 0..shards.len() {
             if matches!(state[i], ShardState::Done) {
                 continue;
@@ -1151,7 +1568,7 @@ impl Scenario {
                     })
                     .collect(),
             };
-            accept_shard(
+            if let Err(e) = accept_shard(
                 i,
                 points,
                 shards,
@@ -1160,38 +1577,126 @@ impl Scenario {
                 state,
                 remaining,
                 accepted_new,
-            )?;
+            ) {
+                outcome = Err(e);
+                break;
+            }
             if interrupted(cfg, *accepted_new, *remaining) {
-                return Err(CoordinatorError::Interrupted {
+                outcome = Err(CoordinatorError::Interrupted {
                     accepted: *accepted_new,
                 });
+                break;
             }
         }
-        Ok(())
+        // Fold the fallback's own spill activity in even on the
+        // interrupted path — telemetry should survive simulated kills.
+        if let Some(s) = cache.as_ref().and_then(|c| c.spill_stats()) {
+            stats.spill_hits += s.hits;
+            stats.spill_misses += s.misses;
+            stats.spill_corrupt_segments += s.corrupt_segments;
+        }
+        outcome
     }
 }
 
-/// Send `assignment` to any idle live worker other than `exclude`,
-/// marking workers whose channel is gone as dead. Returns the worker that
+/// Hand `assignment` to any idle usable worker other than `exclude`,
+/// recording it as that worker's current task. Returns the worker that
 /// took the assignment.
-fn dispatch(
-    slots: &mut [WorkerSlot],
+fn dispatch_to<T: WorkerTransport>(
+    transport: &mut T,
+    current: &mut [Option<(TaskId, u32)>],
     exclude: Option<usize>,
-    assignment: Assignment,
-    stats: &mut CoordinatorStats,
+    assignment: &Assignment,
 ) -> Option<usize> {
-    for (w, slot) in slots.iter_mut().enumerate() {
-        if Some(w) == exclude || !slot.alive || slot.current.is_some() {
+    let workers = transport.worker_count();
+    for (w, slot) in current.iter_mut().enumerate().take(workers) {
+        if Some(w) == exclude || slot.is_some() || !transport.usable(w) {
             continue;
         }
-        if slot.tx.send(ToWorker::Assign(assignment.clone())).is_ok() {
+        if transport.try_send(w, assignment) {
+            *slot = Some((assignment.task, assignment.attempt));
             return Some(w);
         }
-        // The channel is dead: the worker crashed some time ago.
-        slot.alive = false;
-        stats.workers_lost += 1;
     }
     None
+}
+
+/// A worker died or rejected its assignment: clear its current task and
+/// put that task back in play. A lost *shard* burns a retry (like a
+/// timeout); a lost *spot check* retries the audit until its budget is
+/// spent, then accepts on the already-verified content hash — losing the
+/// audit must never fail the sweep.
+#[allow(clippy::too_many_arguments)]
+fn requeue_lost(
+    cfg: &CoordinatorConfig,
+    worker: usize,
+    current: &mut [Option<(TaskId, u32)>],
+    shards: &[ShardSpec],
+    state: &mut [ShardState],
+    attempts: &mut [u32],
+    done: &mut [Option<Vec<SweepPoint>>],
+    writer: &mut Option<CheckpointWriter>,
+    remaining: &mut usize,
+    accepted_new: &mut u64,
+    stats: &mut CoordinatorStats,
+) -> Result<(), CoordinatorError> {
+    let Some((task, _)) = current.get_mut(worker).and_then(|c| c.take()) else {
+        return Ok(());
+    };
+    match task {
+        TaskId::Shard(shard) => {
+            let i = shard as usize;
+            if matches!(state[i], ShardState::Running { .. }) {
+                stats.retries += 1;
+                attempts[i] += 1;
+                if attempts[i] > cfg.max_retries {
+                    return Err(CoordinatorError::ShardFailed {
+                        shard,
+                        attempts: attempts[i],
+                    });
+                }
+                state[i] = ShardState::Queued {
+                    ready_at: Some(Deadline::now() + backoff(cfg, attempts[i])),
+                };
+            }
+        }
+        TaskId::Spot(shard) => {
+            let i = shard as usize;
+            let taken = std::mem::replace(&mut state[i], ShardState::Queued { ready_at: None });
+            match taken {
+                ShardState::SpotRunning {
+                    points,
+                    computed_by,
+                    spot_attempt,
+                    ..
+                } => {
+                    let spot_attempt = spot_attempt + 1;
+                    if spot_attempt > cfg.max_retries {
+                        stats.spot_checks_skipped += 1;
+                        accept_shard(
+                            i,
+                            points,
+                            shards,
+                            writer,
+                            done,
+                            state,
+                            remaining,
+                            accepted_new,
+                        )?;
+                    } else {
+                        state[i] = ShardState::Held {
+                            points,
+                            computed_by,
+                            spot_attempt,
+                            ready_at: Some(Deadline::now() + backoff(cfg, spot_attempt)),
+                        };
+                    }
+                }
+                other => state[i] = other,
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

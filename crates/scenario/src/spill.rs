@@ -1,0 +1,499 @@
+//! Disk spill tier for the solve cache.
+//!
+//! A [`SpillTier`] backs one worker's bounded in-memory [`SolveCache`]
+//! with an append-only segment file: points evicted from the FIFO are
+//! appended to disk, and an in-memory miss consults the segment index
+//! before declaring a real miss, so sweeps too large for memory degrade
+//! to disk hits instead of recomputation.
+//!
+//! # Segment format
+//!
+//! The file is a 22-byte header followed by fixed-size 134-byte records,
+//! every piece self-checksummed with the workspace FNV-1a primitive:
+//!
+//! ```text
+//! header: "MLFS" | version u16 LE | scenario digest u64 LE | fnv1a(bytes 0..14) u64 LE
+//! record: "SR" | SolveKey (58 bytes) | encoded SweepPoint (66 bytes) | fnv1a(bytes 0..126) u64 LE
+//! ```
+//!
+//! The scenario digest in the header is the owning scenario's
+//! solve-relevant identity (the same digest that keys the in-memory
+//! cache's `scenario` component); a segment written by a different
+//! scenario configuration — or by a future format version — is silently
+//! started fresh rather than merged. Points reuse the canonical
+//! checkpoint encoding ([`crate::checkpoint::encode_point`]), so a spill
+//! hit is bitwise the point that was evicted.
+//!
+//! # Corruption discipline
+//!
+//! Same torn-tail discipline as `TailPolicy::Recover` on the checkpoint
+//! file: a trailing partial record (a worker died mid-append) is
+//! truncated away silently, while a record or header that is present but
+//! fails its checksum is *skipped and counted* in
+//! [`SpillStats::corrupt_segments`] — never merged. Any I/O failure after
+//! open marks the tier broken: lookups miss and spills are dropped, which
+//! degrades to the plain bounded-FIFO behaviour and never affects result
+//! bytes.
+//!
+//! # Determinism
+//!
+//! A spill hit decodes a record this scenario previously wrote from the
+//! same [`SolveKey`], and every point is a pure function of its key
+//! within a scenario, so spill-enabled sweeps are bitwise identical to
+//! spill-free ones — the tier only changes *where* a memoized point is
+//! found, never its bytes.
+
+use crate::cache::SolveKey;
+use crate::checkpoint::{decode_point, encode_point, POINT_BYTES};
+use crate::hash::Fnv1a;
+use crate::SweepPoint;
+use std::collections::HashMap;
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a spill segment file.
+pub(crate) const SEGMENT_MAGIC: [u8; 4] = *b"MLFS";
+/// Format version written to (and required from) the segment header.
+pub(crate) const SEGMENT_VERSION: u16 = 1;
+
+/// Bytes in the segment header: magic (4) + version (2) + scenario digest
+/// (8) + FNV-1a checksum of the preceding 14 bytes (8).
+const HEADER_BYTES: usize = 22;
+/// Bytes in one encoded [`SolveKey`] (see [`SolveKey::encode`]).
+const KEY_BYTES: usize = crate::cache::SOLVE_KEY_BYTES;
+/// Marker prefix of every record.
+const RECORD_MARKER: [u8; 2] = *b"SR";
+/// Bytes in one record: marker (2) + key (58) + point (66) + checksum (8).
+const RECORD_BYTES: usize = 2 + KEY_BYTES + POINT_BYTES + 8;
+
+/// Spill-tier telemetry: disk hits/misses, records appended, and corrupt
+/// pieces skipped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SpillStats {
+    /// In-memory misses served from the segment file.
+    pub(crate) hits: u64,
+    /// In-memory misses the segment file could not serve either.
+    pub(crate) misses: u64,
+    /// Records appended to the segment file.
+    pub(crate) spilled: u64,
+    /// Headers or records that failed their checksum and were skipped
+    /// (never merged).
+    pub(crate) corrupt_segments: u64,
+}
+
+impl SpillStats {
+    /// The counters accumulated since `before` was captured. Saturating:
+    /// snapshots passed in the wrong order yield zeros, not wrapped
+    /// counts.
+    pub(crate) fn since(&self, before: &SpillStats) -> SpillStats {
+        SpillStats {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            spilled: self.spilled.saturating_sub(before.spilled),
+            corrupt_segments: self
+                .corrupt_segments
+                .saturating_sub(before.corrupt_segments),
+        }
+    }
+}
+
+/// What a segment header said about reusing the file's contents.
+enum HeaderCheck {
+    /// Empty file — start fresh, nothing to count.
+    Fresh,
+    /// Present but failed magic/length/checksum — start fresh and count a
+    /// corrupt segment.
+    Corrupt,
+    /// Valid header for a *different* scenario digest or format version —
+    /// start fresh silently (invalidation, not corruption).
+    Mismatch,
+    /// Valid header for this scenario — scan and index the records.
+    Valid,
+}
+
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(raw)
+}
+
+fn check_header(bytes: &[u8], scenario: u64) -> HeaderCheck {
+    if bytes.is_empty() {
+        return HeaderCheck::Fresh;
+    }
+    if bytes.len() < HEADER_BYTES || bytes[0..4] != SEGMENT_MAGIC {
+        return HeaderCheck::Corrupt;
+    }
+    let mut h = Fnv1a::new();
+    h.write(&bytes[..14]);
+    if h.finish() != le_u64(&bytes[14..22]) {
+        return HeaderCheck::Corrupt;
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != SEGMENT_VERSION || le_u64(&bytes[6..14]) != scenario {
+        return HeaderCheck::Mismatch;
+    }
+    HeaderCheck::Valid
+}
+
+fn header_bytes(scenario: u64) -> [u8; HEADER_BYTES] {
+    let mut out = [0u8; HEADER_BYTES];
+    out[0..4].copy_from_slice(&SEGMENT_MAGIC);
+    out[4..6].copy_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    out[6..14].copy_from_slice(&scenario.to_le_bytes());
+    let mut h = Fnv1a::new();
+    h.write(&out[..14]);
+    out[14..22].copy_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+fn record_bytes(key: &SolveKey, point: &SweepPoint) -> [u8; RECORD_BYTES] {
+    let mut out = [0u8; RECORD_BYTES];
+    out[0..2].copy_from_slice(&RECORD_MARKER);
+    out[2..2 + KEY_BYTES].copy_from_slice(&key.encode());
+    out[2 + KEY_BYTES..2 + KEY_BYTES + POINT_BYTES].copy_from_slice(&encode_point(point));
+    let mut h = Fnv1a::new();
+    h.write(&out[..RECORD_BYTES - 8]);
+    out[RECORD_BYTES - 8..].copy_from_slice(&h.finish().to_le_bytes());
+    out
+}
+
+/// Decode one record, verifying marker and checksum. `Err` means the
+/// record is corrupt (count it, skip it).
+fn decode_record(bytes: &[u8]) -> Result<(SolveKey, SweepPoint), ()> {
+    if bytes.len() != RECORD_BYTES || bytes[0..2] != RECORD_MARKER {
+        return Err(());
+    }
+    let mut h = Fnv1a::new();
+    h.write(&bytes[..RECORD_BYTES - 8]);
+    if h.finish() != le_u64(&bytes[RECORD_BYTES - 8..]) {
+        return Err(());
+    }
+    let key = SolveKey::decode(&bytes[2..2 + KEY_BYTES]).map_err(|_| ())?;
+    let point = decode_point(&bytes[2 + KEY_BYTES..2 + KEY_BYTES + POINT_BYTES]).map_err(|_| ())?;
+    Ok((key, point))
+}
+
+/// An open spill segment: the file, an in-memory offset index of the
+/// records it holds, and the telemetry counters. See the [module
+/// docs](self) for the format and the corruption discipline.
+#[derive(Debug)]
+pub(crate) struct SpillTier {
+    file: std::fs::File,
+    #[cfg_attr(not(test), allow(dead_code))]
+    path: PathBuf,
+    /// Byte offset of the latest record for each spilled key (last write
+    /// wins, matching append order).
+    index: HashMap<SolveKey, u64>,
+    /// Append position: one past the last whole record.
+    tail: u64,
+    stats: SpillStats,
+    /// Set on any post-open I/O failure: the tier stops serving and
+    /// stops appending (degrades to the plain in-memory FIFO).
+    broken: bool,
+}
+
+impl SpillTier {
+    /// Open (or create) the segment at `path`, bound to the scenario
+    /// identity digest `scenario`. An existing segment is re-indexed if
+    /// its header matches; a corrupt, foreign, or stale segment is
+    /// replaced by a fresh one (corruption is counted, invalidation is
+    /// silent). A torn trailing record is truncated away.
+    pub(crate) fn open(path: &Path, scenario: u64) -> std::io::Result<SpillTier> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let mut stats = SpillStats::default();
+        let mut index = HashMap::new();
+        let mut tail = HEADER_BYTES as u64;
+        let reuse = match check_header(&bytes, scenario) {
+            HeaderCheck::Valid => true,
+            HeaderCheck::Fresh | HeaderCheck::Mismatch => false,
+            HeaderCheck::Corrupt => {
+                stats.corrupt_segments += 1;
+                false
+            }
+        };
+        if reuse {
+            let mut off = HEADER_BYTES;
+            while off + RECORD_BYTES <= bytes.len() {
+                match decode_record(&bytes[off..off + RECORD_BYTES]) {
+                    Ok((key, _)) => {
+                        index.insert(key, off as u64);
+                    }
+                    Err(()) => stats.corrupt_segments += 1,
+                }
+                off += RECORD_BYTES;
+            }
+            tail = off as u64;
+            if (off as u64) < bytes.len() as u64 {
+                // Torn trailing record: truncate back to the last whole
+                // record so future appends land on a record boundary.
+                file.set_len(tail)?;
+            }
+        } else {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header_bytes(scenario))?;
+            file.flush()?;
+        }
+        Ok(SpillTier {
+            file,
+            path: path.to_path_buf(),
+            index,
+            tail,
+            stats,
+            broken: false,
+        })
+    }
+
+    /// The segment file path.
+    #[cfg(test)]
+    pub(crate) fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct keys the segment can serve.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Telemetry counters.
+    pub(crate) fn stats(&self) -> SpillStats {
+        self.stats
+    }
+
+    /// Serve `key` from disk, re-verifying the record checksum on read. A
+    /// record that no longer verifies is dropped from the index and
+    /// counted corrupt; any I/O failure breaks the tier (miss, not
+    /// error).
+    pub(crate) fn lookup(&mut self, key: &SolveKey) -> Option<SweepPoint> {
+        if self.broken {
+            return None;
+        }
+        let Some(&off) = self.index.get(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        let mut record = [0u8; RECORD_BYTES];
+        let read = self
+            .file
+            .seek(SeekFrom::Start(off))
+            .and_then(|_| self.file.read_exact(&mut record));
+        if read.is_err() {
+            self.broken = true;
+            self.stats.misses += 1;
+            return None;
+        }
+        match decode_record(&record) {
+            Ok((stored_key, point)) if stored_key == *key => {
+                self.stats.hits += 1;
+                Some(point)
+            }
+            _ => {
+                self.stats.corrupt_segments += 1;
+                self.index.remove(key);
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Append an evicted point. Keys already on disk are not re-appended
+    /// (a promote-evict cycle must not grow the file); a failed append
+    /// breaks the tier and drops the point.
+    pub(crate) fn spill(&mut self, key: &SolveKey, point: &SweepPoint) {
+        if self.broken || self.index.contains_key(key) {
+            return;
+        }
+        let record = record_bytes(key, point);
+        let wrote = self
+            .file
+            .seek(SeekFrom::Start(self.tail))
+            .and_then(|_| self.file.write_all(&record))
+            .and_then(|_| self.file.flush());
+        if wrote.is_err() {
+            self.broken = true;
+            return;
+        }
+        self.index.insert(*key, self.tail);
+        self.tail += RECORD_BYTES as u64;
+        self.stats.spilled += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::TopologyKey;
+    use crate::ScenarioMetrics;
+    use mlf_core::LinkRateModel;
+    use mlf_net::TopologyFamily;
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mlf-spill-{name}-{}.seg", std::process::id()))
+    }
+
+    fn point(seed: u64) -> SweepPoint {
+        SweepPoint {
+            seed,
+            model: Some(LinkRateModel::Scaled(2.5)),
+            metrics: ScenarioMetrics {
+                jain_index: 0.75,
+                min_rate: seed as f64,
+                total_rate: 3.0 * seed as f64,
+                satisfaction: 0.5,
+                iterations: 7,
+            },
+            properties_holding: Some(3),
+        }
+    }
+
+    fn key(seed: u64) -> SolveKey {
+        SolveKey::new(
+            TopologyKey::random(TopologyFamily::KaryTree { arity: 3 }, 20, 4, 4, seed),
+            LinkRateModel::RandomJoin { sigma: 6.0 },
+            0x1234_5678,
+        )
+    }
+
+    #[test]
+    fn round_trips_spilled_points() {
+        let path = tmp("round-trip");
+        let _ = fs::remove_file(&path);
+        let mut tier = SpillTier::open(&path, 42).unwrap();
+        for s in 0..5 {
+            tier.spill(&key(s), &point(s));
+        }
+        assert_eq!(tier.len(), 5);
+        for s in 0..5 {
+            let got = tier.lookup(&key(s)).expect("spilled point served");
+            assert_eq!(encode_point(&got), encode_point(&point(s)));
+        }
+        assert!(tier.lookup(&key(99)).is_none());
+        let s = tier.stats();
+        assert_eq!(
+            (s.hits, s.misses, s.spilled, s.corrupt_segments),
+            (5, 1, 5, 0)
+        );
+        let _ = fs::remove_file(tier.path());
+    }
+
+    #[test]
+    fn reopen_reindexes_and_duplicate_keys_are_not_reappended() {
+        let path = tmp("reopen");
+        let _ = fs::remove_file(&path);
+        {
+            let mut tier = SpillTier::open(&path, 7).unwrap();
+            tier.spill(&key(0), &point(0));
+            tier.spill(&key(1), &point(1));
+            tier.spill(&key(0), &point(0)); // dedup: no growth
+            assert_eq!(tier.stats().spilled, 2);
+        }
+        let size = fs::metadata(&path).unwrap().len();
+        assert_eq!(size, (HEADER_BYTES + 2 * RECORD_BYTES) as u64);
+        let mut tier = SpillTier::open(&path, 7).unwrap();
+        assert_eq!(tier.len(), 2);
+        assert_eq!(
+            encode_point(&tier.lookup(&key(1)).unwrap()),
+            encode_point(&point(1))
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_scenario_or_version_starts_fresh_silently() {
+        let path = tmp("foreign");
+        let _ = fs::remove_file(&path);
+        {
+            let mut tier = SpillTier::open(&path, 1).unwrap();
+            tier.spill(&key(0), &point(0));
+        }
+        let tier = SpillTier::open(&path, 2).unwrap();
+        assert_eq!(tier.len(), 0, "foreign segment never merged");
+        assert_eq!(tier.stats().corrupt_segments, 0, "invalidation is silent");
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            HEADER_BYTES as u64,
+            "segment restarted fresh"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_header_is_counted_and_replaced() {
+        let path = tmp("bad-header");
+        fs::write(&path, b"not a spill segment at all").unwrap();
+        let tier = SpillTier::open(&path, 3).unwrap();
+        assert_eq!(tier.len(), 0);
+        assert_eq!(tier.stats().corrupt_segments, 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_and_torn_tail_truncated() {
+        let path = tmp("bad-record");
+        let _ = fs::remove_file(&path);
+        {
+            let mut tier = SpillTier::open(&path, 9).unwrap();
+            for s in 0..3 {
+                tier.spill(&key(s), &point(s));
+            }
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte inside the middle record's point payload.
+        bytes[HEADER_BYTES + RECORD_BYTES + 30] ^= 0xff;
+        // Append half a record: a torn tail.
+        let torn = vec![0xabu8; RECORD_BYTES / 2];
+        bytes.extend_from_slice(&torn);
+        fs::write(&path, &bytes).unwrap();
+        let mut tier = SpillTier::open(&path, 9).unwrap();
+        assert_eq!(tier.stats().corrupt_segments, 1, "flipped record counted");
+        assert_eq!(tier.len(), 2, "other records survive");
+        assert!(tier.lookup(&key(1)).is_none());
+        assert!(tier.lookup(&key(0)).is_some());
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            (HEADER_BYTES + 3 * RECORD_BYTES) as u64,
+            "torn tail truncated to the record boundary"
+        );
+        // New appends land cleanly after recovery.
+        tier.spill(&key(10), &point(10));
+        assert!(tier.lookup(&key(10)).is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn spill_stats_since_is_saturating() {
+        let a = SpillStats {
+            hits: 5,
+            misses: 3,
+            spilled: 2,
+            corrupt_segments: 1,
+        };
+        let b = SpillStats {
+            hits: 2,
+            misses: 1,
+            spilled: 2,
+            corrupt_segments: 0,
+        };
+        assert_eq!(
+            a.since(&b),
+            SpillStats {
+                hits: 3,
+                misses: 2,
+                spilled: 0,
+                corrupt_segments: 1
+            }
+        );
+        assert_eq!(b.since(&a), SpillStats::default());
+    }
+}

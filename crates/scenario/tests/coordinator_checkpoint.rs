@@ -352,6 +352,51 @@ fn killed_at_every_shard_boundary_resumes_to_identical_bytes() {
 }
 
 #[test]
+fn accepted_shard_is_on_disk_before_the_coordinator_can_die() {
+    // Regression for the accept-vs-merge durability window: a coordinator
+    // killed after accepting a shard but before merging the sweep must
+    // find that shard on disk at the next resume. `max_new_shards: 1`
+    // models the kill at the worst instant, right after the accept; the
+    // writer's flush+fsync on append (and on drop) is what makes the
+    // line survive.
+    let path = tmp("durable-accept");
+    let mut s = scenario();
+    let serial = s.sweep(SEEDS);
+    let cfg = CoordinatorConfig {
+        max_new_shards: Some(1),
+        ..fast_cfg(&path)
+    };
+    let err = s
+        .coordinate(SEEDS, &cfg)
+        .expect_err("the one-shard cap interrupts the first run");
+    assert!(
+        matches!(err, CoordinatorError::Interrupted { .. }),
+        "expected Interrupted, got {err:?}"
+    );
+    let text = std::fs::read_to_string(&path).expect("checkpoint survives the interrupt");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        2,
+        "header plus exactly the one accepted shard line"
+    );
+    assert!(
+        text.ends_with('\n'),
+        "the accepted line must be terminated — a torn line would be \
+         recomputed, i.e. lost"
+    );
+    let out = s
+        .coordinate(SEEDS, &fast_cfg(&path))
+        .expect("resume completes the sweep");
+    assert!(
+        out.stats.shards_from_checkpoint >= 1,
+        "the accepted shard is trusted from disk, not recomputed"
+    );
+    assert_bitwise(&out.report.points, &serial.points);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn fully_checkpointed_sweep_resumes_without_computing_anything() {
     let path = tmp("warm");
     let (serial, _bytes) = checkpointed_run(&path);

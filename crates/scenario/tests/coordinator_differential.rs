@@ -140,6 +140,9 @@ fn each_fault_class_is_survived_and_observed() {
                 out.stats.duplicates_dropped >= 1,
                 "at least one duplicate delivery is dropped"
             ),
+            FaultKind::KillProcess | FaultKind::TornFrame => {
+                unreachable!("process-transport kinds are exercised in tests/process_chaos.rs")
+            }
         }
     }
 }
